@@ -1,0 +1,63 @@
+"""Shared configuration for the paper-reproduction benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper.  By default a
+reduced configuration is used (small/medium benchmarks, one routing seed, reduced shots) so
+the whole harness completes in minutes on a laptop; set ``REPRO_BENCH_FULL=1`` to run the
+full benchmark list of Tables I-IV (including the large RevLib-style circuits) with more
+seeds, which takes a few hours — comparable to the original artifact's 10-12 hour run.
+"""
+
+import os
+
+import pytest
+
+from repro.benchlib import table_benchmarks
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+#: Benchmarks used in the quick (default) configuration of the table experiments.
+QUICK_TABLE_NAMES = [
+    "grover_n4",
+    "grover_n6",
+    "vqe_n8",
+    "bv_n19",
+    "qft_n15",
+    "qpe_n9",
+    "adder_n10",
+]
+
+#: Benchmarks used for the Figure 9 ablation in the quick configuration.
+QUICK_ABLATION_NAMES = ["grover_n4", "adder_n10"]
+
+SEEDS = (0, 1, 2) if FULL else (0,)
+NOISE_SHOTS = 8192 if FULL else 2048
+NOISE_REALIZATIONS = 256 if FULL else 64
+
+
+def selected_table_cases():
+    if FULL:
+        return table_benchmarks()
+    return table_benchmarks(names=QUICK_TABLE_NAMES)
+
+
+def selected_ablation_cases():
+    if FULL:
+        return table_benchmarks(names=QUICK_TABLE_NAMES)
+    return table_benchmarks(names=QUICK_ABLATION_NAMES)
+
+
+@pytest.fixture(scope="session")
+def seeds():
+    return SEEDS
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_report(name: str, text: str) -> str:
+    """Persist a regenerated table/figure report under ``benchmarks/results/``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path

@@ -1,0 +1,78 @@
+"""Walk through the paper's motivating examples (Figures 1, 3 and 4) on the library.
+
+Demonstrates, gate-by-gate, why "not all SWAPs have the same cost":
+  * Figure 1  - two routing options with the same SWAP count but different CNOT cost;
+  * Figure 3  - two-qubit block re-synthesis absorbs a SWAP into an adjacent block;
+  * Figure 4  - commutation-aware SWAP decomposition lets a CNOT cancel.
+
+Run with:  python examples/paper_figures.py
+"""
+
+import numpy as np
+
+from repro import QuantumCircuit, cnot_count
+from repro.transpiler import PassManager
+from repro.transpiler.passes import CommutativeCancellation, SwapLowering, UnitarySynthesis
+
+
+def figure1() -> None:
+    print("=== Figure 1: two SWAP insertions, same SWAP count, different CNOT cost ===")
+    # Logical workload: interactions (1,2), (0,1), (0,2) on a 0-1-2 line.
+    def routed(swap_pair, last_pair):
+        circuit = QuantumCircuit(3)
+        circuit.crx(0.7, 1, 2)
+        circuit.crx(0.9, 0, 1)
+        circuit.swap(*swap_pair)
+        circuit.crx(1.1, *last_pair)
+        return circuit
+
+    option_a = routed((0, 1), (1, 2))   # SWAP far from the previous (1,2) interaction
+    option_b = routed((1, 2), (0, 1))   # SWAP adjacent to the previous (1,2) interaction
+    optimizer = PassManager([SwapLowering(), UnitarySynthesis(), CommutativeCancellation(),
+                             UnitarySynthesis()])
+    for label, circuit in (("option (a): swap(0,1)", option_a), ("option (b): swap(1,2)", option_b)):
+        optimized = optimizer.run(circuit.copy())
+        print(f"  {label}: {optimized.cx_count()} CNOTs after optimization")
+    print("  -> the SWAP that joins an existing two-qubit block is cheaper.\n")
+
+
+def figure3() -> None:
+    print("=== Figure 3: block re-synthesis reduces the cost of a SWAP ===")
+    block = QuantumCircuit(2)
+    block.cx(0, 1)
+    block.rz(0.3, 1)
+    swap = QuantumCircuit(2)
+    swap.swap(0, 1)
+    merged = swap.to_matrix() @ block.to_matrix()
+    print(f"  block alone:        {cnot_count(block.to_matrix())} CNOTs")
+    print(f"  block + SWAP (KAK): {cnot_count(merged)} CNOTs  (a standalone SWAP costs 3)")
+
+    rng = np.random.default_rng(0)
+    rich_block = QuantumCircuit(2)
+    rich_block.cx(0, 1)
+    rich_block.ry(rng.uniform(0.3, 1.0), 0)
+    rich_block.rz(rng.uniform(0.3, 1.0), 1)
+    rich_block.cx(1, 0)
+    rich_block.rz(rng.uniform(0.3, 1.0), 0)
+    rich_block.cx(0, 1)
+    merged = swap.to_matrix() @ rich_block.to_matrix()
+    print(f"  3-CNOT block + SWAP: {cnot_count(merged)} CNOTs  -> the SWAP is (almost) free\n")
+
+
+def figure4() -> None:
+    print("=== Figure 4: optimization-aware SWAP decomposition enables cancellation ===")
+    for orientation, label in ((1, "optimization-aware (ctrl:1)"), (2, "fixed (ctrl:2)")):
+        circuit = QuantumCircuit(3)
+        circuit.cx(1, 2)
+        circuit.cx(0, 2)
+        swap_inst = circuit.swap(1, 2)
+        swap_inst.gate.label = f"ctrl:{orientation}"
+        optimized = PassManager([SwapLowering(), CommutativeCancellation()]).run(circuit)
+        print(f"  {label:28s}: {optimized.cx_count()} CNOTs after cancellation")
+    print("  -> choosing the right control qubit for the SWAP's first CNOT saves two CNOTs.\n")
+
+
+if __name__ == "__main__":
+    figure1()
+    figure3()
+    figure4()

@@ -1,0 +1,49 @@
+"""Quickstart: compile a circuit for a real device topology with SABRE and NASSC routing.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import QuantumCircuit, montreal_coupling_map, optimize_logical, transpile
+
+
+def build_circuit() -> QuantumCircuit:
+    """A small GHZ-plus-entangling-layer circuit that does not fit the device natively."""
+    circuit = QuantumCircuit(6, name="quickstart")
+    circuit.h(0)
+    for target in range(1, 6):
+        circuit.cx(0, target)
+    for a in range(6):
+        for b in range(a + 1, 6):
+            circuit.cz(a, b)
+    circuit.rz(0.25, 3)
+    circuit.cx(5, 0)
+    return circuit
+
+
+def main() -> None:
+    circuit = build_circuit()
+    coupling = montreal_coupling_map()
+
+    # Reference: the circuit optimized without any routing ("original circuit" in the paper).
+    original = optimize_logical(circuit)
+    print(f"original circuit:        {original.cx_count():4d} CNOTs, depth {original.depth()}")
+
+    # The Qiskit+SABRE baseline and the paper's NASSC pipeline, averaged over a few seeds
+    # (routing uses a seeded random tie-break, exactly as in the paper's 10-run averages).
+    seeds = (0, 1, 2)
+    for routing in ("sabre", "nassc"):
+        results = [transpile(circuit, coupling, routing=routing, seed=seed) for seed in seeds]
+        mean_cx = sum(r.cx_count for r in results) / len(results)
+        mean_depth = sum(r.depth for r in results) / len(results)
+        mean_swaps = sum(r.num_swaps for r in results) / len(results)
+        added = mean_cx - original.cx_count()
+        print(
+            f"routing={routing:5s}  total CNOTs {mean_cx:6.1f}  added {added:5.1f}  "
+            f"depth {mean_depth:6.1f}  swaps {mean_swaps:4.1f}"
+        )
+
+    print("\nNASSC usually adds fewer CNOTs: not all SWAPs have the same cost.")
+
+
+if __name__ == "__main__":
+    main()

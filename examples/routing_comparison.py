@@ -1,0 +1,37 @@
+"""Routing study: reproduce a miniature version of the paper's Tables I/III/IV.
+
+Compares Qiskit+SABRE against Qiskit+NASSC on several benchmark circuits and all three
+evaluation topologies (ibmq_montreal heavy-hex, 25-qubit line, 5x5 grid), reporting the
+added-CNOT reduction exactly as the paper does.
+
+Run with:  python examples/routing_comparison.py [--full]
+"""
+
+import argparse
+
+from repro.benchlib import table_benchmarks
+from repro.evaluation import format_cnot_table, run_table_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run every Table I benchmark (slow) instead of the quick subset")
+    parser.add_argument("--seeds", type=int, default=1, help="number of routing seeds to average")
+    args = parser.parse_args()
+
+    names = None if args.full else ["grover_n4", "grover_n6", "vqe_n8", "qpe_n9", "adder_n10"]
+    cases = table_benchmarks(names=names) if names else table_benchmarks()
+    seeds = tuple(range(args.seeds))
+
+    for topology in ("montreal", "linear", "grid"):
+        result = run_table_experiment(topology, cases=cases, seeds=seeds, num_device_qubits=25)
+        print(format_cnot_table(result))
+        print(
+            f"  -> geometric-mean reduction: total CNOTs {result.geomean_delta_cx_total:.2f}%, "
+            f"added CNOTs {result.geomean_delta_cx_added:.2f}%\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""NASSC reproduction: optimization-aware qubit routing (HPCA 2022).
+
+Public API highlights
+---------------------
+* :class:`repro.QuantumCircuit` — circuit construction.
+* :func:`repro.transpile` — compile a circuit for a device with SABRE or NASSC routing.
+* :mod:`repro.benchlib` — the paper's benchmark circuits.
+* :mod:`repro.evaluation` — runners regenerating the paper's tables and figures.
+"""
+
+from .circuit import DAGCircuit, Gate, Instruction, QuantumCircuit, qasm, random_circuit
+from .core import NASSCConfig, TranspileResult, compare_routings, optimize_logical, transpile
+from .hardware import (
+    CouplingMap,
+    fake_montreal_calibration,
+    grid_coupling_map,
+    linear_coupling_map,
+    montreal_coupling_map,
+    synthetic_calibration,
+)
+from .simulator import NoiseModel, NoisySimulator, StatevectorSimulator
+from .synthesis import TwoQubitSynthesizer, cnot_count, weyl_coordinates
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DAGCircuit", "Gate", "Instruction", "QuantumCircuit", "qasm", "random_circuit",
+    "NASSCConfig", "TranspileResult", "compare_routings", "optimize_logical", "transpile",
+    "CouplingMap", "fake_montreal_calibration", "grid_coupling_map", "linear_coupling_map",
+    "montreal_coupling_map", "synthetic_calibration",
+    "NoiseModel", "NoisySimulator", "StatevectorSimulator",
+    "TwoQubitSynthesizer", "cnot_count", "weyl_coordinates",
+    "__version__",
+]

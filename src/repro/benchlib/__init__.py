@@ -1,0 +1,43 @@
+"""Benchmark circuit generators used in the paper's evaluation."""
+
+from .arithmetic import adder_n10, cuccaro_adder, multiplier, multiplier_n25
+from .bv import bernstein_vazirani, bv_n5, bv_n19
+from .grover import grover, grover_n4, grover_n6, grover_n8
+from .mcx import apply_mcx, apply_mcz
+from .qft import inverse_qft, qft, qft_n15, qft_n20, qpe, qpe_n9
+from .revlib import (
+    REVLIB_SPECS,
+    RevLibSpec,
+    co14_215,
+    decod24_v2_43,
+    mct_network,
+    mod5d2_64,
+    mod5mils_65,
+    rd84_253,
+    revlib_benchmark,
+    sqn_258,
+    sym9_193,
+)
+from .suite import (
+    NOISE_BENCHMARKS,
+    TABLE_BENCHMARKS,
+    BenchmarkCase,
+    benchmark_names,
+    get_benchmark,
+    noise_benchmarks,
+    table_benchmarks,
+)
+from .vqe import vqe_ansatz, vqe_n8, vqe_n12
+
+__all__ = [
+    "adder_n10", "cuccaro_adder", "multiplier", "multiplier_n25",
+    "bernstein_vazirani", "bv_n5", "bv_n19",
+    "grover", "grover_n4", "grover_n6", "grover_n8",
+    "apply_mcx", "apply_mcz",
+    "inverse_qft", "qft", "qft_n15", "qft_n20", "qpe", "qpe_n9",
+    "REVLIB_SPECS", "RevLibSpec", "co14_215", "decod24_v2_43", "mct_network",
+    "mod5d2_64", "mod5mils_65", "rd84_253", "revlib_benchmark", "sqn_258", "sym9_193",
+    "NOISE_BENCHMARKS", "TABLE_BENCHMARKS", "BenchmarkCase", "benchmark_names",
+    "get_benchmark", "noise_benchmarks", "table_benchmarks",
+    "vqe_ansatz", "vqe_n8", "vqe_n12",
+]

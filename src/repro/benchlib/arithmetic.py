@@ -1,0 +1,89 @@
+"""Reversible arithmetic benchmarks: ripple-carry adder and shift-and-add multiplier
+(paper benchmarks Adder_n10 and Multiplier_n25).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import CircuitError
+
+
+def _maj(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    """Cuccaro MAJ block."""
+    circuit.cx(a, b)
+    circuit.cx(a, c)
+    circuit.ccx(c, b, a)
+
+
+def _uma(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    """Cuccaro UMA block (2-CNOT version)."""
+    circuit.ccx(c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(c, b)
+
+
+def cuccaro_adder(num_bits: int, *, with_carry_out: bool = True, name: Optional[str] = None) -> QuantumCircuit:
+    """Cuccaro ripple-carry adder computing ``b := a + b`` on two ``num_bits`` registers.
+
+    Qubit layout: ``cin`` (1 qubit), interleaved ``a``/``b`` registers, ``cout`` (1 qubit when
+    ``with_carry_out``).  Total ``2 * num_bits + 2`` qubits: the paper's 10-qubit adder is the
+    4-bit instance.
+    """
+    if num_bits < 1:
+        raise CircuitError("adder needs at least one bit")
+    total = 2 * num_bits + (2 if with_carry_out else 1)
+    circuit = QuantumCircuit(total, name=name or f"adder_n{total}")
+    cin = 0
+    a = [1 + 2 * i for i in range(num_bits)]
+    b = [2 + 2 * i for i in range(num_bits)]
+    cout = total - 1 if with_carry_out else None
+
+    _maj(circuit, cin, b[0], a[0])
+    for i in range(1, num_bits):
+        _maj(circuit, a[i - 1], b[i], a[i])
+    if cout is not None:
+        circuit.cx(a[-1], cout)
+    for i in reversed(range(1, num_bits)):
+        _uma(circuit, a[i - 1], b[i], a[i])
+    _uma(circuit, cin, b[0], a[0])
+    return circuit
+
+
+def adder_n10() -> QuantumCircuit:
+    """4-bit Cuccaro adder on 10 qubits."""
+    return cuccaro_adder(4)
+
+
+def multiplier(num_bits: int, name: Optional[str] = None) -> QuantumCircuit:
+    """Carry-less (GF(2)) multiplier on ``4 * num_bits + 1`` qubits.
+
+    Registers: ``a`` (``num_bits``), ``b`` (``num_bits``), product (``2 * num_bits``) and one
+    parity ancilla.  Every partial product ``a_i AND b_j`` is XORed into ``product[i+j]`` with
+    a Toffoli, computing the carry-less product of the two inputs; the final parity of the
+    product is collected into the last qubit.  The paper's 25-qubit multiplier corresponds to
+    ``num_bits = 6``.  This is bit-exact GF(2) arithmetic (verified by simulation in the
+    tests) and has the same dense Toffoli-network structure as the QASMBench shift-and-add
+    multiplier it substitutes for (see DESIGN.md).
+    """
+    if num_bits < 1:
+        raise CircuitError("multiplier needs at least one bit")
+    total = 4 * num_bits + 1
+    circuit = QuantumCircuit(total, name=name or f"multiplier_n{total}")
+    a = list(range(num_bits))
+    b = list(range(num_bits, 2 * num_bits))
+    product = list(range(2 * num_bits, 4 * num_bits))
+    parity = total - 1
+
+    for i in range(num_bits):
+        for j in range(num_bits):
+            circuit.ccx(a[i], b[j], product[i + j])
+    for bit in product:
+        circuit.cx(bit, parity)
+    return circuit
+
+
+def multiplier_n25() -> QuantumCircuit:
+    """6-bit carry-less multiplier workload on 25 qubits."""
+    return multiplier(6)

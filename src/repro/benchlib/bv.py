@@ -1,0 +1,39 @@
+"""Bernstein-Vazirani benchmark circuits (paper benchmark BV_n19 and the Fig. 11 BV)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..circuit.circuit import QuantumCircuit
+
+
+def bernstein_vazirani(num_qubits: int, secret: Optional[Sequence[int]] = None) -> QuantumCircuit:
+    """Bernstein-Vazirani with ``num_qubits - 1`` data qubits and one oracle ancilla.
+
+    ``secret`` defaults to the all-ones string (matching the paper's 18-CNOT original circuit
+    for 19 qubits).
+    """
+    data = num_qubits - 1
+    if secret is None:
+        secret = [1] * data
+    secret = list(secret)[:data]
+    circuit = QuantumCircuit(num_qubits, name=f"bv_n{num_qubits}")
+    ancilla = num_qubits - 1
+    for q in range(data):
+        circuit.h(q)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for q, bit in enumerate(secret):
+        if bit:
+            circuit.cx(q, ancilla)
+    for q in range(data):
+        circuit.h(q)
+    return circuit
+
+
+def bv_n19() -> QuantumCircuit:
+    return bernstein_vazirani(19)
+
+
+def bv_n5() -> QuantumCircuit:
+    return bernstein_vazirani(5)

@@ -1,0 +1,62 @@
+"""Grover search benchmark circuits (paper benchmarks Grover_n4, Grover_n6, Grover_n8).
+
+The circuits follow the QASMBench-style construction: a search register of ``s`` qubits plus
+``s - 2`` clean ancillas used by the multi-controlled gates, i.e. ``n = 2s - 2`` total qubits
+(``n=4 -> s=3``, ``n=6 -> s=4``, ``n=8 -> s=5``).  The oracle marks the all-ones state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import CircuitError
+from .mcx import apply_mcz
+
+
+def _register_split(num_qubits: int) -> int:
+    """Search-register size for a given total qubit count (rest are ancillas)."""
+    search = (num_qubits + 2) // 2
+    if search < 2:
+        raise CircuitError("Grover benchmark needs at least 2 search qubits")
+    return search
+
+
+def grover(num_qubits: int, iterations: Optional[int] = None) -> QuantumCircuit:
+    """Grover search over ``s`` qubits with the all-ones marked state."""
+    search = _register_split(num_qubits)
+    ancillas = list(range(search, num_qubits))
+    if len(ancillas) < max(0, search - 3):
+        raise CircuitError("not enough ancillas for the multi-controlled oracle")
+    if iterations is None:
+        iterations = max(1, int(math.floor(math.pi / 4.0 * math.sqrt(2 ** search))))
+
+    circuit = QuantumCircuit(num_qubits, name=f"grover_n{num_qubits}")
+    data = list(range(search))
+    for q in data:
+        circuit.h(q)
+    for _ in range(iterations):
+        # Oracle: phase-flip the all-ones state.
+        apply_mcz(circuit, data[:-1], data[-1], ancillas)
+        # Diffusion operator.
+        for q in data:
+            circuit.h(q)
+            circuit.x(q)
+        apply_mcz(circuit, data[:-1], data[-1], ancillas)
+        for q in data:
+            circuit.x(q)
+            circuit.h(q)
+    return circuit
+
+
+def grover_n4() -> QuantumCircuit:
+    return grover(4)
+
+
+def grover_n6() -> QuantumCircuit:
+    return grover(6)
+
+
+def grover_n8() -> QuantumCircuit:
+    return grover(8)

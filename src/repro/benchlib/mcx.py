@@ -1,0 +1,59 @@
+"""Multi-controlled X/Z construction helpers shared by the benchmark generators."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import CircuitError
+
+
+def apply_mcx(
+    circuit: QuantumCircuit,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int] = (),
+) -> None:
+    """Apply a multi-controlled X using a clean-ancilla V-chain.
+
+    ``k`` controls need ``k - 2`` clean ancillas (assumed to be in state ``|0>`` and returned
+    to ``|0>``).  For one or two controls no ancillas are needed.
+    """
+    controls = list(controls)
+    k = len(controls)
+    if k == 0:
+        circuit.x(target)
+        return
+    if k == 1:
+        circuit.cx(controls[0], target)
+        return
+    if k == 2:
+        circuit.ccx(controls[0], controls[1], target)
+        return
+    needed = k - 2
+    if len(ancillas) < needed:
+        raise CircuitError(
+            f"multi-controlled X with {k} controls needs {needed} clean ancillas, got {len(ancillas)}"
+        )
+    chain: List[int] = list(ancillas[:needed])
+    # Compute the AND chain into the ancillas.
+    circuit.ccx(controls[0], controls[1], chain[0])
+    for i in range(2, k - 1):
+        circuit.ccx(controls[i], chain[i - 2], chain[i - 1])
+    circuit.ccx(controls[k - 1], chain[-1], target)
+    # Uncompute the chain.
+    for i in range(k - 2, 1, -1):
+        circuit.ccx(controls[i], chain[i - 2], chain[i - 1])
+    circuit.ccx(controls[0], controls[1], chain[0])
+
+
+def apply_mcz(
+    circuit: QuantumCircuit,
+    controls: Sequence[int],
+    target: int,
+    ancillas: Sequence[int] = (),
+) -> None:
+    """Multi-controlled Z via H-conjugation of the multi-controlled X."""
+    circuit.h(target)
+    apply_mcx(circuit, controls, target, ancillas)
+    circuit.h(target)

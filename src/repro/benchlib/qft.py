@@ -1,0 +1,64 @@
+"""Quantum Fourier transform and phase-estimation benchmarks (QFT_n15, QFT_n20, QPE_n9)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..circuit.circuit import QuantumCircuit
+
+
+def qft(num_qubits: int, *, do_swaps: bool = False, approximation_degree: int = 0) -> QuantumCircuit:
+    """Standard QFT built from Hadamards and controlled-phase rotations.
+
+    ``approximation_degree`` drops the smallest-angle rotations (0 keeps everything).
+    """
+    circuit = QuantumCircuit(num_qubits, name=f"qft_n{num_qubits}")
+    for target in reversed(range(num_qubits)):
+        circuit.h(target)
+        for distance, control in enumerate(reversed(range(target)), start=1):
+            if approximation_degree and distance > num_qubits - approximation_degree:
+                continue
+            circuit.cp(math.pi / (2 ** distance), control, target)
+    if do_swaps:
+        for q in range(num_qubits // 2):
+            circuit.swap(q, num_qubits - 1 - q)
+    return circuit
+
+
+def inverse_qft(num_qubits: int, **kwargs) -> QuantumCircuit:
+    """Inverse QFT (adjoint of :func:`qft`)."""
+    forward = qft(num_qubits, **kwargs)
+    inverse = forward.inverse()
+    inverse.name = f"iqft_n{num_qubits}"
+    return inverse
+
+
+def qft_n15() -> QuantumCircuit:
+    return qft(15)
+
+
+def qft_n20() -> QuantumCircuit:
+    return qft(20)
+
+
+def qpe(num_counting: int, phase: float = 1.0 / 3.0) -> QuantumCircuit:
+    """Quantum phase estimation of a single-qubit phase gate with eigenphase ``phase``.
+
+    ``num_counting`` counting qubits plus one eigenstate qubit (prepared in ``|1>``).
+    """
+    num_qubits = num_counting + 1
+    target = num_counting
+    circuit = QuantumCircuit(num_qubits, name=f"qpe_n{num_qubits}")
+    circuit.x(target)
+    for q in range(num_counting):
+        circuit.h(q)
+    for j in range(num_counting):
+        angle = 2.0 * math.pi * phase * (2 ** j)
+        circuit.cp(angle, j, target)
+    inverse = inverse_qft(num_counting)
+    return circuit.compose(inverse, qubits=list(range(num_counting)))
+
+
+def qpe_n9() -> QuantumCircuit:
+    return qpe(8)

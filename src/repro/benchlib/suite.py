@@ -1,0 +1,101 @@
+"""Benchmark suite registry matching the paper's evaluation (Sec. V / Tables I-IV / Fig. 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..circuit.circuit import QuantumCircuit
+from .arithmetic import adder_n10, cuccaro_adder, multiplier, multiplier_n25
+from .bv import bernstein_vazirani, bv_n5, bv_n19
+from .grover import grover, grover_n4, grover_n6, grover_n8
+from .qft import qft, qft_n15, qft_n20, qpe, qpe_n9
+from .revlib import (
+    REVLIB_SPECS,
+    co14_215,
+    decod24_v2_43,
+    mod5d2_64,
+    mod5mils_65,
+    rd84_253,
+    revlib_benchmark,
+    sqn_258,
+    sym9_193,
+)
+from .vqe import vqe_ansatz, vqe_n8, vqe_n12
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One benchmark row of Tables I-IV."""
+
+    name: str
+    num_qubits: int
+    builder: Callable[[], QuantumCircuit]
+    paper_cnot_total: Optional[int] = None
+
+    def build(self) -> QuantumCircuit:
+        circuit = self.builder()
+        circuit.name = self.name
+        return circuit
+
+
+#: The 15 benchmarks of Tables I, II, III and IV with the paper's original CNOT totals.
+TABLE_BENCHMARKS: List[BenchmarkCase] = [
+    BenchmarkCase("grover_n4", 4, grover_n4, 84),
+    BenchmarkCase("grover_n6", 6, grover_n6, 184),
+    BenchmarkCase("grover_n8", 8, grover_n8, 760),
+    BenchmarkCase("vqe_n8", 8, vqe_n8, 84),
+    BenchmarkCase("vqe_n12", 12, vqe_n12, 198),
+    BenchmarkCase("bv_n19", 19, bv_n19, 18),
+    BenchmarkCase("qft_n15", 15, qft_n15, 210),
+    BenchmarkCase("qft_n20", 20, qft_n20, 374),
+    BenchmarkCase("qpe_n9", 9, qpe_n9, 43),
+    BenchmarkCase("adder_n10", 10, adder_n10, 65),
+    BenchmarkCase("multiplier_n25", 25, multiplier_n25, 670),
+    BenchmarkCase("sqn_258", 10, sqn_258, 4459),
+    BenchmarkCase("rd84_253", 12, rd84_253, 5960),
+    BenchmarkCase("co14_215", 15, co14_215, 7840),
+    BenchmarkCase("sym9_193", 11, sym9_193, 15232),
+]
+
+#: The small benchmarks used for the noise-model / success-rate experiment (Fig. 11).
+NOISE_BENCHMARKS: List[BenchmarkCase] = [
+    BenchmarkCase("bv_n5", 5, bv_n5),
+    BenchmarkCase("mod5mils_65", 5, mod5mils_65),
+    BenchmarkCase("decod24-v2_43", 4, decod24_v2_43),
+    BenchmarkCase("mod5d2_64", 5, mod5d2_64),
+    BenchmarkCase("grover_n4", 4, grover_n4),
+]
+
+_REGISTRY: Dict[str, BenchmarkCase] = {case.name: case for case in TABLE_BENCHMARKS}
+_REGISTRY.update({case.name: case for case in NOISE_BENCHMARKS})
+
+
+def benchmark_names() -> List[str]:
+    """All registered benchmark names."""
+    return sorted(_REGISTRY)
+
+
+def get_benchmark(name: str) -> QuantumCircuit:
+    """Build a registered benchmark circuit by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown benchmark {name!r}; known: {benchmark_names()}")
+    return _REGISTRY[name].build()
+
+
+def table_benchmarks(
+    *, max_qubits: Optional[int] = None, names: Optional[List[str]] = None
+) -> List[BenchmarkCase]:
+    """The Table I-IV benchmark list, optionally filtered."""
+    cases = TABLE_BENCHMARKS
+    if names is not None:
+        wanted = set(names)
+        cases = [case for case in cases if case.name in wanted]
+    if max_qubits is not None:
+        cases = [case for case in cases if case.num_qubits <= max_qubits]
+    return list(cases)
+
+
+def noise_benchmarks() -> List[BenchmarkCase]:
+    """The Figure 11 benchmark list."""
+    return list(NOISE_BENCHMARKS)

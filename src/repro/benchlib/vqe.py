@@ -1,0 +1,40 @@
+"""VQE hardware-efficient ansatz benchmarks (paper benchmarks VQE_n8, VQE_n12).
+
+The ansatz is the "two-local, full entanglement" circuit: alternating layers of single-qubit
+Ry/Rz rotations and a full CNOT entanglement layer (one CNOT per qubit pair), repeated
+``reps`` times.  With 3 repetitions the CNOT totals match the paper's original-circuit
+column (84 for 8 qubits, 198 for 12 qubits).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+
+
+def vqe_ansatz(num_qubits: int, reps: int = 3, seed: Optional[int] = 7) -> QuantumCircuit:
+    """Two-local full-entanglement VQE ansatz with random bound parameters."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"vqe_n{num_qubits}")
+    for q in range(num_qubits):
+        circuit.ry(float(rng.uniform(0, 2 * np.pi)), q)
+        circuit.rz(float(rng.uniform(0, 2 * np.pi)), q)
+    for _ in range(reps):
+        for a in range(num_qubits):
+            for b in range(a + 1, num_qubits):
+                circuit.cx(a, b)
+        for q in range(num_qubits):
+            circuit.ry(float(rng.uniform(0, 2 * np.pi)), q)
+            circuit.rz(float(rng.uniform(0, 2 * np.pi)), q)
+    return circuit
+
+
+def vqe_n8() -> QuantumCircuit:
+    return vqe_ansatz(8)
+
+
+def vqe_n12() -> QuantumCircuit:
+    return vqe_ansatz(12)

@@ -1,0 +1,416 @@
+"""Quantum circuit container.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`Instruction` objects applied to a
+fixed register of qubits and classical bits.  It provides the builder interface used by the
+benchmark generators, the metrics the paper reports (CNOT count, depth), and conversion to a
+full unitary matrix for small circuits (used by the equivalence-checking tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CircuitError
+from .gates import Gate, gate as make_gate, unitary_gate
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A gate application bound to specific qubits (and classical bits for measurements)."""
+
+    gate: Gate
+    qubits: Tuple[int, ...]
+    clbits: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "clbits", tuple(int(c) for c in self.clbits))
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate qubit arguments in {self.gate.name}{self.qubits}")
+        if self.gate.name not in ("barrier",) and self.gate.is_unitary:
+            if len(self.qubits) != self.gate.num_qubits:
+                raise CircuitError(
+                    f"gate '{self.gate.name}' acts on {self.gate.num_qubits} qubits, "
+                    f"got {len(self.qubits)}"
+                )
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    def copy(self) -> "Instruction":
+        return Instruction(self.gate.copy(), self.qubits, self.clbits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.gate!r} @ {self.qubits}"
+
+
+class QuantumCircuit:
+    """An ordered quantum circuit over ``num_qubits`` qubits and ``num_clbits`` classical bits."""
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0, name: str = "circuit") -> None:
+        if num_qubits < 0 or num_clbits < 0:
+            raise CircuitError("register sizes must be non-negative")
+        self.num_qubits = int(num_qubits)
+        self.num_clbits = int(num_clbits)
+        self.name = name
+        self.data: List[Instruction] = []
+        self.metadata: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def append(self, gate_obj: Gate, qubits: Sequence[int], clbits: Sequence[int] = ()) -> Instruction:
+        """Append a gate to the circuit and return the created instruction."""
+        qubits = tuple(int(q) for q in qubits)
+        clbits = tuple(int(c) for c in clbits)
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(f"qubit index {q} out of range for {self.num_qubits} qubits")
+        for c in clbits:
+            if not 0 <= c < self.num_clbits:
+                raise CircuitError(f"clbit index {c} out of range for {self.num_clbits} clbits")
+        inst = Instruction(gate_obj, qubits, clbits)
+        self.data.append(inst)
+        return inst
+
+    def append_instruction(self, inst: Instruction) -> Instruction:
+        """Append an existing instruction (re-validated against this circuit's registers)."""
+        return self.append(inst.gate, inst.qubits, inst.clbits)
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        for inst in instructions:
+            self.append_instruction(inst)
+
+    # -- named builder methods ------------------------------------------------
+
+    def _std(self, name: str, qubits: Sequence[int], *params: float) -> Instruction:
+        return self.append(make_gate(name, *params), qubits)
+
+    def id(self, q: int) -> Instruction:
+        return self._std("id", [q])
+
+    def x(self, q: int) -> Instruction:
+        return self._std("x", [q])
+
+    def y(self, q: int) -> Instruction:
+        return self._std("y", [q])
+
+    def z(self, q: int) -> Instruction:
+        return self._std("z", [q])
+
+    def h(self, q: int) -> Instruction:
+        return self._std("h", [q])
+
+    def s(self, q: int) -> Instruction:
+        return self._std("s", [q])
+
+    def sdg(self, q: int) -> Instruction:
+        return self._std("sdg", [q])
+
+    def t(self, q: int) -> Instruction:
+        return self._std("t", [q])
+
+    def tdg(self, q: int) -> Instruction:
+        return self._std("tdg", [q])
+
+    def sx(self, q: int) -> Instruction:
+        return self._std("sx", [q])
+
+    def sxdg(self, q: int) -> Instruction:
+        return self._std("sxdg", [q])
+
+    def rx(self, theta: float, q: int) -> Instruction:
+        return self._std("rx", [q], theta)
+
+    def ry(self, theta: float, q: int) -> Instruction:
+        return self._std("ry", [q], theta)
+
+    def rz(self, theta: float, q: int) -> Instruction:
+        return self._std("rz", [q], theta)
+
+    def p(self, theta: float, q: int) -> Instruction:
+        return self._std("p", [q], theta)
+
+    def u(self, theta: float, phi: float, lam: float, q: int) -> Instruction:
+        return self._std("u", [q], theta, phi, lam)
+
+    def cx(self, control: int, target: int) -> Instruction:
+        return self._std("cx", [control, target])
+
+    def cy(self, control: int, target: int) -> Instruction:
+        return self._std("cy", [control, target])
+
+    def cz(self, control: int, target: int) -> Instruction:
+        return self._std("cz", [control, target])
+
+    def ch(self, control: int, target: int) -> Instruction:
+        return self._std("ch", [control, target])
+
+    def cp(self, theta: float, control: int, target: int) -> Instruction:
+        return self._std("cp", [control, target], theta)
+
+    def crx(self, theta: float, control: int, target: int) -> Instruction:
+        return self._std("crx", [control, target], theta)
+
+    def cry(self, theta: float, control: int, target: int) -> Instruction:
+        return self._std("cry", [control, target], theta)
+
+    def crz(self, theta: float, control: int, target: int) -> Instruction:
+        return self._std("crz", [control, target], theta)
+
+    def rxx(self, theta: float, q0: int, q1: int) -> Instruction:
+        return self._std("rxx", [q0, q1], theta)
+
+    def ryy(self, theta: float, q0: int, q1: int) -> Instruction:
+        return self._std("ryy", [q0, q1], theta)
+
+    def rzz(self, theta: float, q0: int, q1: int) -> Instruction:
+        return self._std("rzz", [q0, q1], theta)
+
+    def swap(self, q0: int, q1: int) -> Instruction:
+        return self._std("swap", [q0, q1])
+
+    def iswap(self, q0: int, q1: int) -> Instruction:
+        return self._std("iswap", [q0, q1])
+
+    def ccx(self, c0: int, c1: int, target: int) -> Instruction:
+        return self._std("ccx", [c0, c1, target])
+
+    def cswap(self, control: int, q0: int, q1: int) -> Instruction:
+        return self._std("cswap", [control, q0, q1])
+
+    def unitary(self, matrix: np.ndarray, qubits: Sequence[int], label: Optional[str] = None) -> Instruction:
+        return self.append(unitary_gate(matrix, label), qubits)
+
+    def measure(self, qubit: int, clbit: int) -> Instruction:
+        return self.append(make_gate("measure"), [qubit], [clbit])
+
+    def measure_all(self) -> None:
+        """Measure every qubit into the classical bit of the same index (growing the creg)."""
+        if self.num_clbits < self.num_qubits:
+            self.num_clbits = self.num_qubits
+        for q in range(self.num_qubits):
+            self.measure(q, q)
+
+    def reset(self, qubit: int) -> Instruction:
+        return self.append(make_gate("reset"), [qubit])
+
+    def barrier(self, *qubits: int) -> Instruction:
+        qs = tuple(qubits) if qubits else tuple(range(self.num_qubits))
+        inst = Instruction(make_gate("barrier"), qs)
+        self.data.append(inst)
+        return inst
+
+    # ------------------------------------------------------------------
+    # Inspection and metrics
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.data)
+
+    def size(self) -> int:
+        """Number of operations excluding barriers."""
+        return sum(1 for inst in self.data if inst.name != "barrier")
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of operation names."""
+        counts: Dict[str, int] = {}
+        for inst in self.data:
+            counts[inst.name] = counts.get(inst.name, 0) + 1
+        return counts
+
+    def num_nonlocal_gates(self) -> int:
+        """Number of gates acting on two or more qubits (excluding barriers)."""
+        return sum(
+            1 for inst in self.data if inst.name != "barrier" and len(inst.qubits) >= 2
+        )
+
+    def count_gate(self, name: str) -> int:
+        return sum(1 for inst in self.data if inst.name == name)
+
+    def cx_count(self) -> int:
+        """Number of CNOT gates — the paper's primary cost metric."""
+        return self.count_gate("cx")
+
+    def depth(self, *, two_qubit_only: bool = False) -> int:
+        """Circuit depth (critical-path length over qubit and classical wires).
+
+        Barriers synchronise the wires they touch but do not count as a layer, matching the
+        Qiskit depth definition used by the paper's Table II.
+        """
+        qubit_level = [0] * self.num_qubits
+        clbit_level = [0] * self.num_clbits
+        depth = 0
+        for inst in self.data:
+            levels = [qubit_level[q] for q in inst.qubits]
+            levels.extend(clbit_level[c] for c in inst.clbits)
+            start = max(levels, default=0)
+            counts = 0 if inst.name == "barrier" else 1
+            if two_qubit_only and len(inst.qubits) < 2:
+                counts = 0
+            new_level = start + counts
+            for q in inst.qubits:
+                qubit_level[q] = new_level
+            for c in inst.clbits:
+                clbit_level[c] = new_level
+            depth = max(depth, new_level)
+        return depth
+
+    def two_qubit_pairs(self) -> List[Tuple[int, int]]:
+        """Ordered list of qubit pairs touched by each two-qubit gate."""
+        return [
+            (inst.qubits[0], inst.qubits[1])
+            for inst in self.data
+            if len(inst.qubits) == 2 and inst.name != "barrier"
+        ]
+
+    def active_qubits(self) -> List[int]:
+        used = set()
+        for inst in self.data:
+            used.update(inst.qubits)
+        return sorted(used)
+
+    def has_measurements(self) -> bool:
+        return any(inst.name == "measure" for inst in self.data)
+
+    # ------------------------------------------------------------------
+    # Transformation helpers
+    # ------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, name or self.name)
+        out.data = [inst.copy() for inst in self.data]
+        out.metadata = dict(self.metadata)
+        return out
+
+    def copy_empty(self, name: Optional[str] = None) -> "QuantumCircuit":
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, name or self.name)
+        out.metadata = dict(self.metadata)
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """Inverse circuit (requires all operations to be unitary)."""
+        out = self.copy_empty(f"{self.name}_dg")
+        for inst in reversed(self.data):
+            if inst.name == "barrier":
+                out.barrier(*inst.qubits)
+                continue
+            if not inst.gate.is_unitary:
+                raise CircuitError("cannot invert a circuit containing measurements/resets")
+            out.append(inst.gate.inverse(), inst.qubits)
+        return out
+
+    def compose(self, other: "QuantumCircuit", qubits: Optional[Sequence[int]] = None) -> "QuantumCircuit":
+        """Return a new circuit with ``other`` appended, optionally remapped onto ``qubits``."""
+        if qubits is None:
+            qubits = list(range(other.num_qubits))
+        qubits = [int(q) for q in qubits]
+        if len(qubits) != other.num_qubits:
+            raise CircuitError("qubit mapping length must equal the composed circuit's width")
+        out = self.copy()
+        for inst in other.data:
+            mapped = tuple(qubits[q] for q in inst.qubits)
+            if inst.name == "barrier":
+                out.barrier(*mapped)
+            else:
+                out.append(inst.gate.copy(), mapped, inst.clbits)
+        return out
+
+    def remap_qubits(self, mapping: Dict[int, int], num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Return a circuit with every qubit index ``q`` replaced by ``mapping[q]``."""
+        width = num_qubits if num_qubits is not None else self.num_qubits
+        out = QuantumCircuit(width, self.num_clbits, self.name)
+        out.metadata = dict(self.metadata)
+        for inst in self.data:
+            mapped = tuple(mapping[q] for q in inst.qubits)
+            if inst.name == "barrier":
+                out.barrier(*mapped)
+            else:
+                out.append(inst.gate.copy(), mapped, inst.clbits)
+        return out
+
+    def without_directives(self) -> "QuantumCircuit":
+        """Copy with measurements, resets and barriers removed (unitary part only)."""
+        out = self.copy_empty()
+        for inst in self.data:
+            if inst.gate.is_unitary and inst.name != "barrier":
+                out.append(inst.gate.copy(), inst.qubits)
+        return out
+
+    def reverse_ops(self) -> "QuantumCircuit":
+        """Circuit with the instruction order reversed (used by reverse-traversal layout)."""
+        out = self.copy_empty(f"{self.name}_rev")
+        for inst in reversed(self.data):
+            out.data.append(inst.copy())
+        return out
+
+    # ------------------------------------------------------------------
+    # Unitary extraction (small circuits only)
+    # ------------------------------------------------------------------
+
+    def to_matrix(self, max_qubits: int = 10) -> np.ndarray:
+        """Full unitary of the circuit (little-endian).  Only for small circuits."""
+        if self.num_qubits > max_qubits:
+            raise CircuitError(
+                f"refusing to build a dense unitary on {self.num_qubits} qubits (> {max_qubits})"
+            )
+        dim = 2 ** self.num_qubits
+        total = np.eye(dim, dtype=complex)
+        for inst in self.data:
+            if inst.name == "barrier":
+                continue
+            if not inst.gate.is_unitary:
+                raise CircuitError("circuit contains non-unitary operations")
+            expanded = expand_gate_matrix(inst.gate.matrix(), inst.qubits, self.num_qubits)
+            total = expanded @ total
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"ops={len(self.data)}, cx={self.cx_count()})"
+        )
+
+
+def expand_gate_matrix(
+    gate_matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Embed a ``k``-qubit gate matrix into the full ``num_qubits`` Hilbert space.
+
+    ``qubits[j]`` carries bit ``j`` of the gate's little-endian basis index.
+    """
+    qubits = tuple(int(q) for q in qubits)
+    k = len(qubits)
+    dim = 2 ** num_qubits
+    if gate_matrix.shape != (2 ** k, 2 ** k):
+        raise CircuitError("gate matrix size does not match the number of qubits")
+    full = np.zeros((dim, dim), dtype=complex)
+    rest = [q for q in range(num_qubits) if q not in qubits]
+    for rest_bits in range(2 ** len(rest)):
+        base = 0
+        for j, q in enumerate(rest):
+            if (rest_bits >> j) & 1:
+                base |= 1 << q
+        indices = []
+        for g in range(2 ** k):
+            i = base
+            for j, q in enumerate(qubits):
+                if (g >> j) & 1:
+                    i |= 1 << q
+            indices.append(i)
+        idx = np.array(indices)
+        full[np.ix_(idx, idx)] = gate_matrix
+    return full

@@ -1,0 +1,304 @@
+"""Directed-acyclic-graph (DAG) view of a quantum circuit.
+
+The routing algorithms (SABRE and NASSC) and the commutation analysis pass both operate on
+the DAG representation described in Sec. IV-B of the paper: each node is a gate, and an edge
+``i -> j`` means gate ``i`` must execute before gate ``j`` because they share a wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import CircuitError
+from .circuit import Instruction, QuantumCircuit
+from .gates import Gate
+
+
+@dataclass
+class DAGNode:
+    """A single operation node in the DAG."""
+
+    node_id: int
+    gate: Gate
+    qubits: Tuple[int, ...]
+    clbits: Tuple[int, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    def is_two_qubit(self) -> bool:
+        return len(self.qubits) == 2 and self.gate.is_unitary
+
+    def to_instruction(self) -> Instruction:
+        return Instruction(self.gate, self.qubits, self.clbits)
+
+    def __hash__(self) -> int:
+        return self.node_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DAGNode) and other.node_id == self.node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DAGNode({self.node_id}, {self.gate.name}, {self.qubits})"
+
+
+class DAGCircuit:
+    """Dependency DAG over the instructions of a :class:`QuantumCircuit`.
+
+    The DAG keeps wire-level ordering: for every qubit (and classical bit) the sequence of
+    nodes touching that wire is recorded, and edges connect consecutive nodes on a wire.
+    """
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0, name: str = "dag") -> None:
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.name = name
+        self.nodes: Dict[int, DAGNode] = {}
+        self._successors: Dict[int, Set[int]] = {}
+        self._predecessors: Dict[int, Set[int]] = {}
+        self._wire_order: Dict[Tuple[str, int], List[int]] = {
+            ("q", q): [] for q in range(num_qubits)
+        }
+        for c in range(num_clbits):
+            self._wire_order[("c", c)] = []
+        self._next_id = 0
+        self._insertion_order: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "DAGCircuit":
+        dag = cls(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        for inst in circuit.data:
+            dag.add_node(inst.gate, inst.qubits, inst.clbits)
+        return dag
+
+    def add_node(
+        self, gate: Gate, qubits: Sequence[int], clbits: Sequence[int] = ()
+    ) -> DAGNode:
+        """Append an operation to the end of the DAG (after all current ops on its wires)."""
+        qubits = tuple(int(q) for q in qubits)
+        clbits = tuple(int(c) for c in clbits)
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(f"qubit {q} out of range")
+        node = DAGNode(self._next_id, gate, qubits, clbits)
+        self._next_id += 1
+        self.nodes[node.node_id] = node
+        self._successors[node.node_id] = set()
+        self._predecessors[node.node_id] = set()
+        self._insertion_order.append(node.node_id)
+        for wire in self._wires(node):
+            order = self._wire_order[wire]
+            if order:
+                prev = order[-1]
+                self._successors[prev].add(node.node_id)
+                self._predecessors[node.node_id].add(prev)
+            order.append(node.node_id)
+        return node
+
+    @staticmethod
+    def _node_wires(node: DAGNode) -> List[Tuple[str, int]]:
+        return [("q", q) for q in node.qubits] + [("c", c) for c in node.clbits]
+
+    def _wires(self, node: DAGNode) -> List[Tuple[str, int]]:
+        return self._node_wires(node)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def op_nodes(self, name: Optional[str] = None) -> List[DAGNode]:
+        """All nodes in insertion order, optionally filtered by gate name."""
+        nodes = [self.nodes[i] for i in self._insertion_order if i in self.nodes]
+        if name is None:
+            return nodes
+        return [n for n in nodes if n.name == name]
+
+    def two_qubit_nodes(self) -> List[DAGNode]:
+        return [n for n in self.op_nodes() if n.is_two_qubit()]
+
+    def successors(self, node: DAGNode) -> List[DAGNode]:
+        return [self.nodes[i] for i in sorted(self._successors[node.node_id]) if i in self.nodes]
+
+    def predecessors(self, node: DAGNode) -> List[DAGNode]:
+        return [self.nodes[i] for i in sorted(self._predecessors[node.node_id]) if i in self.nodes]
+
+    def in_degree(self, node: DAGNode) -> int:
+        return len(self._predecessors[node.node_id])
+
+    def front_layer(self) -> List[DAGNode]:
+        """Nodes with no unexecuted predecessors (the paper's "executable gates")."""
+        return [n for n in self.op_nodes() if not self._predecessors[n.node_id]]
+
+    def wire_nodes(self, qubit: int) -> List[DAGNode]:
+        """Nodes on a qubit wire, in execution order."""
+        return [self.nodes[i] for i in self._wire_order[("q", qubit)] if i in self.nodes]
+
+    def topological_nodes(self) -> Iterator[DAGNode]:
+        """Kahn topological order, stable with respect to insertion order."""
+        indegree = {nid: len(preds) for nid, preds in self._predecessors.items() if nid in self.nodes}
+        ready = [nid for nid in self._insertion_order if nid in self.nodes and indegree[nid] == 0]
+        ready_set = set(ready)
+        emitted = 0
+        idx = 0
+        ready = list(ready)
+        while idx < len(ready):
+            nid = ready[idx]
+            idx += 1
+            emitted += 1
+            yield self.nodes[nid]
+            for succ in sorted(self._successors[nid]):
+                if succ not in indegree:
+                    continue
+                indegree[succ] -= 1
+                if indegree[succ] == 0 and succ not in ready_set:
+                    ready.append(succ)
+                    ready_set.add(succ)
+        if emitted != len(self.nodes):
+            raise CircuitError("cycle detected in DAG")
+
+    def descendants(self, node: DAGNode) -> Set[int]:
+        """All node ids reachable from ``node`` (excluding itself)."""
+        seen: Set[int] = set()
+        stack = list(self._successors[node.node_id])
+        while stack:
+            nid = stack.pop()
+            if nid in seen or nid not in self.nodes:
+                continue
+            seen.add(nid)
+            stack.extend(self._successors[nid])
+        return seen
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def remove_node(self, node: DAGNode) -> None:
+        """Remove an operation, reconnecting its predecessors to its successors per wire."""
+        nid = node.node_id
+        if nid not in self.nodes:
+            raise CircuitError(f"node {nid} not in DAG")
+        for wire in self._wires(node):
+            order = self._wire_order[wire]
+            pos = order.index(nid)
+            prev_id = order[pos - 1] if pos > 0 else None
+            next_id = order[pos + 1] if pos + 1 < len(order) else None
+            order.pop(pos)
+            if prev_id is not None:
+                self._successors[prev_id].discard(nid)
+            if next_id is not None:
+                self._predecessors[next_id].discard(nid)
+            if prev_id is not None and next_id is not None:
+                self._successors[prev_id].add(next_id)
+                self._predecessors[next_id].add(prev_id)
+        # Drop any remaining bookkeeping for the removed node.
+        for succ in self._successors.pop(nid, set()):
+            self._predecessors.get(succ, set()).discard(nid)
+        for pred in self._predecessors.pop(nid, set()):
+            self._successors.get(pred, set()).discard(nid)
+        del self.nodes[nid]
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+
+    def to_circuit(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(self.num_qubits, self.num_clbits, self.name)
+        for node in self.topological_nodes():
+            if node.name == "barrier":
+                circuit.barrier(*node.qubits)
+            else:
+                circuit.append(node.gate.copy(), node.qubits, node.clbits)
+        return circuit
+
+    def count_ops(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node in self.nodes.values():
+            counts[node.name] = counts.get(node.name, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DAGCircuit(qubits={self.num_qubits}, nodes={len(self.nodes)})"
+
+
+class ExecutionFrontier:
+    """Incremental front-layer tracker used by the routing passes.
+
+    Routing repeatedly asks "which gates are currently executable?" and "resolve this gate".
+    Rebuilding the front layer from scratch each time would be quadratic, so this helper keeps
+    the remaining in-degree of every unresolved node and exposes O(out-degree) resolution.
+    """
+
+    def __init__(self, dag: DAGCircuit) -> None:
+        self.dag = dag
+        self._remaining_pred: Dict[int, int] = {
+            nid: len(dag._predecessors[nid]) for nid in dag.nodes
+        }
+        self._front: List[DAGNode] = [
+            dag.nodes[nid]
+            for nid in dag._insertion_order
+            if nid in dag.nodes and self._remaining_pred[nid] == 0
+        ]
+        self._resolved: Set[int] = set()
+
+    @property
+    def front(self) -> List[DAGNode]:
+        return list(self._front)
+
+    def is_done(self) -> bool:
+        return not self._front
+
+    def num_remaining(self) -> int:
+        return len(self.dag.nodes) - len(self._resolved)
+
+    def resolve(self, node: DAGNode) -> List[DAGNode]:
+        """Mark a front-layer node as executed; returns newly executable nodes."""
+        if node not in self._front:
+            raise CircuitError(f"node {node.node_id} is not currently executable")
+        self._front.remove(node)
+        self._resolved.add(node.node_id)
+        newly: List[DAGNode] = []
+        for succ_id in sorted(self.dag._successors[node.node_id]):
+            if succ_id not in self._remaining_pred:
+                continue
+            self._remaining_pred[succ_id] -= 1
+            if self._remaining_pred[succ_id] == 0 and succ_id not in self._resolved:
+                succ = self.dag.nodes[succ_id]
+                self._front.append(succ)
+                newly.append(succ)
+        return newly
+
+    def lookahead(self, size: int, *, two_qubit_only: bool = True) -> List[DAGNode]:
+        """The "extended layer": up to ``size`` closest successors of the front layer.
+
+        Traversal is breadth-first from the current front layer through unresolved nodes.
+        """
+        result: List[DAGNode] = []
+        visited: Set[int] = {n.node_id for n in self._front}
+        queue: List[int] = []
+        for node in self._front:
+            queue.extend(sorted(self.dag._successors[node.node_id]))
+        idx = 0
+        while idx < len(queue) and len(result) < size:
+            nid = queue[idx]
+            idx += 1
+            if nid in visited or nid in self._resolved or nid not in self.dag.nodes:
+                continue
+            visited.add(nid)
+            node = self.dag.nodes[nid]
+            if not two_qubit_only or node.is_two_qubit():
+                result.append(node)
+            queue.extend(sorted(self.dag._successors[nid]))
+        return result

@@ -1,0 +1,359 @@
+"""Minimal OpenQASM 2.0 reader and writer.
+
+Covers the subset of OpenQASM 2.0 used by the benchmark suites the paper draws from
+(QASMBench / RevLib exports): ``qreg``/``creg`` declarations, the standard ``qelib1.inc``
+gate set, parameter expressions built from numbers and ``pi``, ``measure``, ``barrier``,
+and user-defined ``gate`` blocks (which are inlined during parsing).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import QASMError
+from .circuit import QuantumCircuit
+from .gates import GATE_SPECS, Gate
+
+_KNOWN_ALIASES = {
+    "cnot": "cx",
+    "toffoli": "ccx",
+    "u0": "id",
+    "phase": "p",
+}
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+_ALLOWED_FUNCS = {"sin": math.sin, "cos": math.cos, "tan": math.tan, "exp": math.exp,
+                  "ln": math.log, "sqrt": math.sqrt}
+
+
+def _eval_expr(text: str, bindings: Optional[Dict[str, float]] = None) -> float:
+    """Safely evaluate a QASM parameter expression."""
+    bindings = bindings or {}
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError as exc:
+        raise QASMError(f"invalid parameter expression: {text!r}") from exc
+
+    def walk(node: ast.AST) -> float:
+        if isinstance(node, ast.Expression):
+            return walk(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return float(node.value)
+        if isinstance(node, ast.Name):
+            if node.id == "pi":
+                return math.pi
+            if node.id in bindings:
+                return bindings[node.id]
+            raise QASMError(f"unknown identifier {node.id!r} in expression {text!r}")
+        if isinstance(node, ast.BinOp):
+            left, right = walk(node.left), walk(node.right)
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.Div):
+                return left / right
+            if isinstance(node.op, ast.Pow):
+                return left ** right
+            raise QASMError(f"unsupported operator in {text!r}")
+        if isinstance(node, ast.UnaryOp):
+            value = walk(node.operand)
+            if isinstance(node.op, ast.USub):
+                return -value
+            if isinstance(node.op, ast.UAdd):
+                return value
+            raise QASMError(f"unsupported unary operator in {text!r}")
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            func = _ALLOWED_FUNCS.get(node.func.id)
+            if func is None or len(node.args) != 1:
+                raise QASMError(f"unsupported function call in {text!r}")
+            return func(walk(node.args[0]))
+        raise QASMError(f"unsupported expression construct in {text!r}")
+
+    return walk(tree)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _GateDef:
+    """A user-defined gate block from the QASM source."""
+
+    name: str
+    params: List[str]
+    qubits: List[str]
+    body: List[str]
+
+
+_STATEMENT_RE = re.compile(r"[^;{}]+;|[^;{}]+(?=\{)|\{|\}")
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        if "//" in line:
+            line = line.split("//", 1)[0]
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _split_operands(arg_text: str) -> List[str]:
+    return [a.strip() for a in arg_text.split(",") if a.strip()]
+
+
+class _QASMParser:
+    def __init__(self, text: str) -> None:
+        self.text = _strip_comments(text)
+        self.qregs: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+        self.cregs: Dict[str, Tuple[int, int]] = {}
+        self.gate_defs: Dict[str, _GateDef] = {}
+        self.num_qubits = 0
+        self.num_clbits = 0
+
+    def parse(self) -> QuantumCircuit:
+        statements = self._tokenize()
+        instructions: List[Tuple[str, List[float], List[int], List[int]]] = []
+        i = 0
+        while i < len(statements):
+            stmt = statements[i].strip()
+            i += 1
+            if not stmt or stmt.startswith("OPENQASM") or stmt.startswith("include"):
+                continue
+            if stmt.startswith("qreg") or stmt.startswith("creg"):
+                self._declare_register(stmt)
+                continue
+            if stmt.startswith("gate ") or stmt == "gate":
+                i = self._parse_gate_def(statements, i - 1)
+                continue
+            if stmt in ("{", "}"):
+                continue
+            instructions.extend(self._parse_operation(stmt))
+
+        circuit = QuantumCircuit(self.num_qubits, self.num_clbits, "qasm_circuit")
+        for name, params, qubits, clbits in instructions:
+            if name == "barrier":
+                circuit.barrier(*qubits)
+            elif name == "measure":
+                circuit.measure(qubits[0], clbits[0])
+            else:
+                circuit.append(Gate(name, tuple(params)), qubits)
+        return circuit
+
+    # -- helpers -----------------------------------------------------------
+
+    def _tokenize(self) -> List[str]:
+        tokens = []
+        for match in _STATEMENT_RE.finditer(self.text):
+            token = match.group(0).strip()
+            if token.endswith(";"):
+                token = token[:-1].strip()
+            if token:
+                tokens.append(token)
+        return tokens
+
+    def _declare_register(self, stmt: str) -> None:
+        match = re.match(r"(qreg|creg)\s+(\w+)\s*\[\s*(\d+)\s*\]", stmt)
+        if not match:
+            raise QASMError(f"malformed register declaration: {stmt!r}")
+        kind, name, size = match.group(1), match.group(2), int(match.group(3))
+        if kind == "qreg":
+            self.qregs[name] = (self.num_qubits, size)
+            self.num_qubits += size
+        else:
+            self.cregs[name] = (self.num_clbits, size)
+            self.num_clbits += size
+
+    def _parse_gate_def(self, statements: List[str], start: int) -> int:
+        header = statements[start].strip()
+        match = re.match(r"gate\s+(\w+)\s*(\(([^)]*)\))?\s*(.*)", header, re.S)
+        if not match:
+            raise QASMError(f"malformed gate definition: {header!r}")
+        name = match.group(1)
+        params = _split_operands(match.group(3) or "")
+        qubits = _split_operands(match.group(4) or "")
+        body: List[str] = []
+        i = start + 1
+        if i < len(statements) and statements[i] == "{":
+            i += 1
+        depth = 1
+        while i < len(statements) and depth > 0:
+            stmt = statements[i]
+            if stmt == "{":
+                depth += 1
+            elif stmt == "}":
+                depth -= 1
+            else:
+                body.append(stmt)
+            i += 1
+        self.gate_defs[name] = _GateDef(name, params, qubits, body)
+        return i
+
+    def _resolve_qubit(self, operand: str) -> List[int]:
+        operand = operand.strip()
+        match = re.match(r"(\w+)\s*\[\s*(\d+)\s*\]$", operand)
+        if match:
+            reg, idx = match.group(1), int(match.group(2))
+            if reg in self.qregs:
+                offset, size = self.qregs[reg]
+                if idx >= size:
+                    raise QASMError(f"qubit index out of range: {operand}")
+                return [offset + idx]
+            if reg in self.cregs:
+                offset, size = self.cregs[reg]
+                if idx >= size:
+                    raise QASMError(f"clbit index out of range: {operand}")
+                return [offset + idx]
+            raise QASMError(f"unknown register {reg!r}")
+        if operand in self.qregs:
+            offset, size = self.qregs[operand]
+            return [offset + i for i in range(size)]
+        if operand in self.cregs:
+            offset, size = self.cregs[operand]
+            return [offset + i for i in range(size)]
+        raise QASMError(f"unknown operand {operand!r}")
+
+    def _parse_operation(self, stmt: str) -> List[Tuple[str, List[float], List[int], List[int]]]:
+        if stmt.startswith("measure"):
+            match = re.match(r"measure\s+(.+?)\s*->\s*(.+)", stmt)
+            if not match:
+                raise QASMError(f"malformed measure: {stmt!r}")
+            qubits = self._resolve_qubit(match.group(1))
+            clbits = self._resolve_qubit(match.group(2))
+            if len(qubits) != len(clbits):
+                raise QASMError(f"measure register size mismatch: {stmt!r}")
+            return [("measure", [], [q], [c]) for q, c in zip(qubits, clbits)]
+        if stmt.startswith("barrier"):
+            operands = _split_operands(stmt[len("barrier"):])
+            qubits: List[int] = []
+            for op in operands:
+                qubits.extend(self._resolve_qubit(op))
+            return [("barrier", [], qubits, [])]
+        if stmt.startswith("if"):
+            raise QASMError("classical control ('if') is not supported")
+
+        match = re.match(r"(\w+)\s*(\(([^)]*)\))?\s*(.*)", stmt, re.S)
+        if not match:
+            raise QASMError(f"malformed statement: {stmt!r}")
+        name = match.group(1)
+        param_text = match.group(3) or ""
+        operand_text = match.group(4) or ""
+        params = [_eval_expr(p) for p in _split_operands(param_text)]
+        operand_groups = [self._resolve_qubit(op) for op in _split_operands(operand_text)]
+        return self._expand_call(name, params, operand_groups, stmt)
+
+    def _expand_call(
+        self,
+        name: str,
+        params: List[float],
+        operand_groups: List[List[int]],
+        stmt: str,
+    ) -> List[Tuple[str, List[float], List[int], List[int]]]:
+        name = _KNOWN_ALIASES.get(name, name)
+        # Broadcast register operands (e.g. `h q;`) over their elements.
+        sizes = {len(g) for g in operand_groups if len(g) > 1}
+        if len(sizes) > 1:
+            raise QASMError(f"inconsistent register broadcast in {stmt!r}")
+        repeat = sizes.pop() if sizes else 1
+        results: List[Tuple[str, List[float], List[int], List[int]]] = []
+        for rep in range(repeat):
+            qubits = [g[rep] if len(g) > 1 else g[0] for g in operand_groups]
+            if name in GATE_SPECS and name not in ("measure", "barrier", "unitary"):
+                results.append((name, params, qubits, []))
+            elif name in self.gate_defs:
+                results.extend(self._inline_gate_def(self.gate_defs[name], params, qubits))
+            else:
+                raise QASMError(f"unknown gate {name!r} in statement {stmt!r}")
+        return results
+
+    def _inline_gate_def(
+        self, gate_def: _GateDef, params: List[float], qubits: List[int]
+    ) -> List[Tuple[str, List[float], List[int], List[int]]]:
+        if len(params) != len(gate_def.params):
+            raise QASMError(f"gate {gate_def.name!r} expects {len(gate_def.params)} params")
+        if len(qubits) != len(gate_def.qubits):
+            raise QASMError(f"gate {gate_def.name!r} expects {len(gate_def.qubits)} qubits")
+        param_binding = dict(zip(gate_def.params, params))
+        qubit_binding = dict(zip(gate_def.qubits, qubits))
+        results: List[Tuple[str, List[float], List[int], List[int]]] = []
+        for stmt in gate_def.body:
+            match = re.match(r"(\w+)\s*(\(([^)]*)\))?\s*(.*)", stmt, re.S)
+            if not match:
+                raise QASMError(f"malformed statement in gate body: {stmt!r}")
+            name = match.group(1)
+            if name == "barrier":
+                continue
+            inner_params = [
+                _eval_expr(p, param_binding) for p in _split_operands(match.group(3) or "")
+            ]
+            inner_qubit_names = _split_operands(match.group(4) or "")
+            try:
+                inner_qubits = [qubit_binding[qn] for qn in inner_qubit_names]
+            except KeyError as exc:
+                raise QASMError(f"unknown qubit {exc} in gate body of {gate_def.name!r}") from exc
+            resolved = _KNOWN_ALIASES.get(name, name)
+            if resolved in GATE_SPECS and resolved not in ("measure", "barrier", "unitary"):
+                results.append((resolved, inner_params, inner_qubits, []))
+            elif resolved in self.gate_defs:
+                results.extend(
+                    self._inline_gate_def(self.gate_defs[resolved], inner_params, inner_qubits)
+                )
+            else:
+                raise QASMError(f"unknown gate {name!r} inside gate {gate_def.name!r}")
+        return results
+
+
+def loads(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source text into a :class:`QuantumCircuit`."""
+    return _QASMParser(text).parse()
+
+
+def load(path: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+def dumps(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to OpenQASM 2.0 (gates must be in the standard named set)."""
+    lines = ["OPENQASM 2.0;", 'include "qelib1.inc";']
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for inst in circuit.data:
+        if inst.name == "barrier":
+            operands = ",".join(f"q[{q}]" for q in inst.qubits)
+            lines.append(f"barrier {operands};")
+            continue
+        if inst.name == "measure":
+            lines.append(f"measure q[{inst.qubits[0]}] -> c[{inst.clbits[0]}];")
+            continue
+        if inst.name == "unitary":
+            raise QASMError("explicit-matrix gates cannot be serialised to OpenQASM 2.0")
+        params = ""
+        if inst.gate.params:
+            params = "(" + ",".join(repr(p) for p in inst.gate.params) + ")"
+        operands = ",".join(f"q[{q}]" for q in inst.qubits)
+        lines.append(f"{inst.name}{params} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: QuantumCircuit, path: str) -> None:
+    """Write a circuit to an OpenQASM 2.0 file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(circuit))

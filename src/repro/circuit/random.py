@@ -1,0 +1,74 @@
+"""Random circuit generation used by tests and property-based checks."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+
+_ONE_QUBIT_GATES = ("x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx")
+_ONE_QUBIT_ROTATIONS = ("rx", "ry", "rz")
+_TWO_QUBIT_GATES = ("cx", "cz", "swap")
+_TWO_QUBIT_ROTATIONS = ("cp", "crx", "rzz")
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: Optional[int] = None,
+    *,
+    two_qubit_prob: float = 0.5,
+    gate_names: Optional[Sequence[str]] = None,
+) -> QuantumCircuit:
+    """Generate a random circuit with roughly ``depth`` layers.
+
+    Each layer places gates on a random partition of the qubits; two-qubit gates are chosen
+    with probability ``two_qubit_prob`` whenever at least two unused qubits remain.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}x{depth}")
+    for _ in range(depth):
+        available = list(range(num_qubits))
+        rng.shuffle(available)
+        while available:
+            if len(available) >= 2 and rng.random() < two_qubit_prob:
+                q0, q1 = available.pop(), available.pop()
+                name = rng.choice(_TWO_QUBIT_GATES + _TWO_QUBIT_ROTATIONS)
+                if gate_names is not None and name not in gate_names:
+                    name = "cx"
+                if name in _TWO_QUBIT_ROTATIONS:
+                    theta = float(rng.uniform(0, 2 * np.pi))
+                    getattr(circuit, name)(theta, q0, q1)
+                else:
+                    getattr(circuit, name)(q0, q1)
+            else:
+                q = available.pop()
+                if rng.random() < 0.5:
+                    name = rng.choice(_ONE_QUBIT_ROTATIONS)
+                    theta = float(rng.uniform(0, 2 * np.pi))
+                    getattr(circuit, name)(theta, q)
+                else:
+                    name = rng.choice(_ONE_QUBIT_GATES)
+                    getattr(circuit, name)(q)
+    return circuit
+
+
+def random_cx_circuit(num_qubits: int, num_cx: int, seed: Optional[int] = None) -> QuantumCircuit:
+    """A circuit of ``num_cx`` CNOTs between random qubit pairs (routing stress test)."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_cx_{num_qubits}")
+    for _ in range(num_cx):
+        control, target = rng.choice(num_qubits, size=2, replace=False)
+        circuit.cx(int(control), int(target))
+    return circuit
+
+
+def random_unitary(dim: int, seed: Optional[int] = None) -> np.ndarray:
+    """Haar-random unitary matrix of the given dimension (QR of a Ginibre matrix)."""
+    rng = np.random.default_rng(seed)
+    mat = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(mat)
+    phases = np.diag(r) / np.abs(np.diag(r))
+    return q * phases

@@ -1,0 +1,20 @@
+"""The paper's contribution: NASSC optimization-aware routing and the compile pipelines."""
+
+from .estimators import OptimizationEstimator, SwapEstimate
+from .nassc import NASSCConfig, NASSCRouting, NASSCSwapRouter
+from .pipeline import ROUTING_METHODS, TranspileResult, compare_routings, optimize_logical, transpile
+from .single_qubit_motion import CommuteSingleQubitsThroughSwap
+
+__all__ = [
+    "OptimizationEstimator",
+    "SwapEstimate",
+    "NASSCConfig",
+    "NASSCRouting",
+    "NASSCSwapRouter",
+    "ROUTING_METHODS",
+    "TranspileResult",
+    "compare_routings",
+    "optimize_logical",
+    "transpile",
+    "CommuteSingleQubitsThroughSwap",
+]

@@ -1,0 +1,183 @@
+"""NASSC: optimization-aware qubit routing (the paper's contribution, Sec. IV).
+
+:class:`NASSCSwapRouter` extends the SABRE router with the optimization-aware cost function
+of Eq. 1/2: for every SWAP candidate the estimated CNOT reductions from two-qubit block
+re-synthesis (``C2q``) and commutation-based cancellation (``Ccommute1``, ``Ccommute2``) are
+subtracted from the nominal 3-CNOT SWAP cost.  Chosen SWAPs are additionally labelled with
+the decomposition orientation that lets the subsequent passes realise the cancellation
+(optimization-aware SWAP decomposition, Sec. IV-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuit.dag import DAGNode
+from ..hardware.coupling import CouplingMap
+from ..transpiler.passes.layout import Layout
+from ..transpiler.passes.sabre import SabreSwapRouter
+from ..transpiler.passmanager import PropertySet, TranspilerPass
+from .estimators import OptimizationEstimator, SwapEstimate
+
+
+@dataclass(frozen=True)
+class NASSCConfig:
+    """Which of the three optimizations the cost function is aware of (paper Sec. IV-F).
+
+    All three are enabled by default, matching the configuration the paper selects after the
+    Figure 9 ablation.
+    """
+
+    enable_2q_resynthesis: bool = True
+    enable_commutation1: bool = True
+    enable_commutation2: bool = True
+
+    @classmethod
+    def all_combinations(cls) -> List["NASSCConfig"]:
+        """The 8 enable/disable combinations evaluated in Figure 9."""
+        combos = []
+        for b2q in (False, True):
+            for bc1 in (False, True):
+                for bc2 in (False, True):
+                    combos.append(cls(b2q, bc1, bc2))
+        return combos
+
+    def as_tuple(self) -> Tuple[bool, bool, bool]:
+        return (self.enable_2q_resynthesis, self.enable_commutation1, self.enable_commutation2)
+
+
+class NASSCSwapRouter(SabreSwapRouter):
+    """Optimization-aware SWAP router (NASSC)."""
+
+    def __init__(
+        self,
+        coupling_map: CouplingMap,
+        *,
+        config: Optional[NASSCConfig] = None,
+        extended_set_size: int = 20,
+        extended_set_weight: float = 0.5,
+        decay_delta: float = 0.001,
+        seed: Optional[int] = None,
+        distance_matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__(
+            coupling_map,
+            extended_set_size=extended_set_size,
+            extended_set_weight=extended_set_weight,
+            decay_delta=decay_delta,
+            seed=seed,
+            distance_matrix=distance_matrix,
+        )
+        self.config = config or NASSCConfig()
+        self._estimator = OptimizationEstimator()
+        self._estimates: Dict[Tuple[int, int], SwapEstimate] = {}
+        self._out_circuit = None
+
+    # ------------------------------------------------------------------
+
+    def route(self, circuit, initial_layout: Optional[Layout] = None):
+        self._estimates = {}
+        return super().route(circuit, initial_layout)
+
+    def _execute_ready_gates(self, frontier, layout, out):
+        # Keep a handle on the output circuit so the estimators can inspect the resolved layer.
+        self._out_circuit = out
+        return super()._execute_ready_gates(frontier, layout, out)
+
+    # ------------------------------------------------------------------
+    # Optimization-aware cost function (Eq. 2)
+    # ------------------------------------------------------------------
+
+    def _estimate_for(self, swap: Tuple[int, int]) -> SwapEstimate:
+        estimate = self._estimates.get(swap)
+        if estimate is None:
+            estimate = self._estimator.estimate(
+                self._out_circuit,
+                self._wire_history,
+                swap[0],
+                swap[1],
+                enable_2q=self.config.enable_2q_resynthesis,
+                enable_commute1=self.config.enable_commutation1,
+                enable_commute2=self.config.enable_commutation2,
+            )
+            self._estimates[swap] = estimate
+        return estimate
+
+    def _score_swap(
+        self,
+        swap: Tuple[int, int],
+        front_gates: List[DAGNode],
+        extended: List[DAGNode],
+        layout: Layout,
+    ) -> float:
+        front_size = max(len(front_gates), 1)
+        distance_term = 3.0 * sum(
+            self._mapped_distance(node, layout, swap) for node in front_gates
+        )
+        estimate = self._estimate_for(swap)
+        reduction = estimate.total(
+            self.config.enable_2q_resynthesis,
+            self.config.enable_commutation1,
+            self.config.enable_commutation2,
+        )
+        cost = (distance_term - float(reduction)) / front_size
+        if extended:
+            ext_cost = sum(self._mapped_distance(node, layout, swap) for node in extended)
+            cost += self.extended_set_weight * ext_cost / len(extended)
+        decay = max(self._decay[swap[0]], self._decay[swap[1]])
+        return float(decay * cost)
+
+    def _select_swap(self, candidates, front_gates, extended, layout, rng):
+        # Estimates depend only on the already-routed prefix, which changes between SWAP
+        # insertions: clear the per-step cache before scoring a fresh candidate set.
+        self._estimates = {}
+        return super()._select_swap(candidates, front_gates, extended, layout, rng)
+
+    # ------------------------------------------------------------------
+    # Optimization-aware SWAP decomposition (Sec. IV-E)
+    # ------------------------------------------------------------------
+
+    def _swap_label(self, swap, front_gates, layout, out) -> Optional[str]:
+        self._out_circuit = out
+        estimate = self._estimates.get(swap)
+        if estimate is None:
+            estimate = self._estimate_for(swap)
+        if estimate.orientation is not None:
+            return f"ctrl:{estimate.orientation}"
+        return None
+
+
+class NASSCRouting(TranspilerPass):
+    """Transpiler pass wrapper around :class:`NASSCSwapRouter`."""
+
+    def __init__(
+        self,
+        coupling_map: CouplingMap,
+        *,
+        config: Optional[NASSCConfig] = None,
+        extended_set_size: int = 20,
+        extended_set_weight: float = 0.5,
+        seed: Optional[int] = None,
+        distance_matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        self.coupling_map = coupling_map
+        self.router = NASSCSwapRouter(
+            coupling_map,
+            config=config,
+            extended_set_size=extended_set_size,
+            extended_set_weight=extended_set_weight,
+            seed=seed,
+            distance_matrix=distance_matrix,
+        )
+
+    def run(self, circuit, property_set: PropertySet):
+        layout = property_set.get("layout") or Layout.trivial(circuit.num_qubits)
+        result = self.router.route(circuit, layout)
+        property_set["final_layout"] = result.final_layout
+        property_set["initial_layout"] = result.initial_layout
+        property_set["num_swaps"] = result.num_swaps
+        return result.circuit

@@ -1,0 +1,207 @@
+"""End-to-end compilation pipelines (paper Fig. 2 and Fig. 5).
+
+``transpile`` reproduces the two pipelines compared throughout the evaluation:
+
+* ``routing="sabre"`` — Qiskit+SABRE: decomposition, pre-routing optimization, SABRE layout
+  and routing, fixed SWAP decomposition, then the standard post-routing optimizations.
+* ``routing="nassc"`` — Qiskit+NASSC: identical except that the routing pass uses the
+  optimization-aware cost function and SWAPs are decomposed with optimization-aware
+  orientation (plus single-qubit movement through SWAPs).
+
+Both pipelines share every other pass, so differences in the reported metrics isolate the
+paper's contribution.  ``routing="none"`` applies only the optimizations (used to compute the
+"original circuit optimized by Qiskit" baseline of Tables I-IV).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import TranspilerError
+from ..hardware.calibration import DeviceCalibration
+from ..hardware.coupling import CouplingMap
+from ..hardware.noise_distance import noise_aware_distance_matrix
+from ..transpiler.passmanager import PassManager, PropertySet
+from ..transpiler.passes.basis import CheckRoutable, Decompose
+from ..transpiler.passes.check_map import CheckMap
+from ..transpiler.passes.commutation import CommutativeCancellation
+from ..transpiler.passes.layout import ApplyLayout, Layout
+from ..transpiler.passes.optimize_1q import Optimize1qGates, RemoveIdentities
+from ..transpiler.passes.sabre import SabreLayoutSelection, SabreRouting, SabreSwapRouter
+from ..transpiler.passes.swap_lowering import SwapLowering
+from ..transpiler.passes.unitary_synthesis import UnitarySynthesis
+from .nassc import NASSCConfig, NASSCRouting, NASSCSwapRouter
+from .single_qubit_motion import CommuteSingleQubitsThroughSwap
+
+ROUTING_METHODS = ("none", "sabre", "nassc")
+
+
+@dataclass
+class TranspileResult:
+    """Compiled circuit plus the metrics the paper reports."""
+
+    circuit: QuantumCircuit
+    routing: str
+    coupling_map: Optional[CouplingMap]
+    initial_layout: Optional[Layout]
+    final_layout: Optional[Layout]
+    num_swaps: int
+    transpile_time: float
+    pass_timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cx_count(self) -> int:
+        return self.circuit.cx_count()
+
+    @property
+    def depth(self) -> int:
+        return self.circuit.depth()
+
+    def count_ops(self) -> Dict[str, int]:
+        return self.circuit.count_ops()
+
+
+def _pre_routing_passes() -> list:
+    """Optimizations applied to the logical circuit before layout/routing (both pipelines)."""
+    return [
+        Decompose(keep_swaps=True),
+        Optimize1qGates(output="u"),
+        UnitarySynthesis(),
+        CommutativeCancellation(),
+        Optimize1qGates(output="u"),
+        RemoveIdentities(),
+        CheckRoutable(),
+    ]
+
+
+def _post_routing_passes(final_basis: str) -> list:
+    """Optimizations applied to the routed physical circuit (both pipelines)."""
+    return [
+        UnitarySynthesis(),
+        CommutativeCancellation(),
+        UnitarySynthesis(),
+        CommutativeCancellation(),
+        Optimize1qGates(output=final_basis),
+        RemoveIdentities(),
+    ]
+
+
+def optimize_logical(circuit: QuantumCircuit, final_basis: str = "zsx") -> QuantumCircuit:
+    """Optimize a circuit without any routing (the Tables' "Original Circuit" column)."""
+    manager = PassManager(_pre_routing_passes())
+    manager.extend([SwapLowering(), *_post_routing_passes(final_basis)])
+    return manager.run(circuit)
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling_map: Optional[CouplingMap] = None,
+    *,
+    routing: str = "sabre",
+    seed: Optional[int] = None,
+    nassc_config: Optional[NASSCConfig] = None,
+    calibration: Optional[DeviceCalibration] = None,
+    noise_aware: bool = False,
+    extended_set_size: int = 20,
+    extended_set_weight: float = 0.5,
+    layout_iterations: int = 2,
+    final_basis: str = "zsx",
+    check: bool = True,
+) -> TranspileResult:
+    """Compile a logical circuit for a device coupling map.
+
+    Parameters mirror the paper's experimental configuration (Sec. V): extended layer size 20
+    with weight 0.5, SABRE-style reverse-traversal layout, and all NASSC optimizations
+    enabled.  ``noise_aware=True`` switches the routing distance matrix to the HA matrix
+    built from ``calibration`` (the SABRE+HA / NASSC+HA variants of Fig. 11).
+    """
+    if routing not in ROUTING_METHODS:
+        raise TranspilerError(f"unknown routing method {routing!r}; expected one of {ROUTING_METHODS}")
+    if routing != "none" and coupling_map is None:
+        raise TranspilerError("a coupling map is required unless routing='none'")
+    if noise_aware and calibration is None:
+        raise TranspilerError("noise_aware=True requires calibration data")
+
+    start = time.perf_counter()
+    manager = PassManager(_pre_routing_passes())
+
+    distance_matrix: Optional[np.ndarray] = None
+    if noise_aware and calibration is not None:
+        distance_matrix = noise_aware_distance_matrix(calibration)
+
+    if routing == "none":
+        manager.extend([SwapLowering(), *_post_routing_passes(final_basis)])
+    else:
+        if routing == "sabre":
+            router_cls = SabreSwapRouter
+            router_kwargs = {"distance_matrix": distance_matrix}
+            routing_pass = SabreRouting(
+                coupling_map,
+                extended_set_size=extended_set_size,
+                extended_set_weight=extended_set_weight,
+                seed=seed,
+                distance_matrix=distance_matrix,
+            )
+        else:
+            router_cls = NASSCSwapRouter
+            router_kwargs = {"distance_matrix": distance_matrix, "config": nassc_config}
+            routing_pass = NASSCRouting(
+                coupling_map,
+                config=nassc_config,
+                extended_set_size=extended_set_size,
+                extended_set_weight=extended_set_weight,
+                seed=seed,
+                distance_matrix=distance_matrix,
+            )
+        manager.append(
+            SabreLayoutSelection(
+                coupling_map,
+                iterations=layout_iterations,
+                seed=seed,
+                router_cls=router_cls,
+                router_kwargs=router_kwargs,
+            )
+        )
+        manager.append(routing_pass)
+        if routing == "nassc":
+            manager.append(CommuteSingleQubitsThroughSwap())
+        manager.append(SwapLowering(use_labels=(routing == "nassc")))
+        manager.extend(_post_routing_passes(final_basis))
+        if check:
+            manager.append(CheckMap(coupling_map))
+
+    compiled = manager.run(circuit)
+    elapsed = time.perf_counter() - start
+
+    props: PropertySet = manager.property_set
+    return TranspileResult(
+        circuit=compiled,
+        routing=routing,
+        coupling_map=coupling_map,
+        initial_layout=props.get("initial_layout", props.get("layout")),
+        final_layout=props.get("final_layout"),
+        num_swaps=props.get("num_swaps", 0),
+        transpile_time=elapsed,
+        pass_timings=dict(manager.timings),
+    )
+
+
+def compare_routings(
+    circuit: QuantumCircuit,
+    coupling_map: CouplingMap,
+    *,
+    seed: Optional[int] = None,
+    nassc_config: Optional[NASSCConfig] = None,
+) -> Dict[str, TranspileResult]:
+    """Run both pipelines on one circuit (convenience helper used by examples and tests)."""
+    return {
+        "sabre": transpile(circuit, coupling_map, routing="sabre", seed=seed),
+        "nassc": transpile(
+            circuit, coupling_map, routing="nassc", seed=seed, nassc_config=nassc_config
+        ),
+    }

@@ -1,0 +1,55 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from .experiments import (
+    NOISE_METHODS,
+    AblationRow,
+    ComparisonRow,
+    NoiseExperimentRow,
+    TableResult,
+    compare_benchmark,
+    run_noise_experiment,
+    run_optimization_ablation,
+    run_table_experiment,
+)
+from .metrics import (
+    RoutingMetrics,
+    collect_metrics,
+    count_summary,
+    geometric_mean_reduction,
+    is_equivalent_after_routing,
+    percentage_change,
+    routed_state_fidelity,
+)
+from .reporting import (
+    cnot_table_to_csv,
+    depth_table_to_csv,
+    format_ablation,
+    format_cnot_table,
+    format_depth_table,
+    format_noise_experiment,
+)
+
+__all__ = [
+    "NOISE_METHODS",
+    "AblationRow",
+    "ComparisonRow",
+    "NoiseExperimentRow",
+    "TableResult",
+    "compare_benchmark",
+    "run_noise_experiment",
+    "run_optimization_ablation",
+    "run_table_experiment",
+    "RoutingMetrics",
+    "collect_metrics",
+    "count_summary",
+    "geometric_mean_reduction",
+    "is_equivalent_after_routing",
+    "percentage_change",
+    "routed_state_fidelity",
+    "cnot_table_to_csv",
+    "depth_table_to_csv",
+    "format_ablation",
+    "format_cnot_table",
+    "format_depth_table",
+    "format_noise_experiment",
+]

@@ -1,0 +1,339 @@
+"""Experiment runners that regenerate the paper's tables and figures.
+
+Each runner mirrors one artifact of the paper's evaluation (Sec. VI):
+
+* :func:`run_table_experiment` — Tables I/II (``ibmq_montreal``), III (linear), IV (grid):
+  added CNOTs, circuit depth and transpile time for Qiskit+SABRE vs Qiskit+NASSC.
+* :func:`run_optimization_ablation` — Figure 9: CNOT reduction of the best of the 8
+  optimization-combination subsets vs enabling all three optimizations.
+* :func:`run_noise_experiment` — Figure 11: added CNOTs and success rate of SABRE, NASSC,
+  SABRE+HA and NASSC+HA under the (synthetic) ``ibmq_montreal`` noise model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..benchlib.suite import BenchmarkCase, noise_benchmarks, table_benchmarks
+from ..circuit.circuit import QuantumCircuit
+from ..core.nassc import NASSCConfig
+from ..core.pipeline import optimize_logical, transpile
+from ..hardware.calibration import DeviceCalibration, fake_montreal_calibration
+from ..hardware.coupling import CouplingMap
+from ..hardware.topologies import get_topology
+from ..simulator.noise import NoiseModel, NoisySimulator
+from .metrics import geometric_mean_reduction, percentage_change
+
+
+# ---------------------------------------------------------------------------
+# Tables I-IV
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ComparisonRow:
+    """One benchmark row comparing Qiskit+SABRE with Qiskit+NASSC."""
+
+    name: str
+    num_qubits: int
+    original_cx: float
+    original_depth: float
+    sabre_cx: float
+    sabre_depth: float
+    sabre_time: float
+    nassc_cx: float
+    nassc_depth: float
+    nassc_time: float
+
+    @property
+    def sabre_added_cx(self) -> float:
+        return self.sabre_cx - self.original_cx
+
+    @property
+    def nassc_added_cx(self) -> float:
+        return self.nassc_cx - self.original_cx
+
+    @property
+    def sabre_added_depth(self) -> float:
+        return self.sabre_depth - self.original_depth
+
+    @property
+    def nassc_added_depth(self) -> float:
+        return self.nassc_depth - self.original_depth
+
+    @property
+    def delta_cx_total(self) -> float:
+        return percentage_change(self.sabre_cx, self.nassc_cx)
+
+    @property
+    def delta_cx_added(self) -> float:
+        return percentage_change(self.sabre_added_cx, self.nassc_added_cx)
+
+    @property
+    def delta_depth_total(self) -> float:
+        return percentage_change(self.sabre_depth, self.nassc_depth)
+
+    @property
+    def delta_depth_added(self) -> float:
+        return percentage_change(self.sabre_added_depth, self.nassc_added_depth)
+
+    @property
+    def time_ratio(self) -> float:
+        return self.nassc_time / self.sabre_time if self.sabre_time > 0 else float("nan")
+
+
+@dataclass
+class TableResult:
+    """All rows of one table plus the paper's geometric-mean aggregates."""
+
+    topology: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    @property
+    def geomean_delta_cx_total(self) -> float:
+        return geometric_mean_reduction(
+            [r.sabre_cx for r in self.rows], [r.nassc_cx for r in self.rows]
+        )
+
+    @property
+    def geomean_delta_cx_added(self) -> float:
+        return geometric_mean_reduction(
+            [max(r.sabre_added_cx, 1e-9) for r in self.rows],
+            [max(r.nassc_added_cx, 1e-9) for r in self.rows],
+        )
+
+    @property
+    def geomean_delta_depth_total(self) -> float:
+        return geometric_mean_reduction(
+            [r.sabre_depth for r in self.rows], [r.nassc_depth for r in self.rows]
+        )
+
+    @property
+    def geomean_delta_depth_added(self) -> float:
+        return geometric_mean_reduction(
+            [max(r.sabre_added_depth, 1e-9) for r in self.rows],
+            [max(r.nassc_added_depth, 1e-9) for r in self.rows],
+        )
+
+    @property
+    def geomean_time_ratio(self) -> float:
+        ratios = [r.time_ratio for r in self.rows if np.isfinite(r.time_ratio) and r.time_ratio > 0]
+        if not ratios:
+            return float("nan")
+        return float(np.exp(np.mean(np.log(ratios))))
+
+
+def compare_benchmark(
+    case: BenchmarkCase,
+    coupling_map: CouplingMap,
+    *,
+    seeds: Sequence[int] = (0,),
+    nassc_config: Optional[NASSCConfig] = None,
+) -> ComparisonRow:
+    """Average SABRE-vs-NASSC comparison for one benchmark over the given seeds."""
+    circuit = case.build()
+    optimized = optimize_logical(circuit)
+    original_cx = optimized.cx_count()
+    original_depth = optimized.depth()
+
+    sabre_cx, sabre_depth, sabre_time = [], [], []
+    nassc_cx, nassc_depth, nassc_time = [], [], []
+    for seed in seeds:
+        sabre = transpile(circuit, coupling_map, routing="sabre", seed=seed)
+        nassc = transpile(
+            circuit, coupling_map, routing="nassc", seed=seed, nassc_config=nassc_config
+        )
+        sabre_cx.append(sabre.cx_count)
+        sabre_depth.append(sabre.depth)
+        sabre_time.append(sabre.transpile_time)
+        nassc_cx.append(nassc.cx_count)
+        nassc_depth.append(nassc.depth)
+        nassc_time.append(nassc.transpile_time)
+
+    return ComparisonRow(
+        name=case.name,
+        num_qubits=case.num_qubits,
+        original_cx=original_cx,
+        original_depth=original_depth,
+        sabre_cx=float(np.mean(sabre_cx)),
+        sabre_depth=float(np.mean(sabre_depth)),
+        sabre_time=float(np.mean(sabre_time)),
+        nassc_cx=float(np.mean(nassc_cx)),
+        nassc_depth=float(np.mean(nassc_depth)),
+        nassc_time=float(np.mean(nassc_time)),
+    )
+
+
+def run_table_experiment(
+    topology: str = "montreal",
+    *,
+    cases: Optional[Sequence[BenchmarkCase]] = None,
+    seeds: Sequence[int] = (0,),
+    num_device_qubits: int = 25,
+) -> TableResult:
+    """Regenerate one of Tables I-IV (the table is chosen by ``topology``)."""
+    coupling_map = get_topology(topology, num_device_qubits)
+    if cases is None:
+        cases = table_benchmarks(max_qubits=coupling_map.num_qubits)
+    result = TableResult(topology=coupling_map.name)
+    for case in cases:
+        if case.num_qubits > coupling_map.num_qubits:
+            continue
+        result.rows.append(compare_benchmark(case, coupling_map, seeds=seeds))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: optimization-combination ablation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AblationRow:
+    """CNOT reduction vs SABRE for every optimization combination (one benchmark)."""
+
+    name: str
+    sabre_cx: float
+    cx_by_combination: Dict[str, float] = field(default_factory=dict)
+
+    @staticmethod
+    def combination_key(config: NASSCConfig) -> str:
+        bits = ["2q" if config.enable_2q_resynthesis else "--",
+                "c1" if config.enable_commutation1 else "--",
+                "c2" if config.enable_commutation2 else "--"]
+        return "+".join(bits)
+
+    def reduction(self, key: str) -> float:
+        return percentage_change(self.sabre_cx, self.cx_by_combination[key])
+
+    @property
+    def all_enabled_reduction(self) -> float:
+        return self.reduction("2q+c1+c2")
+
+    @property
+    def best_reduction(self) -> float:
+        return max(self.reduction(key) for key in self.cx_by_combination)
+
+
+def run_optimization_ablation(
+    topology: str = "montreal",
+    *,
+    cases: Optional[Sequence[BenchmarkCase]] = None,
+    seeds: Sequence[int] = (0,),
+    num_device_qubits: int = 25,
+) -> List[AblationRow]:
+    """Regenerate one panel of Figure 9 (best-of-8 combinations vs all-enabled)."""
+    coupling_map = get_topology(topology, num_device_qubits)
+    if cases is None:
+        cases = table_benchmarks(max_qubits=coupling_map.num_qubits)
+    rows: List[AblationRow] = []
+    for case in cases:
+        if case.num_qubits > coupling_map.num_qubits:
+            continue
+        circuit = case.build()
+        sabre_counts = []
+        for seed in seeds:
+            sabre_counts.append(transpile(circuit, coupling_map, routing="sabre", seed=seed).cx_count)
+        row = AblationRow(name=case.name, sabre_cx=float(np.mean(sabre_counts)))
+        for config in NASSCConfig.all_combinations():
+            counts = []
+            for seed in seeds:
+                counts.append(
+                    transpile(
+                        circuit, coupling_map, routing="nassc", seed=seed, nassc_config=config
+                    ).cx_count
+                )
+            row.cx_by_combination[AblationRow.combination_key(config)] = float(np.mean(counts))
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: noise-aware routing and success rate
+# ---------------------------------------------------------------------------
+
+@dataclass
+class NoiseExperimentRow:
+    """Added CNOTs and success rate of the four routing variants for one benchmark."""
+
+    name: str
+    original_cx: int
+    added_cx: Dict[str, float] = field(default_factory=dict)
+    success_rate: Dict[str, float] = field(default_factory=dict)
+
+
+NOISE_METHODS = ("sabre", "nassc", "sabre_ha", "nassc_ha")
+
+
+def run_noise_experiment(
+    *,
+    cases: Optional[Sequence[BenchmarkCase]] = None,
+    shots: int = 8192,
+    seed: int = 0,
+    calibration: Optional[DeviceCalibration] = None,
+    realizations: int = 256,
+) -> List[NoiseExperimentRow]:
+    """Regenerate Figure 11 using the synthetic ``ibmq_montreal`` calibration.
+
+    The success rate of a routed circuit is the fraction of noisy shots that return the
+    noise-free output of the *original* logical circuit, measured on the physical qubits that
+    hold the logical qubits at the end of the routed circuit (the paper's definition of
+    "correct output state").
+    """
+    from ..simulator.statevector import StatevectorSimulator
+
+    coupling_map = get_topology("montreal")
+    calibration = calibration or fake_montreal_calibration()
+    noise_model = NoiseModel.from_calibration(calibration)
+    if cases is None:
+        cases = noise_benchmarks()
+
+    ideal = StatevectorSimulator()
+    rows: List[NoiseExperimentRow] = []
+    for case in cases:
+        circuit = case.build()
+        optimized = optimize_logical(circuit)
+        row = NoiseExperimentRow(name=case.name, original_cx=optimized.cx_count())
+
+        # Logical qubits whose outcome defines "the correct output state": the data register
+        # for BV (its oracle ancilla ends in |->), the search register for Grover, and all
+        # qubits for the reversible-oracle benchmarks.
+        if case.name.startswith("bv"):
+            logical_measured = list(range(circuit.num_qubits - 1))
+        elif case.name.startswith("grover"):
+            logical_measured = list(range((circuit.num_qubits + 2) // 2))
+        else:
+            logical_measured = list(range(circuit.num_qubits))
+
+        # Noise-free reference outcome of the logical circuit (most likely bitstring,
+        # highest measured qubit left-most).
+        reference_counts = ideal.sample_counts(
+            circuit.without_directives(), 4096, seed=1, measured_qubits=logical_measured
+        )
+        expected = max(reference_counts, key=reference_counts.get)
+
+        for method in NOISE_METHODS:
+            routing = "sabre" if method.startswith("sabre") else "nassc"
+            noise_aware = method.endswith("_ha")
+            result = transpile(
+                circuit,
+                coupling_map,
+                routing=routing,
+                seed=seed,
+                calibration=calibration if noise_aware else None,
+                noise_aware=noise_aware,
+            )
+            # Measure the physical qubits holding each measured logical qubit at the end.
+            measured_physical = [result.final_layout.physical(q) for q in logical_measured]
+            routed = result.circuit.copy()
+            for physical in measured_physical:
+                # Touch every measured wire so idle logical qubits stay in the simulation.
+                routed.id(physical)
+            simulator = NoisySimulator(noise_model, realizations=realizations, seed=seed)
+            row.added_cx[method] = result.cx_count - row.original_cx
+            row.success_rate[method] = simulator.success_rate(
+                routed, shots=shots, expected=expected, measured_qubits=measured_physical
+            )
+        rows.append(row)
+    return rows

@@ -1,0 +1,134 @@
+"""Metrics used by the paper's evaluation and by the test suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..core.pipeline import TranspileResult
+from ..simulator.statevector import StatevectorSimulator, active_qubit_subcircuit
+
+
+@dataclass
+class RoutingMetrics:
+    """Per-benchmark metrics matching the columns of Tables I-IV."""
+
+    name: str
+    num_qubits: int
+    original_cx: int
+    total_cx: int
+    original_depth: int
+    total_depth: int
+    num_swaps: int
+    transpile_time: float
+
+    @property
+    def added_cx(self) -> int:
+        return self.total_cx - self.original_cx
+
+    @property
+    def added_depth(self) -> int:
+        return self.total_depth - self.original_depth
+
+
+def collect_metrics(
+    name: str,
+    original: QuantumCircuit,
+    optimized_original: QuantumCircuit,
+    result: TranspileResult,
+) -> RoutingMetrics:
+    """Build the metric record for one (benchmark, routing method) pair."""
+    return RoutingMetrics(
+        name=name,
+        num_qubits=original.num_qubits,
+        original_cx=optimized_original.cx_count(),
+        total_cx=result.cx_count,
+        original_depth=optimized_original.depth(),
+        total_depth=result.depth,
+        num_swaps=result.num_swaps,
+        transpile_time=result.transpile_time,
+    )
+
+
+def percentage_change(baseline: float, new: float) -> float:
+    """``1 - new/baseline`` as a percentage (the paper's delta columns); 0 when baseline is 0."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (1.0 - new / baseline)
+
+
+def geometric_mean_reduction(baselines, news) -> float:
+    """Geometric-mean percentage reduction, the paper's aggregate metric.
+
+    Computed as ``1 - geomean(new_i / baseline_i)`` over pairs with a positive baseline.
+    """
+    ratios = [n / b for b, n in zip(baselines, news) if b > 0 and n > 0]
+    if not ratios:
+        return 0.0
+    geomean = float(np.exp(np.mean(np.log(ratios))))
+    return 100.0 * (1.0 - geomean)
+
+
+def routed_state_fidelity(original: QuantumCircuit, result: TranspileResult) -> float:
+    """Overlap between the routed circuit's output state and the original's (small circuits).
+
+    The routed circuit acts on physical qubits: logical qubit ``q`` starts at
+    ``initial_layout[q]`` and ends at ``final_layout[q]``.  Starting from ``|0...0>`` the
+    routed output must equal the original output relocated to the final physical positions.
+    """
+    simulator = StatevectorSimulator()
+    original_state = simulator.run(original.without_directives())
+
+    routed = result.circuit.without_directives()
+    reduced, active = active_qubit_subcircuit(routed)
+    routed_state = simulator.run(reduced)
+
+    final_layout = result.final_layout
+    n_logical = original.num_qubits
+    position = {}
+    for q in range(n_logical):
+        physical = final_layout.physical(q)
+        if physical not in active:
+            # The logical qubit was never touched; it stays in |0>.
+            position[q] = None
+        else:
+            position[q] = active.index(physical)
+
+    expected = np.zeros(2 ** len(active), dtype=complex)
+    for idx in range(2 ** n_logical):
+        target = 0
+        skip = False
+        for q in range(n_logical):
+            if (idx >> q) & 1:
+                if position[q] is None:
+                    skip = True
+                    break
+                target |= 1 << position[q]
+        if skip:
+            if abs(original_state[idx]) > 1e-9:
+                return 0.0
+            continue
+        expected[target] += original_state[idx]
+    overlap = abs(np.vdot(expected, routed_state))
+    return float(overlap)
+
+
+def is_equivalent_after_routing(
+    original: QuantumCircuit, result: TranspileResult, tol: float = 1e-6
+) -> bool:
+    """True if routing + optimization preserved the circuit semantics (up to the final layout)."""
+    return routed_state_fidelity(original, result) > 1.0 - tol
+
+
+def count_summary(circuit: QuantumCircuit) -> Dict[str, int]:
+    """Compact operation summary used in reports."""
+    ops = circuit.count_ops()
+    return {
+        "cx": ops.get("cx", 0),
+        "single_qubit": sum(v for k, v in ops.items() if k not in ("cx", "barrier", "measure")),
+        "depth": circuit.depth(),
+        "size": circuit.size(),
+    }

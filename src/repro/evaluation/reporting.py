@@ -1,0 +1,125 @@
+"""Plain-text and CSV rendering of the experiment results (the paper's tables and figures)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Sequence
+
+from .experiments import AblationRow, ComparisonRow, NoiseExperimentRow, NOISE_METHODS, TableResult
+
+
+def _format_row(values: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(v).rjust(w) for v, w in zip(values, widths))
+
+
+def format_cnot_table(result: TableResult) -> str:
+    """Render a Table I/III/IV style report (CNOT counts)."""
+    header = ["benchmark", "qubits", "orig_cx", "sabre_cx", "sabre_add", "nassc_cx",
+              "nassc_add", "dCX_total%", "dCX_add%", "t_ratio"]
+    widths = [16, 6, 8, 9, 9, 9, 9, 10, 9, 8]
+    lines = [f"Added CNOT gates, Qiskit+SABRE vs Qiskit+NASSC on {result.topology}"]
+    lines.append(_format_row(header, widths))
+    for row in result.rows:
+        lines.append(_format_row([
+            row.name, row.num_qubits, f"{row.original_cx:.0f}",
+            f"{row.sabre_cx:.1f}", f"{row.sabre_added_cx:.1f}",
+            f"{row.nassc_cx:.1f}", f"{row.nassc_added_cx:.1f}",
+            f"{row.delta_cx_total:.2f}", f"{row.delta_cx_added:.2f}", f"{row.time_ratio:.2f}",
+        ], widths))
+    lines.append(_format_row([
+        "geomean", "", "", "", "", "", "",
+        f"{result.geomean_delta_cx_total:.2f}", f"{result.geomean_delta_cx_added:.2f}",
+        f"{result.geomean_time_ratio:.2f}",
+    ], widths))
+    return "\n".join(lines)
+
+
+def format_depth_table(result: TableResult) -> str:
+    """Render a Table II style report (circuit depth)."""
+    header = ["benchmark", "qubits", "orig_depth", "sabre_depth", "sabre_add",
+              "nassc_depth", "nassc_add", "dD_total%", "dD_add%"]
+    widths = [16, 6, 10, 11, 9, 11, 9, 9, 8]
+    lines = [f"Circuit depth, Qiskit+SABRE vs Qiskit+NASSC on {result.topology}"]
+    lines.append(_format_row(header, widths))
+    for row in result.rows:
+        lines.append(_format_row([
+            row.name, row.num_qubits, f"{row.original_depth:.0f}",
+            f"{row.sabre_depth:.1f}", f"{row.sabre_added_depth:.1f}",
+            f"{row.nassc_depth:.1f}", f"{row.nassc_added_depth:.1f}",
+            f"{row.delta_depth_total:.2f}", f"{row.delta_depth_added:.2f}",
+        ], widths))
+    lines.append(_format_row([
+        "geomean", "", "", "", "", "", "",
+        f"{result.geomean_delta_depth_total:.2f}", f"{result.geomean_delta_depth_added:.2f}",
+    ], widths))
+    return "\n".join(lines)
+
+
+def format_ablation(rows: List[AblationRow], topology: str) -> str:
+    """Render one Figure 9 panel: best-of-8 combinations vs all-three-enabled."""
+    lines = [f"CNOT reduction vs SABRE: best of 8 combinations vs all enabled ({topology})"]
+    header = ["benchmark", "best_combo%", "all_enabled%"]
+    widths = [16, 12, 13]
+    lines.append(_format_row(header, widths))
+    for row in rows:
+        lines.append(_format_row(
+            [row.name, f"{row.best_reduction:.2f}", f"{row.all_enabled_reduction:.2f}"], widths
+        ))
+    return "\n".join(lines)
+
+
+def format_noise_experiment(rows: List[NoiseExperimentRow]) -> str:
+    """Render Figure 11: added CNOTs and success rate for the four routing variants."""
+    lines = ["Noise-model experiment (synthetic ibmq_montreal calibration)"]
+    header = ["benchmark", "orig_cx"] + [f"add_{m}" for m in NOISE_METHODS] + [
+        f"sr_{m}" for m in NOISE_METHODS
+    ]
+    widths = [16, 8] + [10] * len(NOISE_METHODS) + [9] * len(NOISE_METHODS)
+    lines.append(_format_row(header, widths))
+    for row in rows:
+        values = [row.name, row.original_cx]
+        values += [f"{row.added_cx[m]:.0f}" for m in NOISE_METHODS]
+        values += [f"{row.success_rate[m]:.3f}" for m in NOISE_METHODS]
+        lines.append(_format_row(values, widths))
+    return "\n".join(lines)
+
+
+def cnot_table_to_csv(result: TableResult) -> str:
+    """CSV export matching the artifact's ``cnot_table_using_*_map.csv`` outputs."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "name", "num_qubits", "original_cx", "sabre_cx_total", "sabre_cx_added",
+        "sabre_time", "nassc_cx_total", "nassc_cx_added", "nassc_time",
+        "delta_cx_total_pct", "delta_cx_added_pct", "time_ratio",
+    ])
+    for row in result.rows:
+        writer.writerow([
+            row.name, row.num_qubits, row.original_cx, row.sabre_cx, row.sabre_added_cx,
+            f"{row.sabre_time:.3f}", row.nassc_cx, row.nassc_added_cx, f"{row.nassc_time:.3f}",
+            f"{row.delta_cx_total:.2f}", f"{row.delta_cx_added:.2f}", f"{row.time_ratio:.2f}",
+        ])
+    writer.writerow([
+        "geomean", "", "", "", "", "", "", "", "",
+        f"{result.geomean_delta_cx_total:.2f}", f"{result.geomean_delta_cx_added:.2f}",
+        f"{result.geomean_time_ratio:.2f}",
+    ])
+    return buffer.getvalue()
+
+
+def depth_table_to_csv(result: TableResult) -> str:
+    """CSV export matching the artifact's ``depth_table_using_montreal_map.csv`` output."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "name", "num_qubits", "original_depth", "sabre_depth_total", "sabre_depth_added",
+        "nassc_depth_total", "nassc_depth_added", "delta_depth_total_pct", "delta_depth_added_pct",
+    ])
+    for row in result.rows:
+        writer.writerow([
+            row.name, row.num_qubits, row.original_depth, row.sabre_depth, row.sabre_added_depth,
+            row.nassc_depth, row.nassc_added_depth,
+            f"{row.delta_depth_total:.2f}", f"{row.delta_depth_added:.2f}",
+        ])
+    return buffer.getvalue()

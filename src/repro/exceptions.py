@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuit construction or manipulation."""
+
+
+class QASMError(ReproError):
+    """Raised when OpenQASM text cannot be parsed or emitted."""
+
+
+class CouplingError(ReproError):
+    """Raised for invalid coupling map construction or queries."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a transpiler pass cannot complete."""
+
+
+class SynthesisError(ReproError):
+    """Raised when unitary synthesis fails."""
+
+
+class SimulatorError(ReproError):
+    """Raised when a circuit cannot be simulated."""

@@ -1,0 +1,35 @@
+"""Hardware models: coupling maps, the paper's evaluation topologies, and calibration data."""
+
+from .coupling import CouplingMap
+from .topologies import (
+    MONTREAL_EDGES,
+    fully_connected_coupling_map,
+    get_topology,
+    grid_coupling_map,
+    heavy_hex_coupling_map,
+    linear_coupling_map,
+    montreal_coupling_map,
+)
+from .calibration import DeviceCalibration, fake_montreal_calibration, synthetic_calibration
+from .noise_distance import (
+    hop_distance_matrix,
+    noise_aware_distance_matrix,
+    swap_error_on_edge,
+)
+
+__all__ = [
+    "CouplingMap",
+    "MONTREAL_EDGES",
+    "fully_connected_coupling_map",
+    "get_topology",
+    "grid_coupling_map",
+    "heavy_hex_coupling_map",
+    "linear_coupling_map",
+    "montreal_coupling_map",
+    "DeviceCalibration",
+    "fake_montreal_calibration",
+    "synthetic_calibration",
+    "hop_distance_matrix",
+    "noise_aware_distance_matrix",
+    "swap_error_on_edge",
+]

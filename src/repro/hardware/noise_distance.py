@@ -1,0 +1,68 @@
+"""Noise-aware distance matrices (the HA heuristic of Niu et al., paper Eq. 3).
+
+Both SABRE and NASSC can be made noise-aware by replacing the hop-count distance matrix
+``D`` with a weighted combination of CNOT error rate, SWAP execution time and hop count::
+
+    D_noise[i][j] = alpha1 * eps[i][j] + alpha2 * T[i][j] + alpha3 * D[i][j]
+
+The per-edge terms are normalised over the device and accumulated along shortest paths so
+that the matrix remains a metric usable by the routing heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from .calibration import DeviceCalibration
+from .coupling import CouplingMap
+
+
+def hop_distance_matrix(coupling_map: CouplingMap) -> np.ndarray:
+    """Plain shortest-path hop-count distance matrix."""
+    return coupling_map.distance_matrix().copy()
+
+
+def noise_aware_distance_matrix(
+    calibration: DeviceCalibration,
+    alpha1: float = 0.5,
+    alpha2: float = 0.0,
+    alpha3: float = 0.5,
+) -> np.ndarray:
+    """HA-style distance matrix combining error rate, gate time and hop count.
+
+    The paper uses ``alpha1 = 0.5, alpha2 = 0.0, alpha3 = 0.5`` (Sec. IV-G).  Each per-edge
+    quantity is normalised by its device-wide maximum before being combined, then the
+    resulting edge weights are accumulated with an all-pairs shortest path.
+    """
+    coupling = calibration.coupling_map
+    errors = np.array([calibration.cx_error[edge] for edge in coupling.edges])
+    durations = np.array([calibration.cx_duration[edge] for edge in coupling.edges])
+    max_error = float(errors.max()) if errors.size else 1.0
+    max_duration = float(durations.max()) if durations.size else 1.0
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(coupling.num_qubits))
+    for (a, b), err, dur in zip(coupling.edges, errors, durations):
+        weight = (
+            alpha1 * (err / max_error)
+            + alpha2 * (dur / max_duration)
+            + alpha3 * 1.0
+        )
+        graph.add_edge(a, b, weight=float(weight))
+
+    num = coupling.num_qubits
+    matrix = np.full((num, num), np.inf)
+    lengths = dict(nx.all_pairs_dijkstra_path_length(graph, weight="weight"))
+    for src, targets in lengths.items():
+        for dst, value in targets.items():
+            matrix[src, dst] = value
+    return matrix
+
+
+def swap_error_on_edge(calibration: DeviceCalibration, a: int, b: int) -> float:
+    """Approximate error of a SWAP on a link (three CNOTs)."""
+    eps = calibration.cx_error_rate(a, b)
+    return 1.0 - (1.0 - eps) ** 3

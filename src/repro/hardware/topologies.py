@@ -1,0 +1,81 @@
+"""Factory functions for the device topologies evaluated in the paper.
+
+The paper evaluates three coupling maps (Fig. 10): the 27-qubit ``ibmq_montreal`` heavy-hex
+device, a 25-qubit linear-nearest-neighbour chain, and a 5x5 2D grid.  A fully-connected
+map is also provided (used as the "no routing needed" reference).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .coupling import CouplingMap
+
+#: Edge list of the 27-qubit IBM Falcon (heavy-hex) device ``ibmq_montreal``.
+MONTREAL_EDGES: Tuple[Tuple[int, int], ...] = (
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7), (7, 10),
+    (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15), (13, 14), (14, 16),
+    (15, 18), (16, 19), (17, 18), (18, 21), (19, 20), (19, 22), (21, 23),
+    (22, 25), (23, 24), (24, 25), (25, 26),
+)
+
+
+def montreal_coupling_map() -> CouplingMap:
+    """The 27-qubit heavy-hex coupling map of ``ibmq_montreal``."""
+    return CouplingMap(MONTREAL_EDGES, num_qubits=27, name="ibmq_montreal")
+
+
+def linear_coupling_map(num_qubits: int = 25) -> CouplingMap:
+    """Linear nearest-neighbour chain (the paper uses 25 qubits)."""
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    return CouplingMap(edges, num_qubits=num_qubits, name=f"linear_{num_qubits}")
+
+
+def grid_coupling_map(rows: int = 5, cols: int = 5) -> CouplingMap:
+    """2D grid topology (the paper uses a 5x5 grid)."""
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(edges, num_qubits=rows * cols, name=f"grid_{rows}x{cols}")
+
+
+def fully_connected_coupling_map(num_qubits: int) -> CouplingMap:
+    """All-to-all connectivity (no SWAPs ever needed)."""
+    edges = [(i, j) for i in range(num_qubits) for j in range(i + 1, num_qubits)]
+    return CouplingMap(edges, num_qubits=num_qubits, name=f"full_{num_qubits}")
+
+
+def heavy_hex_coupling_map(distance: int = 3) -> CouplingMap:
+    """A generic IBM-style heavy-hex lattice (alias for montreal at the default size)."""
+    if distance == 3:
+        return montreal_coupling_map()
+    raise NotImplementedError("only the 27-qubit heavy-hex (distance 3) lattice is provided")
+
+
+_TOPOLOGY_FACTORIES = {
+    "montreal": montreal_coupling_map,
+    "ibmq_montreal": montreal_coupling_map,
+    "linear": linear_coupling_map,
+    "grid": grid_coupling_map,
+    "full": None,  # needs an explicit qubit count
+}
+
+
+def get_topology(name: str, num_qubits: int = 25) -> CouplingMap:
+    """Look up a topology by name: ``montreal``, ``linear``, ``grid`` or ``full``."""
+    key = name.lower()
+    if key in ("montreal", "ibmq_montreal"):
+        return montreal_coupling_map()
+    if key == "linear":
+        return linear_coupling_map(num_qubits)
+    if key == "grid":
+        side = max(2, int(round(num_qubits ** 0.5)))
+        return grid_coupling_map(side, side)
+    if key in ("full", "fully_connected"):
+        return fully_connected_coupling_map(num_qubits)
+    raise ValueError(f"unknown topology {name!r}")

@@ -1,0 +1,6 @@
+"""Statevector simulation and the synthetic-calibration noise model."""
+
+from .noise import NoiseModel, NoisySimulator
+from .statevector import StatevectorSimulator, active_qubit_subcircuit
+
+__all__ = ["NoiseModel", "NoisySimulator", "StatevectorSimulator", "active_qubit_subcircuit"]

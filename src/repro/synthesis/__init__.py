@@ -1,0 +1,48 @@
+"""Unitary synthesis: single-qubit Euler decompositions and two-qubit Weyl/KAK synthesis."""
+
+from .linalg import (
+    MAGIC_BASIS,
+    allclose_up_to_global_phase,
+    closest_unitary,
+    fidelity_distance,
+    global_phase_between,
+    is_unitary,
+    kron_factor_4x4,
+)
+from .one_qubit import EulerAngles, synthesize_zsx, u_params_from_matrix, zyz_decompose
+from .two_qubit import (
+    SynthesisResult,
+    TwoQubitSynthesizer,
+    WeylDecomposition,
+    canonical_matrix,
+    canonicalize_coordinates,
+    cnot_count,
+    cnot_count_from_coordinates,
+    synthesize_two_qubit,
+    weyl_coordinates,
+    weyl_decompose,
+)
+
+__all__ = [
+    "MAGIC_BASIS",
+    "allclose_up_to_global_phase",
+    "closest_unitary",
+    "fidelity_distance",
+    "global_phase_between",
+    "is_unitary",
+    "kron_factor_4x4",
+    "EulerAngles",
+    "synthesize_zsx",
+    "u_params_from_matrix",
+    "zyz_decompose",
+    "SynthesisResult",
+    "TwoQubitSynthesizer",
+    "WeylDecomposition",
+    "canonical_matrix",
+    "canonicalize_coordinates",
+    "cnot_count",
+    "cnot_count_from_coordinates",
+    "synthesize_two_qubit",
+    "weyl_coordinates",
+    "weyl_decompose",
+]

@@ -1,0 +1,169 @@
+"""Single-qubit unitary synthesis (ZYZ Euler angles and the {rz, sx, x} hardware basis).
+
+This is the machinery behind the ``Optimize1qGates`` pass: runs of adjacent single-qubit
+gates are multiplied together and re-synthesised into at most three basis rotations.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import SynthesisError
+from .linalg import global_phase_between, is_unitary
+
+_ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class EulerAngles:
+    """ZYZ Euler decomposition ``U = exp(i*phase) * Rz(phi) * Ry(theta) * Rz(lam)``."""
+
+    theta: float
+    phi: float
+    lam: float
+    phase: float
+
+    def as_u_params(self) -> Tuple[float, float, float, float]:
+        """Return ``(theta, phi, lam, gamma)`` such that ``U = exp(i*gamma) * u(theta, phi, lam)``.
+
+        The ``u`` gate defined in :mod:`repro.circuit.gates` equals
+        ``exp(i*(phi+lam)/2) * Rz(phi) * Ry(theta) * Rz(lam)``.
+        """
+        gamma = self.phase - (self.phi + self.lam) / 2.0
+        return self.theta, self.phi, self.lam, gamma
+
+
+def _rz_matrix(theta: float) -> np.ndarray:
+    return np.array(
+        [[cmath.exp(-1j * theta / 2.0), 0], [0, cmath.exp(1j * theta / 2.0)]], dtype=complex
+    )
+
+
+def _ry_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def zyz_decompose(matrix: np.ndarray) -> EulerAngles:
+    """ZYZ Euler angles of an arbitrary 2x2 unitary."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2) or not is_unitary(matrix, tol=1e-7):
+        raise SynthesisError("zyz_decompose expects a 2x2 unitary matrix")
+    det = np.linalg.det(matrix)
+    phase = 0.5 * cmath.phase(det)
+    su2 = matrix * cmath.exp(-1j * phase)
+
+    # su2 = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #        [sin(t/2) e^{ i(phi-lam)/2},  cos(t/2) e^{ i(phi+lam)/2}]]
+    abs00 = min(1.0, abs(su2[0, 0]))
+    theta = 2.0 * math.acos(abs00)
+    if abs(su2[0, 0]) > _ATOL and abs(su2[1, 0]) > _ATOL:
+        phi_plus_lam = 2.0 * cmath.phase(su2[1, 1])
+        phi_minus_lam = 2.0 * cmath.phase(su2[1, 0])
+        phi = (phi_plus_lam + phi_minus_lam) / 2.0
+        lam = (phi_plus_lam - phi_minus_lam) / 2.0
+    elif abs(su2[1, 0]) <= _ATOL:
+        # theta ~ 0: only the sum phi + lam is defined.
+        theta = 0.0
+        phi = 2.0 * cmath.phase(su2[1, 1])
+        lam = 0.0
+    else:
+        # theta ~ pi: only the difference phi - lam is defined.
+        theta = math.pi
+        phi = 2.0 * cmath.phase(su2[1, 0])
+        lam = 0.0
+
+    reconstructed = cmath.exp(1j * phase) * (
+        _rz_matrix(phi) @ _ry_matrix(theta) @ _rz_matrix(lam)
+    )
+    correction = global_phase_between(matrix, reconstructed)
+    if correction is None or abs(correction) > 1e-6:
+        # Re-derive the phase directly if the determinant branch was off by pi.
+        correction = global_phase_between(
+            matrix, _rz_matrix(phi) @ _ry_matrix(theta) @ _rz_matrix(lam)
+        )
+        if correction is None:
+            raise SynthesisError("ZYZ decomposition failed to reproduce the unitary")
+        phase = correction
+    else:
+        phase += correction
+
+    return EulerAngles(theta=theta, phi=phi, lam=lam, phase=phase)
+
+
+def u_params_from_matrix(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Parameters ``(theta, phi, lam, gamma)`` with ``U = exp(i*gamma) * u(theta, phi, lam)``."""
+    return zyz_decompose(matrix).as_u_params()
+
+
+def _normalize_angle(angle: float) -> float:
+    """Map an angle into ``(-pi, pi]``."""
+    angle = math.fmod(angle, 2.0 * math.pi)
+    if angle <= -math.pi:
+        angle += 2.0 * math.pi
+    elif angle > math.pi:
+        angle -= 2.0 * math.pi
+    return angle
+
+
+def synthesize_zsx(matrix: np.ndarray, tol: float = 1e-10) -> List[Tuple[str, Tuple[float, ...]]]:
+    """Synthesise a 2x2 unitary into the ``{rz, sx, x}`` hardware basis.
+
+    Returns a list of ``(gate_name, params)`` tuples whose product equals the input up to a
+    global phase, using at most two ``sx`` gates (the standard ZSXZSXZ form):
+
+    ``U ~ Rz(phi + pi) . SX . Rz(theta + pi) . SX . Rz(lam)``
+    """
+    angles = zyz_decompose(matrix)
+    theta = _normalize_angle(angles.theta)
+    phi = _normalize_angle(angles.phi)
+    lam = _normalize_angle(angles.lam)
+
+    ops: List[Tuple[str, Tuple[float, ...]]] = []
+
+    def add_rz(angle: float) -> None:
+        angle = _normalize_angle(angle)
+        if abs(angle) > tol:
+            ops.append(("rz", (angle,)))
+
+    if abs(theta) <= tol or abs(abs(theta) - 2.0 * math.pi) <= tol:
+        # Pure phase rotation.
+        add_rz(phi + lam)
+    else:
+        # General case (the ZSXZSXZ identity, derived in the tests):
+        #   Rz(phi+pi) . SX . Rz(theta+pi) . SX . Rz(lam)  ==  Rz(phi) Ry(theta) Rz(lam)
+        # up to a global phase.  The list below is in circuit (application) order.
+        seq: List[Tuple[str, Tuple[float, ...]]] = [
+            ("rz", (_normalize_angle(lam),)),
+            ("sx", ()),
+            ("rz", (_normalize_angle(theta + math.pi),)),
+            ("sx", ()),
+            ("rz", (_normalize_angle(phi + math.pi),)),
+        ]
+        ops = [op for op in seq if not (op[0] == "rz" and abs(op[1][0]) <= tol)]
+
+    return ops
+
+
+def matrix_of_ops(ops: List[Tuple[str, Tuple[float, ...]]]) -> np.ndarray:
+    """Multiply a list of ``(name, params)`` ops (applied left-to-right) into a 2x2 matrix."""
+    from ..circuit.gates import Gate
+
+    total = np.eye(2, dtype=complex)
+    for name, params in ops:
+        total = Gate(name, params).matrix() @ total
+    return total
+
+
+def synthesis_error(matrix: np.ndarray, ops: List[Tuple[str, Tuple[float, ...]]]) -> float:
+    """Frobenius distance (up to global phase) between a matrix and a synthesised sequence."""
+    approx = matrix_of_ops(ops)
+    phase = global_phase_between(matrix, approx)
+    if phase is None:
+        return float("inf")
+    return float(np.linalg.norm(matrix - np.exp(1j * phase) * approx))

@@ -1,0 +1,6 @@
+"""Transpiler framework: pass manager and the standard pass library."""
+
+from .passmanager import PassManager, PropertySet, TranspilerPass
+from . import passes
+
+__all__ = ["PassManager", "PropertySet", "TranspilerPass", "passes"]

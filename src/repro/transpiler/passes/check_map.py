@@ -1,0 +1,44 @@
+"""Verification that a routed circuit respects the device coupling map."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...circuit.circuit import QuantumCircuit
+from ...exceptions import TranspilerError
+from ...hardware.coupling import CouplingMap
+from ..passmanager import PropertySet, TranspilerPass
+
+
+def coupling_violations(circuit: QuantumCircuit, coupling_map: CouplingMap) -> List[Tuple[int, str, Tuple[int, ...]]]:
+    """All two-qubit gates applied to physically unconnected qubit pairs."""
+    violations = []
+    for pos, inst in enumerate(circuit.data):
+        if inst.name == "barrier" or not inst.gate.is_unitary:
+            continue
+        if len(inst.qubits) == 2:
+            a, b = inst.qubits
+            if not coupling_map.is_connected(a, b):
+                violations.append((pos, inst.name, inst.qubits))
+        elif len(inst.qubits) > 2:
+            violations.append((pos, inst.name, inst.qubits))
+    return violations
+
+
+class CheckMap(TranspilerPass):
+    """Raise if any two-qubit gate is applied to an unconnected pair."""
+
+    def __init__(self, coupling_map: CouplingMap) -> None:
+        super().__init__()
+        self.coupling_map = coupling_map
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        violations = coupling_violations(circuit, self.coupling_map)
+        property_set["is_mapped"] = not violations
+        if violations:
+            first = violations[0]
+            raise TranspilerError(
+                f"{len(violations)} gate(s) violate the coupling map; first: "
+                f"{first[1]} on {first[2]} at position {first[0]}"
+            )
+        return circuit

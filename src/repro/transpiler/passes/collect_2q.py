@@ -1,0 +1,87 @@
+"""Two-qubit block collection (the Qiskit ``Collect2qBlocks`` pass, paper Sec. III).
+
+A *two-qubit block* is a maximal run of gates that act only on a fixed pair of qubits
+(including the single-qubit gates interleaved on those two wires).  Blocks are what the
+``UnitarySynthesis`` pass re-synthesises into at most three CNOTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...circuit.circuit import Instruction, QuantumCircuit
+from ..passmanager import PropertySet, TranspilerPass
+
+
+@dataclass
+class TwoQubitBlock:
+    """A run of instructions confined to one pair of qubits."""
+
+    qubits: Tuple[int, int]
+    positions: List[int] = field(default_factory=list)
+
+    def two_qubit_gate_count(self) -> int:
+        return len(self.positions)
+
+
+class Collect2qBlocks(TranspilerPass):
+    """Identify two-qubit blocks and record them in the property set.
+
+    ``property_set["block_list"]`` holds a list of blocks, each a list of instruction indices
+    into ``circuit.data`` (in circuit order).  ``property_set["block_id"]`` maps an
+    instruction index to its block index (only for instructions that are inside a block).
+    """
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        blocks: List[List[int]] = []
+        block_pairs: List[Tuple[int, int]] = []
+        current_block: Dict[int, Optional[int]] = {q: None for q in range(circuit.num_qubits)}
+        pending_1q: Dict[int, List[int]] = {q: [] for q in range(circuit.num_qubits)}
+
+        def close(qubit: int) -> None:
+            current_block[qubit] = None
+            pending_1q[qubit] = []
+
+        for pos, inst in enumerate(circuit.data):
+            qubits = inst.qubits
+            if (not inst.gate.is_unitary) or inst.name == "barrier" or len(qubits) > 2:
+                for q in qubits:
+                    close(q)
+                continue
+            if len(qubits) == 1:
+                q = qubits[0]
+                block_idx = current_block[q]
+                if block_idx is not None:
+                    blocks[block_idx].append(pos)
+                else:
+                    pending_1q[q].append(pos)
+                continue
+            a, b = qubits
+            idx_a, idx_b = current_block[a], current_block[b]
+            if idx_a is not None and idx_a == idx_b:
+                blocks[idx_a].append(pos)
+                continue
+            # Start a new block on (a, b); absorb any floating 1q gates on these wires.
+            if idx_a is not None:
+                current_block[a] = None
+            if idx_b is not None:
+                current_block[b] = None
+            new_positions = sorted(pending_1q[a] + pending_1q[b])
+            pending_1q[a] = []
+            pending_1q[b] = []
+            new_positions.append(pos)
+            blocks.append(new_positions)
+            block_pairs.append((a, b))
+            current_block[a] = len(blocks) - 1
+            current_block[b] = len(blocks) - 1
+
+        block_id: Dict[int, int] = {}
+        for idx, positions in enumerate(blocks):
+            for pos in positions:
+                block_id[pos] = idx
+
+        property_set["block_list"] = blocks
+        property_set["block_pairs"] = block_pairs
+        property_set["block_id"] = block_id
+        return circuit

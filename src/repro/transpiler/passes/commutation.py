@@ -1,0 +1,230 @@
+"""Commutation analysis and commutative gate cancellation (paper Sec. II-C and III).
+
+``CommutationAnalysis`` groups, per wire, maximal runs of mutually-commuting gates into
+*commute sets*.  ``CommutativeCancellation`` then cancels pairs of self-inverse gates (most
+importantly CNOTs) that sit in the same commute set on every wire they touch, and merges
+runs of rotations about the same axis.  This is the optimization that makes some SWAP
+decompositions cheaper than others (Fig. 4 and Fig. 7 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ...circuit.circuit import Instruction, QuantumCircuit, expand_gate_matrix
+from ...circuit.gates import Gate, gate as make_gate
+from ..passmanager import PropertySet, TranspilerPass
+
+_COMMUTE_CACHE: Dict[Tuple, bool] = {}
+
+#: Gates that are diagonal in the computational basis (always commute with each other).
+_DIAGONAL_GATES = {"z", "s", "sdg", "t", "tdg", "rz", "p", "u1", "cz", "cp", "cu1", "crz", "rzz"}
+
+
+def _cache_key(inst_a: Instruction, inst_b: Instruction) -> Tuple:
+    def describe(inst: Instruction, qubit_map: Dict[int, int]) -> Tuple:
+        return (
+            inst.name,
+            tuple(round(p, 12) for p in inst.gate.params),
+            tuple(qubit_map[q] for q in inst.qubits),
+        )
+
+    qubits = sorted(set(inst_a.qubits) | set(inst_b.qubits))
+    qubit_map = {q: i for i, q in enumerate(qubits)}
+    return describe(inst_a, qubit_map), describe(inst_b, qubit_map)
+
+
+def gates_commute(inst_a: Instruction, inst_b: Instruction) -> bool:
+    """True if the two instructions commute as operators.
+
+    Fast rule-based checks cover the common cases (disjoint supports, diagonal gates, CNOTs
+    sharing a control or a target); everything else falls back to an explicit matrix check on
+    the joint support (at most four qubits here), with memoisation.
+    """
+    if not inst_a.gate.is_unitary or not inst_b.gate.is_unitary:
+        return False
+    if inst_a.name == "barrier" or inst_b.name == "barrier":
+        return False
+    shared = set(inst_a.qubits) & set(inst_b.qubits)
+    if not shared:
+        return True
+    if inst_a.name in _DIAGONAL_GATES and inst_b.name in _DIAGONAL_GATES:
+        return True
+    if inst_a.name == "cx" and inst_b.name == "cx":
+        control_a, target_a = inst_a.qubits
+        control_b, target_b = inst_b.qubits
+        if control_a == control_b and target_a != target_b:
+            return True
+        if target_a == target_b and control_a != control_b:
+            return True
+        if (control_a, target_a) == (control_b, target_b):
+            return True
+        return False
+
+    key = _cache_key(inst_a, inst_b)
+    if key in _COMMUTE_CACHE:
+        return _COMMUTE_CACHE[key]
+    qubits = sorted(set(inst_a.qubits) | set(inst_b.qubits))
+    index = {q: i for i, q in enumerate(qubits)}
+    n = len(qubits)
+    mat_a = expand_gate_matrix(inst_a.gate.matrix(), [index[q] for q in inst_a.qubits], n)
+    mat_b = expand_gate_matrix(inst_b.gate.matrix(), [index[q] for q in inst_b.qubits], n)
+    result = bool(np.allclose(mat_a @ mat_b, mat_b @ mat_a, atol=1e-9))
+    if len(_COMMUTE_CACHE) < 100000:
+        _COMMUTE_CACHE[key] = result
+    return result
+
+
+class CommutationAnalysis(TranspilerPass):
+    """Group gates into per-wire commute sets.
+
+    Results are stored in ``property_set["commutation_sets"]`` as a mapping
+    ``qubit -> list of commute sets``, each commute set being a list of instruction indices
+    into ``circuit.data``.  ``property_set["commutation_index"]`` maps
+    ``(qubit, instruction_index) -> set index`` for O(1) lookup.
+    """
+
+    #: Bound on the number of gates examined per commute set (paper Sec. IV-E).
+    MAX_SET_SIZE = 20
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        sets: Dict[int, List[List[int]]] = {q: [] for q in range(circuit.num_qubits)}
+        index: Dict[Tuple[int, int], int] = {}
+        for pos, inst in enumerate(circuit.data):
+            if not inst.gate.is_unitary or inst.name == "barrier":
+                # Directives split every commute set on their wires.
+                for q in inst.qubits:
+                    sets[q].append([])
+                continue
+            for q in inst.qubits:
+                groups = sets[q]
+                if not groups:
+                    groups.append([])
+                current = groups[-1]
+                # Bounded search (paper Sec. IV-E): very large commute sets are split rather
+                # than scanned, which is conservative (never merges gates that might not
+                # commute) and keeps the analysis O(1) per gate.
+                if len(current) >= self.MAX_SET_SIZE:
+                    groups.append([pos])
+                    index[(q, pos)] = len(groups) - 1
+                    continue
+                commutes_with_all = all(
+                    gates_commute(inst, circuit.data[other_pos]) for other_pos in current
+                )
+                if current and not commutes_with_all:
+                    groups.append([pos])
+                else:
+                    current.append(pos)
+                index[(q, pos)] = len(groups) - 1
+        property_set["commutation_sets"] = sets
+        property_set["commutation_index"] = index
+        return circuit
+
+
+class CommutativeCancellation(TranspilerPass):
+    """Cancel self-inverse gates and merge rotations using commutation relations."""
+
+    _SELF_INVERSE_1Q = {"x", "y", "z", "h"}
+    _ROTATION_AXES = {"rz": "z", "p": "z", "u1": "z", "z": "z", "s": "z", "sdg": "z",
+                      "t": "z", "tdg": "z", "rx": "x", "x": "x", "sx": "x", "sxdg": "x"}
+    _AXIS_ANGLES = {"z": np.pi, "s": np.pi / 2, "sdg": -np.pi / 2, "t": np.pi / 4,
+                    "tdg": -np.pi / 4, "x": np.pi, "sx": np.pi / 2, "sxdg": -np.pi / 2}
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        analysis = CommutationAnalysis()
+        analysis.run(circuit, property_set)
+        index: Dict[Tuple[int, int], int] = property_set["commutation_index"]
+
+        removed: Set[int] = set()
+        replacement: Dict[int, List[Instruction]] = {}
+
+        # --- Two-qubit self-inverse cancellation (cx, cz, swap) --------------------
+        for name in ("cx", "cz", "swap"):
+            groups: Dict[Tuple, List[int]] = {}
+            for pos, inst in enumerate(circuit.data):
+                if inst.name != name or pos in removed:
+                    continue
+                q0, q1 = inst.qubits
+                key_qubits = inst.qubits if name == "cx" else tuple(sorted(inst.qubits))
+                key = (
+                    key_qubits,
+                    index.get((q0, pos)),
+                    index.get((q1, pos)),
+                )
+                groups.setdefault(key, []).append(pos)
+            for positions in groups.values():
+                # Cancel pairs: an even count disappears entirely, an odd count keeps one.
+                for first, second in zip(positions[0::2], positions[1::2]):
+                    removed.add(first)
+                    removed.add(second)
+
+        # --- Single-qubit cancellation and rotation merging -------------------------
+        for qubit in range(circuit.num_qubits):
+            groups = {}
+            for pos, inst in enumerate(circuit.data):
+                if pos in removed or len(inst.qubits) != 1 or inst.qubits[0] != qubit:
+                    continue
+                if not inst.gate.is_unitary:
+                    continue
+                group_id = index.get((qubit, pos))
+                if group_id is None:
+                    continue
+                groups.setdefault(group_id, []).append(pos)
+            for positions in groups.values():
+                self._simplify_single_qubit_group(circuit, positions, removed, replacement, qubit)
+
+        out = circuit.copy_empty()
+        for pos, inst in enumerate(circuit.data):
+            if pos in removed:
+                continue
+            if pos in replacement:
+                for rep in replacement[pos]:
+                    out.append(rep.gate, rep.qubits)
+                continue
+            if inst.name == "barrier":
+                out.barrier(*inst.qubits)
+            else:
+                out.append(inst.gate.copy(), inst.qubits, inst.clbits)
+        return out
+
+    def _simplify_single_qubit_group(
+        self,
+        circuit: QuantumCircuit,
+        positions: List[int],
+        removed: Set[int],
+        replacement: Dict[int, List[Instruction]],
+        qubit: int,
+    ) -> None:
+        # Cancel identical self-inverse gates pairwise.
+        for name in self._SELF_INVERSE_1Q:
+            matching = [p for p in positions if circuit.data[p].name == name and p not in removed]
+            for first, second in zip(matching[0::2], matching[1::2]):
+                removed.add(first)
+                removed.add(second)
+
+        # Merge rotations about the same axis into a single rotation.
+        for axis, rot_name in (("z", "rz"), ("x", "rx")):
+            matching = [
+                p
+                for p in positions
+                if p not in removed
+                and self._ROTATION_AXES.get(circuit.data[p].name) == axis
+                and circuit.data[p].name not in self._SELF_INVERSE_1Q
+            ]
+            if len(matching) < 2:
+                continue
+            total = 0.0
+            for p in matching:
+                inst = circuit.data[p]
+                if inst.gate.params:
+                    total += inst.gate.params[0]
+                else:
+                    total += self._AXIS_ANGLES[inst.name]
+            for p in matching:
+                removed.add(p)
+            total = float(np.mod(total + np.pi, 2 * np.pi) - np.pi)
+            if abs(total) > 1e-10:
+                replacement[matching[0]] = [Instruction(make_gate(rot_name, total), (qubit,))]
+                removed.discard(matching[0])

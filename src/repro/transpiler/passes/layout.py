@@ -1,0 +1,119 @@
+"""Logical-to-physical qubit layout selection and application."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...circuit.circuit import QuantumCircuit
+from ...exceptions import TranspilerError
+from ...hardware.coupling import CouplingMap
+from ..passmanager import PropertySet, TranspilerPass
+
+
+class Layout:
+    """A bijective mapping between logical (virtual) qubits and physical qubits."""
+
+    def __init__(self, logical_to_physical: Dict[int, int]) -> None:
+        self._l2p = dict(logical_to_physical)
+        self._p2l = {p: l for l, p in self._l2p.items()}
+        if len(self._p2l) != len(self._l2p):
+            raise TranspilerError("layout is not injective")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def trivial(cls, num_logical: int) -> "Layout":
+        return cls({q: q for q in range(num_logical)})
+
+    @classmethod
+    def random(cls, num_logical: int, num_physical: int, seed: Optional[int] = None) -> "Layout":
+        if num_logical > num_physical:
+            raise TranspilerError("circuit has more qubits than the device")
+        rng = np.random.default_rng(seed)
+        physical = rng.permutation(num_physical)[:num_logical]
+        return cls({l: int(p) for l, p in enumerate(physical)})
+
+    @classmethod
+    def from_physical_list(cls, physical_qubits: Sequence[int]) -> "Layout":
+        return cls({l: int(p) for l, p in enumerate(physical_qubits)})
+
+    # -- queries ------------------------------------------------------------
+
+    def physical(self, logical: int) -> int:
+        return self._l2p[logical]
+
+    def logical(self, physical: int) -> Optional[int]:
+        return self._p2l.get(physical)
+
+    def logical_to_physical(self) -> Dict[int, int]:
+        return dict(self._l2p)
+
+    def num_logical(self) -> int:
+        return len(self._l2p)
+
+    def copy(self) -> "Layout":
+        return Layout(self._l2p)
+
+    # -- mutation -----------------------------------------------------------
+
+    def swap_physical(self, p0: int, p1: int) -> None:
+        """Exchange the logical qubits sitting on two physical qubits (SWAP insertion)."""
+        l0 = self._p2l.get(p0)
+        l1 = self._p2l.get(p1)
+        if l0 is not None:
+            self._l2p[l0] = p1
+        if l1 is not None:
+            self._l2p[l1] = p0
+        self._p2l = {p: l for l, p in self._l2p.items()}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Layout) and other._l2p == self._l2p
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Layout({self._l2p})"
+
+
+class SetLayout(TranspilerPass):
+    """Record a chosen layout in the property set."""
+
+    def __init__(self, layout: Layout) -> None:
+        super().__init__()
+        self.layout = layout
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        property_set["layout"] = self.layout.copy()
+        return circuit
+
+
+class TrivialLayout(TranspilerPass):
+    """Choose the identity layout (logical i -> physical i)."""
+
+    def __init__(self, coupling_map: CouplingMap) -> None:
+        super().__init__()
+        self.coupling_map = coupling_map
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        if circuit.num_qubits > self.coupling_map.num_qubits:
+            raise TranspilerError("circuit does not fit on the device")
+        property_set["layout"] = Layout.trivial(circuit.num_qubits)
+        return circuit
+
+
+class ApplyLayout(TranspilerPass):
+    """Rewrite the circuit over the device's physical qubits using the chosen layout."""
+
+    def __init__(self, coupling_map: CouplingMap) -> None:
+        super().__init__()
+        self.coupling_map = coupling_map
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        layout: Optional[Layout] = property_set.get("layout")
+        if layout is None:
+            layout = Layout.trivial(circuit.num_qubits)
+            property_set["layout"] = layout
+        mapping = {l: layout.physical(l) for l in range(circuit.num_qubits)}
+        out = circuit.remap_qubits(mapping, num_qubits=self.coupling_map.num_qubits)
+        property_set["original_num_qubits"] = circuit.num_qubits
+        return out

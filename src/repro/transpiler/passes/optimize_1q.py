@@ -1,0 +1,90 @@
+"""Single-qubit gate optimization (the Qiskit ``Optimize1qGates`` pass, paper Sec. II-C).
+
+Adjacent runs of single-qubit gates on the same wire are multiplied together and re-emitted
+either as a single ``u`` gate or as an ``rz``/``sx`` sequence in the hardware basis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ...circuit.circuit import Instruction, QuantumCircuit
+from ...circuit.gates import Gate, gate as make_gate
+from ...exceptions import TranspilerError
+from ...synthesis.one_qubit import synthesize_zsx, u_params_from_matrix
+from ..passmanager import PropertySet, TranspilerPass
+
+_IDENTITY_TOL = 1e-9
+
+
+class Optimize1qGates(TranspilerPass):
+    """Merge runs of adjacent single-qubit gates and re-synthesise them.
+
+    ``output`` selects the emitted form: ``"u"`` (a single generic rotation, compact and
+    convenient before routing) or ``"zsx"`` (the ``{rz, sx, x}`` hardware basis used for the
+    final circuits whose CNOT counts and depths the paper reports).
+    """
+
+    def __init__(self, output: str = "u") -> None:
+        super().__init__()
+        if output not in ("u", "zsx"):
+            raise TranspilerError(f"unknown 1q synthesis output format {output!r}")
+        self.output = output
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        out = circuit.copy_empty()
+        pending: List[Optional[np.ndarray]] = [None] * circuit.num_qubits
+
+        def flush(qubit: int) -> None:
+            matrix = pending[qubit]
+            pending[qubit] = None
+            if matrix is None:
+                return
+            if np.allclose(matrix, np.eye(2) * matrix[0, 0], atol=_IDENTITY_TOL):
+                return
+            for inst in self._emit(matrix, qubit):
+                out.append(inst.gate, inst.qubits)
+
+        for inst in circuit.data:
+            if len(inst.qubits) == 1 and inst.gate.is_unitary and inst.name != "barrier":
+                q = inst.qubits[0]
+                matrix = inst.gate.matrix()
+                pending[q] = matrix if pending[q] is None else matrix @ pending[q]
+                continue
+            for q in inst.qubits:
+                flush(q)
+            if inst.name == "barrier":
+                out.barrier(*inst.qubits)
+            else:
+                out.append(inst.gate.copy(), inst.qubits, inst.clbits)
+        for q in range(circuit.num_qubits):
+            flush(q)
+        return out
+
+    def _emit(self, matrix: np.ndarray, qubit: int) -> List[Instruction]:
+        if self.output == "u":
+            theta, phi, lam, _ = u_params_from_matrix(matrix)
+            if abs(theta) < _IDENTITY_TOL and abs(phi + lam) < _IDENTITY_TOL:
+                return []
+            return [Instruction(make_gate("u", theta, phi, lam), (qubit,))]
+        ops = synthesize_zsx(matrix)
+        return [Instruction(Gate(name, params), (qubit,)) for name, params in ops]
+
+
+class RemoveIdentities(TranspilerPass):
+    """Drop explicit identity gates and zero-angle rotations."""
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        out = circuit.copy_empty()
+        for inst in circuit.data:
+            if inst.name == "id":
+                continue
+            if inst.name in ("rz", "rx", "ry", "p", "u1") and abs(inst.gate.params[0]) < _IDENTITY_TOL:
+                continue
+            if inst.name == "barrier":
+                out.barrier(*inst.qubits)
+            else:
+                out.append(inst.gate.copy(), inst.qubits, inst.clbits)
+        return out

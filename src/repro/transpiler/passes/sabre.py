@@ -1,0 +1,337 @@
+"""SABRE qubit routing (Li, Ding, Xie - ASPLOS 2019), the paper's baseline.
+
+The router processes the logical circuit's DAG layer by layer (resolved / front / extended
+layers, paper Fig. 6), inserting SWAPs chosen by a lookahead heuristic cost function over the
+device distance matrix.  :class:`SabreSwapRouter` is also the base class for the NASSC router
+in :mod:`repro.core.nassc`, which only overrides the cost function and the SWAP labelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ...circuit.circuit import Instruction, QuantumCircuit
+from ...circuit.dag import DAGCircuit, DAGNode, ExecutionFrontier
+from ...circuit.gates import Gate, gate as make_gate
+from ...exceptions import TranspilerError
+from ...hardware.coupling import CouplingMap
+from ..passmanager import PropertySet, TranspilerPass
+from .layout import Layout
+
+
+@dataclass
+class RoutingResult:
+    """Output of one routing run."""
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    num_swaps: int
+    swap_labels: Dict[int, str] = field(default_factory=dict)
+
+
+class SabreSwapRouter:
+    """SWAP-based bidirectional heuristic router (SABRE).
+
+    Parameters mirror the paper's configuration (Sec. V): extended-layer size 20 and
+    extended-layer weight 0.5.
+    """
+
+    #: Number of SWAP insertions without resolving any gate before the safety valve engages.
+    _STALL_LIMIT_FACTOR = 10
+
+    def __init__(
+        self,
+        coupling_map: CouplingMap,
+        *,
+        extended_set_size: int = 20,
+        extended_set_weight: float = 0.5,
+        decay_delta: float = 0.001,
+        seed: Optional[int] = None,
+        distance_matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        self.coupling_map = coupling_map
+        self.extended_set_size = extended_set_size
+        self.extended_set_weight = extended_set_weight
+        self.decay_delta = decay_delta
+        self.seed = seed
+        self.distance = (
+            np.asarray(distance_matrix, dtype=float)
+            if distance_matrix is not None
+            else coupling_map.distance_matrix()
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def route(self, circuit: QuantumCircuit, initial_layout: Optional[Layout] = None) -> RoutingResult:
+        """Route a logical circuit onto the device, inserting SWAP gates as needed."""
+        if circuit.num_qubits > self.coupling_map.num_qubits:
+            raise TranspilerError(
+                f"circuit needs {circuit.num_qubits} qubits but the device has "
+                f"{self.coupling_map.num_qubits}"
+            )
+        for inst in circuit.data:
+            if len(inst.qubits) > 2 and inst.name != "barrier":
+                raise TranspilerError(
+                    f"cannot route gate '{inst.name}' on {len(inst.qubits)} qubits; decompose first"
+                )
+
+        rng = np.random.default_rng(self.seed)
+        layout = (initial_layout or Layout.trivial(circuit.num_qubits)).copy()
+        initial = layout.copy()
+        dag = DAGCircuit.from_circuit(circuit)
+        frontier = ExecutionFrontier(dag)
+        out = QuantumCircuit(self.coupling_map.num_qubits, circuit.num_clbits, circuit.name)
+        out.metadata = dict(circuit.metadata)
+
+        self._wire_history: Dict[int, List[int]] = {q: [] for q in range(self.coupling_map.num_qubits)}
+        self._decay = np.ones(self.coupling_map.num_qubits)
+        swap_labels: Dict[int, str] = {}
+        num_swaps = 0
+        stall_counter = 0
+        stall_limit = self._STALL_LIMIT_FACTOR * (self.coupling_map.diameter() + 1)
+        last_swap: Optional[Tuple[int, int]] = None
+
+        while not frontier.is_done():
+            executed_any = self._execute_ready_gates(frontier, layout, out)
+            if executed_any:
+                self._decay[:] = 1.0
+                stall_counter = 0
+                last_swap = None
+                continue
+            if frontier.is_done():
+                break
+
+            front_gates = [n for n in frontier.front if n.is_two_qubit()]
+            if not front_gates:
+                raise TranspilerError("routing stalled with no two-qubit gate in the front layer")
+            extended = frontier.lookahead(self.extended_set_size)
+
+            if stall_counter >= stall_limit:
+                # Safety valve: march the first blocked gate together along a shortest path.
+                swap = self._forced_swap(front_gates[0], layout)
+            else:
+                candidates = self._swap_candidates(front_gates, layout)
+                if last_swap in candidates and len(candidates) > 1:
+                    candidates = [c for c in candidates if c != last_swap]
+                swap = self._select_swap(candidates, front_gates, extended, layout, rng)
+
+            label = self._swap_label(swap, front_gates, layout, out)
+            position = len(out.data)
+            gate_obj = make_gate("swap")
+            gate_obj.label = label
+            out.append(gate_obj, swap)
+            self._record_wire(position, swap)
+            if label:
+                swap_labels[position] = label
+            layout.swap_physical(*swap)
+            self._decay[swap[0]] += self.decay_delta
+            self._decay[swap[1]] += self.decay_delta
+            num_swaps += 1
+            stall_counter += 1
+            last_swap = swap
+
+        return RoutingResult(
+            circuit=out,
+            initial_layout=initial,
+            final_layout=layout,
+            num_swaps=num_swaps,
+            swap_labels=swap_labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Gate execution
+    # ------------------------------------------------------------------
+
+    def _execute_ready_gates(
+        self, frontier: ExecutionFrontier, layout: Layout, out: QuantumCircuit
+    ) -> bool:
+        executed_any = False
+        progress = True
+        while progress:
+            progress = False
+            for node in list(frontier.front):
+                if self._is_executable(node, layout):
+                    self._emit(node, layout, out)
+                    frontier.resolve(node)
+                    progress = True
+                    executed_any = True
+        return executed_any
+
+    def _is_executable(self, node: DAGNode, layout: Layout) -> bool:
+        if node.name == "barrier" or not node.gate.is_unitary or len(node.qubits) == 1:
+            return True
+        a, b = node.qubits
+        return self.coupling_map.is_connected(layout.physical(a), layout.physical(b))
+
+    def _emit(self, node: DAGNode, layout: Layout, out: QuantumCircuit) -> None:
+        physical = tuple(layout.physical(q) for q in node.qubits)
+        position = len(out.data)
+        if node.name == "barrier":
+            out.barrier(*physical)
+        else:
+            out.append(node.gate.copy(), physical, node.clbits)
+        self._record_wire(position, physical)
+
+    def _record_wire(self, position: int, physical_qubits: Sequence[int]) -> None:
+        for p in physical_qubits:
+            self._wire_history[p].append(position)
+
+    # ------------------------------------------------------------------
+    # SWAP selection
+    # ------------------------------------------------------------------
+
+    def _swap_candidates(self, front_gates: List[DAGNode], layout: Layout) -> List[Tuple[int, int]]:
+        candidates: Set[Tuple[int, int]] = set()
+        for node in front_gates:
+            for logical in node.qubits:
+                physical = layout.physical(logical)
+                for neighbor in self.coupling_map.neighbors(physical):
+                    candidates.add((min(physical, neighbor), max(physical, neighbor)))
+        return sorted(candidates)
+
+    def _select_swap(
+        self,
+        candidates: List[Tuple[int, int]],
+        front_gates: List[DAGNode],
+        extended: List[DAGNode],
+        layout: Layout,
+        rng: np.random.Generator,
+    ) -> Tuple[int, int]:
+        if not candidates:
+            raise TranspilerError("no SWAP candidates available (disconnected coupling map?)")
+        scores = np.array(
+            [self._score_swap(swap, front_gates, extended, layout) for swap in candidates]
+        )
+        best = scores.min()
+        best_indices = [i for i, s in enumerate(scores) if s <= best + 1e-12]
+        choice = int(rng.integers(len(best_indices)))
+        return candidates[best_indices[choice]]
+
+    def _mapped_distance(
+        self, node: DAGNode, layout: Layout, swap: Tuple[int, int]
+    ) -> float:
+        a, b = node.qubits
+        pa, pb = layout.physical(a), layout.physical(b)
+        p0, p1 = swap
+        if pa == p0:
+            pa = p1
+        elif pa == p1:
+            pa = p0
+        if pb == p0:
+            pb = p1
+        elif pb == p1:
+            pb = p0
+        return float(self.distance[pa, pb])
+
+    def _score_swap(
+        self,
+        swap: Tuple[int, int],
+        front_gates: List[DAGNode],
+        extended: List[DAGNode],
+        layout: Layout,
+    ) -> float:
+        """SABRE lookahead cost: normalised front-layer distance plus weighted lookahead."""
+        front_cost = sum(self._mapped_distance(node, layout, swap) for node in front_gates)
+        front_cost /= max(len(front_gates), 1)
+        cost = front_cost
+        if extended:
+            ext_cost = sum(self._mapped_distance(node, layout, swap) for node in extended)
+            cost += self.extended_set_weight * ext_cost / len(extended)
+        decay = max(self._decay[swap[0]], self._decay[swap[1]])
+        return float(decay * cost)
+
+    def _swap_label(
+        self,
+        swap: Tuple[int, int],
+        front_gates: List[DAGNode],
+        layout: Layout,
+        out: QuantumCircuit,
+    ) -> Optional[str]:
+        """Hook for optimization-aware SWAP decomposition labels (fixed orientation here)."""
+        return None
+
+    def _forced_swap(self, node: DAGNode, layout: Layout) -> Tuple[int, int]:
+        """Deterministically move the first blocked gate one hop along a shortest path."""
+        a, b = node.qubits
+        pa, pb = layout.physical(a), layout.physical(b)
+        path = self.coupling_map.shortest_path(pa, pb)
+        return (min(path[0], path[1]), max(path[0], path[1]))
+
+
+class SabreRouting(TranspilerPass):
+    """Transpiler pass wrapper around :class:`SabreSwapRouter`."""
+
+    def __init__(
+        self,
+        coupling_map: CouplingMap,
+        *,
+        extended_set_size: int = 20,
+        extended_set_weight: float = 0.5,
+        seed: Optional[int] = None,
+        distance_matrix: Optional[np.ndarray] = None,
+        router_cls: type = SabreSwapRouter,
+        router_kwargs: Optional[dict] = None,
+    ) -> None:
+        super().__init__()
+        self.coupling_map = coupling_map
+        kwargs = dict(router_kwargs or {})
+        kwargs.setdefault("extended_set_size", extended_set_size)
+        kwargs.setdefault("extended_set_weight", extended_set_weight)
+        kwargs.setdefault("seed", seed)
+        kwargs.setdefault("distance_matrix", distance_matrix)
+        self.router = router_cls(coupling_map, **kwargs)
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        layout = property_set.get("layout") or Layout.trivial(circuit.num_qubits)
+        result = self.router.route(circuit, layout)
+        property_set["final_layout"] = result.final_layout
+        property_set["initial_layout"] = result.initial_layout
+        property_set["num_swaps"] = result.num_swaps
+        return result.circuit
+
+
+class SabreLayoutSelection(TranspilerPass):
+    """SABRE-style initial layout: random start plus reverse-traversal refinement.
+
+    This is the layout method the paper uses for both SABRE and NASSC (Sec. IV-A): route the
+    circuit forward, use the final mapping as the initial mapping of the reversed circuit,
+    route backward, and repeat.  The refined layout is stored in ``property_set["layout"]``.
+    """
+
+    def __init__(
+        self,
+        coupling_map: CouplingMap,
+        *,
+        iterations: int = 2,
+        seed: Optional[int] = None,
+        router_cls: type = SabreSwapRouter,
+        router_kwargs: Optional[dict] = None,
+    ) -> None:
+        super().__init__()
+        self.coupling_map = coupling_map
+        self.iterations = iterations
+        self.seed = seed
+        kwargs = dict(router_kwargs or {})
+        kwargs.setdefault("seed", seed)
+        self.router = router_cls(coupling_map, **kwargs)
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        unitary_only = circuit.without_directives()
+        layout = Layout.random(circuit.num_qubits, self.coupling_map.num_qubits, seed=self.seed)
+        if not unitary_only.two_qubit_pairs():
+            property_set["layout"] = layout
+            return circuit
+        reversed_circuit = unitary_only.reverse_ops()
+        for _ in range(self.iterations):
+            forward = self.router.route(unitary_only, layout)
+            layout = forward.final_layout
+            backward = self.router.route(reversed_circuit, layout)
+            layout = backward.final_layout
+        property_set["layout"] = layout
+        return circuit

@@ -1,0 +1,70 @@
+"""SWAP gate lowering.
+
+A SWAP on qubits ``(a, b)`` is implemented by three CNOTs.  There are two valid
+decompositions, differing in which qubit is the control of the first (and last) CNOT::
+
+    swap(a, b) = cx(a, b) cx(b, a) cx(a, b)   (orientation "a")
+               = cx(b, a) cx(a, b) cx(b, a)   (orientation "b")
+
+The standard compiler always picks a fixed orientation (first form).  NASSC's
+*optimization-aware SWAP decomposition* (paper Sec. IV-E) labels each inserted SWAP with the
+orientation that lets the subsequent commutative-cancellation pass cancel a CNOT.  The label
+is carried in ``Gate.label`` as ``"ctrl:<physical qubit>"``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...circuit.circuit import Instruction, QuantumCircuit
+from ...circuit.gates import gate as make_gate
+from ..passmanager import PropertySet, TranspilerPass
+
+
+def swap_orientation(label: str | None, qubits: tuple) -> int:
+    """Physical qubit that should act as the control of the first CNOT."""
+    a, b = qubits
+    if label and label.startswith("ctrl:"):
+        try:
+            requested = int(label.split(":", 1)[1])
+        except ValueError:
+            return a
+        if requested in (a, b):
+            return requested
+    return a
+
+
+class SwapLowering(TranspilerPass):
+    """Replace every SWAP with three CNOTs, honouring optimization-aware orientation labels."""
+
+    def __init__(self, use_labels: bool = True) -> None:
+        super().__init__()
+        self.use_labels = use_labels
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        out = circuit.copy_empty()
+        for inst in circuit.data:
+            if inst.name != "swap":
+                if inst.name == "barrier":
+                    out.barrier(*inst.qubits)
+                else:
+                    out.append(inst.gate.copy(), inst.qubits, inst.clbits)
+                continue
+            a, b = inst.qubits
+            control = swap_orientation(inst.gate.label if self.use_labels else None, (a, b))
+            target = b if control == a else a
+            out.cx(control, target)
+            out.cx(target, control)
+            out.cx(control, target)
+        return out
+
+
+def lower_swap(a: int, b: int, control_first: int | None = None) -> List[Instruction]:
+    """Instruction list for one SWAP lowering (used by tests and the examples)."""
+    control = a if control_first in (None, a) else b
+    target = b if control == a else a
+    return [
+        Instruction(make_gate("cx"), (control, target)),
+        Instruction(make_gate("cx"), (target, control)),
+        Instruction(make_gate("cx"), (control, target)),
+    ]

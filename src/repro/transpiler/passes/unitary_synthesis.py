@@ -1,0 +1,115 @@
+"""Two-qubit block re-synthesis (the Qiskit ``ConsolidateBlocks`` + ``UnitarySynthesis``
+combination, paper Sec. III and IV-D).
+
+Each collected two-qubit block is multiplied into a 4x4 unitary and re-synthesised with the
+KAK-based :class:`~repro.synthesis.two_qubit.TwoQubitSynthesizer`, which emits at most three
+CNOTs.  A block is only replaced when the re-synthesised form does not increase the CNOT
+count, so the pass never makes the circuit worse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ...circuit.circuit import Instruction, QuantumCircuit
+from ...synthesis.two_qubit import TwoQubitSynthesizer
+from ..passmanager import PropertySet, TranspilerPass
+from .collect_2q import Collect2qBlocks
+
+#: Equivalent-CNOT weight of two-qubit gates when estimating a block's original cost.
+_TWO_QUBIT_WEIGHT = {"cx": 1, "cz": 1, "cy": 1, "cp": 2, "cu1": 2, "crx": 2, "cry": 2,
+                     "crz": 2, "rzz": 2, "rxx": 2, "ryy": 2, "iswap": 2, "dcx": 2,
+                     "swap": 3, "ch": 2, "unitary": 3}
+
+
+def block_matrix(circuit: QuantumCircuit, positions: List[int], pair: Tuple[int, int]) -> np.ndarray:
+    """4x4 unitary of a block, expressed on the pair ``(q0, q1) -> (0, 1)``."""
+    local = QuantumCircuit(2)
+    mapping = {pair[0]: 0, pair[1]: 1}
+    for pos in positions:
+        inst = circuit.data[pos]
+        local.append(inst.gate.copy(), tuple(mapping[q] for q in inst.qubits))
+    return local.to_matrix()
+
+
+def block_cx_weight(circuit: QuantumCircuit, positions: List[int]) -> int:
+    """Equivalent-CNOT cost of the block as currently written."""
+    weight = 0
+    for pos in positions:
+        inst = circuit.data[pos]
+        if len(inst.qubits) == 2:
+            weight += _TWO_QUBIT_WEIGHT.get(inst.name, 3)
+    return weight
+
+
+class UnitarySynthesis(TranspilerPass):
+    """Re-synthesise every two-qubit block with at most three CNOTs."""
+
+    def __init__(self, min_block_size: int = 2, synthesizer: TwoQubitSynthesizer | None = None) -> None:
+        super().__init__()
+        self.min_block_size = min_block_size
+        self._synthesizer = synthesizer or TwoQubitSynthesizer()
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        # Always (re-)collect blocks: block bookkeeping is positional and only valid for the
+        # exact circuit object being rewritten.
+        Collect2qBlocks().run(circuit, property_set)
+        blocks: List[List[int]] = property_set["block_list"]
+        pairs: List[Tuple[int, int]] = property_set["block_pairs"]
+
+        replacements: Dict[int, List[Instruction]] = {}
+        skip: set[int] = set()
+
+        for positions, pair in zip(blocks, pairs):
+            two_qubit_positions = [p for p in positions if len(circuit.data[p].qubits) == 2]
+            if len(positions) < self.min_block_size or not two_qubit_positions:
+                continue
+            old_weight = block_cx_weight(circuit, positions)
+            has_non_cx = any(
+                circuit.data[p].name != "cx" for p in two_qubit_positions
+            )
+            if old_weight <= 1 and not has_non_cx:
+                continue
+            matrix = block_matrix(circuit, positions, pair)
+            result = self._synthesizer.synthesize(matrix)
+            new_cx = result.circuit.cx_count()
+            if new_cx > old_weight:
+                continue
+            if new_cx == old_weight and not has_non_cx and len(positions) <= len(result.circuit.data):
+                # No CNOT was saved and the block is already in CNOT form: keep the original.
+                continue
+            mapped: List[Instruction] = []
+            for inst in result.circuit.data:
+                qubits = tuple(pair[q] for q in inst.qubits)
+                mapped.append(Instruction(inst.gate.copy(), qubits))
+            # Anchor the replacement at the block's first two-qubit gate: every leading
+            # single-qubit member has an empty wire between itself and this anchor, so moving
+            # it to the anchor is safe, whereas anchoring earlier could illegally reorder this
+            # block against a neighbouring block that shares one of its wires.
+            anchor = two_qubit_positions[0]
+            replacements[anchor] = mapped
+            skip.update(positions)
+            skip.discard(anchor)
+
+        if not replacements:
+            return circuit
+
+        out = circuit.copy_empty()
+        for pos, inst in enumerate(circuit.data):
+            if pos in replacements:
+                for rep in replacements[pos]:
+                    out.append(rep.gate, rep.qubits)
+                continue
+            if pos in skip:
+                continue
+            if inst.name == "barrier":
+                out.barrier(*inst.qubits)
+            else:
+                out.append(inst.gate.copy(), inst.qubits, inst.clbits)
+        # The block bookkeeping refers to the old circuit; invalidate it.
+        property_set.pop("block_list", None)
+        property_set.pop("block_pairs", None)
+        property_set.pop("block_id", None)
+        return out

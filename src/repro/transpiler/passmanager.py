@@ -1,0 +1,76 @@
+"""Transpiler pass framework.
+
+A :class:`PassManager` runs a sequence of passes over a circuit.  Passes communicate through
+a shared :class:`PropertySet` (layouts, commutation sets, collected blocks, ...), mirroring
+the structure of the Qiskit transpiler that the paper builds on (Fig. 2 / Fig. 5).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit.circuit import QuantumCircuit
+from ..exceptions import TranspilerError
+
+
+class PropertySet(dict):
+    """Shared key/value store passed between transpiler passes."""
+
+
+class TranspilerPass:
+    """Base class for all transpiler passes.
+
+    Transformation passes return a (possibly new) circuit; analysis passes return the input
+    circuit unchanged and record their results in the property set.
+    """
+
+    #: Human-readable pass name (defaults to the class name).
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+
+    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{self.name}>"
+
+
+class PassManager:
+    """Run a sequence of transpiler passes and collect per-pass timing."""
+
+    def __init__(self, passes: Optional[Sequence[TranspilerPass]] = None) -> None:
+        self._passes: List[TranspilerPass] = list(passes or [])
+        self.property_set = PropertySet()
+        self.timings: Dict[str, float] = {}
+
+    def append(self, pass_: TranspilerPass) -> "PassManager":
+        self._passes.append(pass_)
+        return self
+
+    def extend(self, passes: Sequence[TranspilerPass]) -> "PassManager":
+        self._passes.extend(passes)
+        return self
+
+    @property
+    def passes(self) -> List[TranspilerPass]:
+        return list(self._passes)
+
+    def run(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Run all passes in order on the circuit."""
+        current = circuit
+        for pass_ in self._passes:
+            start = time.perf_counter()
+            result = pass_.run(current, self.property_set)
+            elapsed = time.perf_counter() - start
+            self.timings[pass_.name] = self.timings.get(pass_.name, 0.0) + elapsed
+            if result is None:
+                raise TranspilerError(f"pass {pass_.name} returned None")
+            current = result
+        return current
+
+    def total_time(self) -> float:
+        return sum(self.timings.values())

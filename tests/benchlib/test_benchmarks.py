@@ -1,0 +1,239 @@
+"""Tests for the benchmark circuit generators."""
+
+import numpy as np
+import pytest
+
+from repro.benchlib import (
+    REVLIB_SPECS,
+    adder_n10,
+    apply_mcx,
+    bernstein_vazirani,
+    bv_n19,
+    cuccaro_adder,
+    get_benchmark,
+    grover,
+    grover_n4,
+    grover_n6,
+    mct_network,
+    multiplier,
+    multiplier_n25,
+    noise_benchmarks,
+    qft,
+    qpe,
+    revlib_benchmark,
+    table_benchmarks,
+    vqe_ansatz,
+)
+from repro.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+from repro.simulator import StatevectorSimulator
+
+
+SIM = StatevectorSimulator()
+
+
+def most_likely(circuit, measured=None):
+    counts = SIM.sample_counts(circuit, shots=2048, seed=0, measured_qubits=measured)
+    return max(counts, key=counts.get)
+
+
+class TestMCX:
+    def test_two_controls_is_toffoli(self):
+        circuit = QuantumCircuit(3)
+        apply_mcx(circuit, [0, 1], 2)
+        assert circuit.count_ops() == {"ccx": 1}
+
+    def test_three_controls_with_ancilla(self):
+        circuit = QuantumCircuit(5)
+        for q in range(3):
+            circuit.x(q)
+        apply_mcx(circuit, [0, 1, 2], 3, ancillas=[4])
+        state = SIM.run(circuit)
+        assert abs(state[0b01111]) == pytest.approx(1.0)  # target flipped, ancilla restored
+
+    def test_three_controls_not_all_set(self):
+        circuit = QuantumCircuit(5)
+        circuit.x(0)
+        circuit.x(1)
+        apply_mcx(circuit, [0, 1, 2], 3, ancillas=[4])
+        state = SIM.run(circuit)
+        assert abs(state[0b00011]) == pytest.approx(1.0)  # target unchanged
+
+    def test_missing_ancillas_rejected(self):
+        circuit = QuantumCircuit(4)
+        with pytest.raises(CircuitError):
+            apply_mcx(circuit, [0, 1, 2], 3)
+
+
+class TestGrover:
+    @pytest.mark.parametrize("num_qubits", [4, 6])
+    def test_sizes(self, num_qubits):
+        circuit = grover(num_qubits)
+        assert circuit.num_qubits == num_qubits
+        assert circuit.cx_count() == 0  # only ccx/h/x before decomposition
+        assert circuit.count_gate("ccx") > 0
+
+    def test_amplifies_marked_state(self):
+        circuit = grover_n4()
+        search = 3  # 3 search qubits for the 4-qubit instance
+        counts = SIM.sample_counts(circuit, shots=4096, seed=1, measured_qubits=list(range(search)))
+        assert max(counts, key=counts.get) == "1" * search
+        assert counts["1" * search] / 4096 > 0.7
+
+    def test_iterations_override(self):
+        assert grover(4, iterations=1).size() < grover(4, iterations=3).size()
+
+
+class TestVQE:
+    def test_cx_count_matches_paper(self):
+        assert vqe_ansatz(8).cx_count() == 84
+        assert vqe_ansatz(12).cx_count() == 198
+
+    def test_parameters_are_seeded(self):
+        a = vqe_ansatz(6, seed=3)
+        b = vqe_ansatz(6, seed=3)
+        assert [i.gate.params for i in a.data] == [i.gate.params for i in b.data]
+
+
+class TestBV:
+    def test_cx_count_equals_secret_weight(self):
+        assert bv_n19().cx_count() == 18
+        assert bernstein_vazirani(6, secret=[1, 0, 1, 0, 1]).cx_count() == 3
+
+    def test_recovers_secret(self):
+        secret = [1, 0, 1, 1]
+        circuit = bernstein_vazirani(5, secret=secret)
+        outcome = most_likely(circuit, measured=list(range(4)))
+        assert outcome == "".join(str(b) for b in reversed(secret))
+
+
+class TestQFTQPE:
+    def test_qft_gate_counts(self):
+        circuit = qft(5)
+        assert circuit.count_gate("h") == 5
+        assert circuit.count_gate("cp") == 10
+
+    def test_qft_unitary_matches_dft(self):
+        n = 3
+        circuit = qft(n, do_swaps=True)
+        matrix = circuit.to_matrix()
+        dim = 2 ** n
+        dft = np.array(
+            [[np.exp(2j * np.pi * i * j / dim) for j in range(dim)] for i in range(dim)]
+        ) / np.sqrt(dim)
+        assert np.allclose(matrix, dft, atol=1e-9)
+
+    def test_qft_inverse_is_identity(self):
+        circuit = qft(4).compose(qft(4).inverse())
+        assert np.allclose(circuit.to_matrix(), np.eye(16), atol=1e-9)
+
+    def test_qpe_estimates_phase(self):
+        # phase 1/4 is exactly representable with 3 counting qubits -> counting register = 010.
+        circuit = qpe(3, phase=0.25)
+        outcome = most_likely(circuit, measured=[0, 1, 2])
+        assert outcome == "010"
+
+    def test_qpe_qubit_count(self):
+        assert qpe(8).num_qubits == 9
+
+
+class TestArithmetic:
+    def test_adder_n10_size(self):
+        circuit = adder_n10()
+        assert circuit.num_qubits == 10
+        assert circuit.count_gate("ccx") > 0
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 2), (3, 3), (2, 1)])
+    def test_cuccaro_adder_adds(self, a, b):
+        bits = 2
+        circuit = QuantumCircuit(2 * bits + 2)
+        a_qubits = [1 + 2 * i for i in range(bits)]
+        b_qubits = [2 + 2 * i for i in range(bits)]
+        for i in range(bits):
+            if (a >> i) & 1:
+                circuit.x(a_qubits[i])
+            if (b >> i) & 1:
+                circuit.x(b_qubits[i])
+        adder = cuccaro_adder(bits)
+        combined = circuit.compose(adder)
+        state = SIM.run(combined)
+        outcome = int(np.argmax(np.abs(state)))
+        result_bits = [(outcome >> q) & 1 for q in b_qubits]
+        carry = (outcome >> (2 * bits + 1)) & 1
+        total = sum(bit << i for i, bit in enumerate(result_bits)) + (carry << bits)
+        assert total == a + b
+
+    def test_multiplier_is_carryless_product(self):
+        bits = 2
+        circuit = QuantumCircuit(4 * bits + 1)
+        a_val, b_val = 0b11, 0b10
+        for i in range(bits):
+            if (a_val >> i) & 1:
+                circuit.x(i)
+            if (b_val >> i) & 1:
+                circuit.x(bits + i)
+        combined = circuit.compose(multiplier(bits))
+        state = SIM.run(combined)
+        outcome = int(np.argmax(np.abs(state)))
+        product = 0
+        for j in range(2 * bits):
+            product |= ((outcome >> (2 * bits + j)) & 1) << j
+        # Carry-less product of 0b11 and 0b10 is 0b110.
+        assert product == 0b110
+
+    def test_multiplier_n25_shape(self):
+        circuit = multiplier_n25()
+        assert circuit.num_qubits == 25
+        assert circuit.count_gate("ccx") == 36
+
+
+class TestRevLib:
+    def test_specs_cover_paper_benchmarks(self):
+        assert {"sqn_258", "rd84_253", "co14_215", "sym9_193"} <= set(REVLIB_SPECS)
+
+    def test_scaled_cnot_volume(self):
+        circuit = revlib_benchmark("sqn_258", scale=0.1)
+        from repro.core import optimize_logical
+        # The MCT network's CX volume (after ccx decomposition) should be near 10% of 4459.
+        from repro.transpiler import PassManager
+        from repro.transpiler.passes import Decompose
+        decomposed = PassManager([Decompose()]).run(circuit)
+        assert 0.04 * 4459 < decomposed.cx_count() < 0.25 * 4459
+
+    def test_deterministic(self):
+        a = revlib_benchmark("rd84_253", scale=0.05)
+        b = revlib_benchmark("rd84_253", scale=0.05)
+        assert [i.name for i in a.data] == [i.name for i in b.data]
+
+    def test_mct_network_gate_set(self):
+        circuit = mct_network(5, 40, seed=2)
+        assert set(circuit.count_ops()) <= {"x", "cx", "ccx"}
+
+
+class TestSuite:
+    def test_table_benchmarks_count(self):
+        assert len(table_benchmarks()) == 15
+
+    def test_qubit_filter(self):
+        small = table_benchmarks(max_qubits=10)
+        assert all(case.num_qubits <= 10 for case in small)
+
+    def test_name_filter(self):
+        cases = table_benchmarks(names=["grover_n4", "qft_n15"])
+        assert [c.name for c in cases] == ["grover_n4", "qft_n15"]
+
+    def test_noise_benchmarks(self):
+        assert len(noise_benchmarks()) == 5
+
+    def test_get_benchmark_builds_named_circuit(self):
+        circuit = get_benchmark("adder_n10")
+        assert circuit.name == "adder_n10"
+        assert circuit.num_qubits == 10
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+    def test_declared_qubit_counts_match_circuits(self):
+        for case in table_benchmarks():
+            assert case.build().num_qubits == case.num_qubits

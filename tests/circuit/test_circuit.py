@@ -1,0 +1,216 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Instruction, QuantumCircuit, expand_gate_matrix, gate
+from repro.exceptions import CircuitError
+from repro.synthesis import allclose_up_to_global_phase
+
+
+class TestConstruction:
+    def test_builder_methods_record_instructions(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.rz(0.5, 2)
+        assert len(circuit) == 3
+        assert circuit.data[1].qubits == (0, 1)
+
+    def test_out_of_range_qubit_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.x(2)
+
+    def test_duplicate_qubits_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.cx(1, 1)
+
+    def test_measure_requires_clbit(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(CircuitError):
+            circuit.measure(1, 5)
+
+    def test_measure_all_grows_clbits(self):
+        circuit = QuantumCircuit(3)
+        circuit.measure_all()
+        assert circuit.num_clbits == 3
+        assert circuit.count_gate("measure") == 3
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(-1)
+
+
+class TestMetrics:
+    def test_counts_and_size(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.barrier()
+        circuit.t(2)
+        assert circuit.count_ops() == {"h": 1, "cx": 2, "barrier": 1, "t": 1}
+        assert circuit.size() == 4
+        assert circuit.cx_count() == 2
+        assert circuit.num_nonlocal_gates() == 2
+
+    def test_depth_series(self):
+        circuit = QuantumCircuit(1)
+        for _ in range(5):
+            circuit.x(0)
+        assert circuit.depth() == 5
+
+    def test_depth_parallel(self):
+        circuit = QuantumCircuit(4)
+        for q in range(4):
+            circuit.h(q)
+        assert circuit.depth() == 1
+
+    def test_depth_with_two_qubit_gates(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        assert circuit.depth() == 3
+
+    def test_barrier_does_not_count_as_depth_layer(self):
+        with_barrier = QuantumCircuit(2)
+        with_barrier.h(0)
+        with_barrier.barrier()
+        with_barrier.h(1)
+        assert with_barrier.depth() == 2  # barrier synchronises, h(1) starts after h(0)
+
+    def test_two_qubit_only_depth(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(1)
+        circuit.cx(0, 1)
+        assert circuit.depth(two_qubit_only=True) == 2
+
+    def test_two_qubit_pairs(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        circuit.cz(1, 2)
+        assert circuit.two_qubit_pairs() == [(0, 2), (1, 2)]
+
+    def test_active_qubits(self):
+        circuit = QuantumCircuit(5)
+        circuit.cx(1, 3)
+        assert circuit.active_qubits() == [1, 3]
+
+
+class TestTransformations:
+    def test_copy_is_deep_for_data(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        copy = circuit.copy()
+        copy.x(1)
+        assert len(circuit) == 1 and len(copy) == 2
+
+    def test_inverse_reverses_unitary(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.t(1)
+        product = circuit.compose(circuit.inverse())
+        assert allclose_up_to_global_phase(product.to_matrix(), np.eye(4))
+
+    def test_inverse_rejects_measurement(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(CircuitError):
+            circuit.inverse()
+
+    def test_compose_with_mapping(self):
+        inner = QuantumCircuit(2)
+        inner.cx(0, 1)
+        outer = QuantumCircuit(3)
+        combined = outer.compose(inner, qubits=[2, 0])
+        assert combined.data[0].qubits == (2, 0)
+
+    def test_compose_length_mismatch(self):
+        inner = QuantumCircuit(2)
+        outer = QuantumCircuit(3)
+        with pytest.raises(CircuitError):
+            outer.compose(inner, qubits=[0])
+
+    def test_remap_qubits(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        remapped = circuit.remap_qubits({0: 3, 1: 1}, num_qubits=5)
+        assert remapped.num_qubits == 5
+        assert remapped.data[0].qubits == (3, 1)
+
+    def test_without_directives(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.measure(0, 0)
+        stripped = circuit.without_directives()
+        assert stripped.count_ops() == {"h": 1}
+
+    def test_reverse_ops(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        reversed_circ = circuit.reverse_ops()
+        assert [inst.name for inst in reversed_circ.data] == ["cx", "h"]
+
+
+class TestUnitaryExtraction:
+    def test_bell_state_unitary(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        state = circuit.to_matrix()[:, 0]
+        expected = np.array([1, 0, 0, 1]) / math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_swap_equals_three_cnots(self):
+        swap_circuit = QuantumCircuit(2)
+        swap_circuit.swap(0, 1)
+        cx_circuit = QuantumCircuit(2)
+        cx_circuit.cx(0, 1)
+        cx_circuit.cx(1, 0)
+        cx_circuit.cx(0, 1)
+        assert np.allclose(swap_circuit.to_matrix(), cx_circuit.to_matrix())
+
+    def test_gate_order_matters(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.h(0)
+        expected = gate("h").matrix() @ gate("x").matrix()
+        assert np.allclose(circuit.to_matrix(), expected)
+
+    def test_large_circuit_refused(self):
+        circuit = QuantumCircuit(14)
+        with pytest.raises(CircuitError):
+            circuit.to_matrix(max_qubits=10)
+
+    def test_measurement_refused(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        with pytest.raises(CircuitError):
+            circuit.to_matrix()
+
+    def test_expand_gate_matrix_on_nonadjacent_qubits(self):
+        cx_02 = expand_gate_matrix(gate("cx").matrix(), [0, 2], 3)
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        assert np.allclose(cx_02, circuit.to_matrix())
+
+    def test_expand_gate_matrix_reversed_order(self):
+        cx_20 = expand_gate_matrix(gate("cx").matrix(), [2, 0], 3)
+        circuit = QuantumCircuit(3)
+        circuit.cx(2, 0)
+        assert np.allclose(cx_20, circuit.to_matrix())
+
+    def test_expand_wrong_size_rejected(self):
+        with pytest.raises(CircuitError):
+            expand_gate_matrix(np.eye(4), [0], 2)

@@ -1,0 +1,53 @@
+"""Tests for random circuit generation helpers."""
+
+import numpy as np
+
+from repro.circuit import random_circuit, random_cx_circuit, random_unitary
+from repro.synthesis import is_unitary
+
+
+class TestRandomCircuit:
+    def test_reproducible_with_seed(self):
+        a = random_circuit(5, 6, seed=42)
+        b = random_circuit(5, 6, seed=42)
+        assert [i.name for i in a.data] == [i.name for i in b.data]
+        assert [i.qubits for i in a.data] == [i.qubits for i in b.data]
+
+    def test_qubit_bounds(self):
+        circuit = random_circuit(6, 10, seed=1)
+        assert all(max(inst.qubits) < 6 for inst in circuit.data)
+
+    def test_depth_scales(self):
+        shallow = random_circuit(4, 2, seed=0)
+        deep = random_circuit(4, 20, seed=0)
+        assert deep.size() > shallow.size()
+
+    def test_two_qubit_probability_extremes(self):
+        only_1q = random_circuit(4, 5, seed=0, two_qubit_prob=0.0)
+        assert only_1q.num_nonlocal_gates() == 0
+        mostly_2q = random_circuit(4, 5, seed=0, two_qubit_prob=1.0)
+        assert mostly_2q.num_nonlocal_gates() >= 5
+
+
+class TestRandomCxCircuit:
+    def test_gate_count(self):
+        circuit = random_cx_circuit(5, 17, seed=3)
+        assert circuit.cx_count() == 17
+        assert circuit.count_ops() == {"cx": 17}
+
+    def test_valid_pairs(self):
+        circuit = random_cx_circuit(4, 30, seed=5)
+        for control, target in circuit.two_qubit_pairs():
+            assert control != target
+
+
+class TestRandomUnitary:
+    def test_unitarity(self):
+        for dim in (2, 4, 8):
+            assert is_unitary(random_unitary(dim, seed=7))
+
+    def test_seed_determinism(self):
+        assert np.allclose(random_unitary(4, seed=9), random_unitary(4, seed=9))
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(random_unitary(4, seed=1), random_unitary(4, seed=2))

@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.hardware import grid_coupling_map, linear_coupling_map, montreal_coupling_map
+from repro.synthesis import allclose_up_to_global_phase
+
+
+@pytest.fixture
+def linear5():
+    return linear_coupling_map(5)
+
+
+@pytest.fixture
+def linear10():
+    return linear_coupling_map(10)
+
+
+@pytest.fixture
+def grid9():
+    return grid_coupling_map(3, 3)
+
+
+@pytest.fixture
+def montreal():
+    return montreal_coupling_map()
+
+
+def assert_unitary_equiv(circuit_a: QuantumCircuit, circuit_b: QuantumCircuit, tol: float = 1e-6):
+    """Assert two circuits implement the same unitary up to a global phase."""
+    mat_a = circuit_a.without_directives().to_matrix()
+    mat_b = circuit_b.without_directives().to_matrix()
+    assert allclose_up_to_global_phase(mat_a, mat_b, tol), "circuits are not equivalent"
+
+
+def bell_pair() -> QuantumCircuit:
+    circuit = QuantumCircuit(2)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    return circuit

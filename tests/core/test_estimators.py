@@ -1,0 +1,168 @@
+"""Tests for the NASSC CNOT-reduction estimators (C2q, Ccommute1, Ccommute2)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gates import gate as make_gate
+from repro.core.estimators import OptimizationEstimator, SwapEstimate
+
+
+def make_history(circuit):
+    history = {q: [] for q in range(circuit.num_qubits)}
+    for pos, inst in enumerate(circuit.data):
+        for q in inst.qubits:
+            history[q].append(pos)
+    return history
+
+
+class TestTrailingBlock:
+    def test_collects_contiguous_pair_gates(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.rz(0.3, 1)
+        circuit.cx(0, 1)
+        estimator = OptimizationEstimator()
+        block = estimator.trailing_block(circuit, make_history(circuit), 0, 1)
+        assert block == [0, 1, 2]
+
+    def test_stops_at_foreign_qubit_gate(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        estimator = OptimizationEstimator()
+        block = estimator.trailing_block(circuit, make_history(circuit), 0, 1)
+        assert block == []
+
+    def test_stops_at_barrier(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.barrier()
+        estimator = OptimizationEstimator()
+        assert estimator.trailing_block(circuit, make_history(circuit), 0, 1) == []
+
+    def test_empty_wires(self):
+        circuit = QuantumCircuit(2)
+        estimator = OptimizationEstimator()
+        assert estimator.trailing_block(circuit, make_history(circuit), 0, 1) == []
+
+
+class TestC2q:
+    def test_single_cx_block_gives_reduction_two(self):
+        # cx + swap re-synthesises to 2 CNOTs instead of 1 + 3: reduction = 2 (paper Fig. 1b).
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        estimator = OptimizationEstimator()
+        assert estimator.estimate_c2q(circuit, make_history(circuit), 0, 1) == 2
+
+    def test_three_cnot_block_gives_full_reduction(self):
+        # Once the trailing block already needs three CNOTs the SWAP is free (reduction 3).
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.rz(0.4, 0)
+        circuit.ry(0.7, 1)
+        circuit.cx(1, 0)
+        circuit.rz(1.1, 1)
+        circuit.cx(0, 1)
+        estimator = OptimizationEstimator()
+        assert estimator.estimate_c2q(circuit, make_history(circuit), 0, 1) == 3
+
+    def test_no_block_gives_zero(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(1, 2)
+        estimator = OptimizationEstimator()
+        assert estimator.estimate_c2q(circuit, make_history(circuit), 0, 1) == 0
+
+    def test_only_single_qubit_gates_gives_zero(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.t(1)
+        estimator = OptimizationEstimator()
+        assert estimator.estimate_c2q(circuit, make_history(circuit), 0, 1) == 0
+
+    def test_cache_reused(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        estimator = OptimizationEstimator()
+        history = make_history(circuit)
+        estimator.estimate_c2q(circuit, history, 0, 1)
+        size_before = len(estimator._count_cache)
+        estimator.estimate_c2q(circuit, history, 0, 1)
+        assert len(estimator._count_cache) == size_before
+
+
+class TestCommutationEstimates:
+    def test_cancellable_cx_found(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        estimator = OptimizationEstimator()
+        c1, c2, orientation = estimator.estimate_commutation(circuit, make_history(circuit), 0, 1)
+        assert c1 == 2 and c2 == 0
+        assert orientation == 0
+
+    def test_orientation_follows_cx_direction(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(1, 0)
+        estimator = OptimizationEstimator()
+        _, _, orientation = estimator.estimate_commutation(circuit, make_history(circuit), 0, 1)
+        assert orientation == 1
+
+    def test_single_qubit_gates_are_skipped(self):
+        # Single-qubit gates before the SWAP are moved through it, so they do not block.
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.rz(0.3, 0)
+        circuit.h(1)
+        estimator = OptimizationEstimator()
+        c1, _, orientation = estimator.estimate_commutation(circuit, make_history(circuit), 0, 1)
+        assert c1 == 2 and orientation == 0
+
+    def test_commuting_cx_does_not_block(self):
+        # A CNOT sharing the target commutes with the SWAP's first CNOT (paper Fig. 4).
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(2, 1)
+        estimator = OptimizationEstimator()
+        c1, _, orientation = estimator.estimate_commutation(circuit, make_history(circuit), 0, 1)
+        assert c1 == 2 and orientation == 0
+
+    def test_non_commuting_gate_blocks(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)  # does not commute with cx(0,1) and touches qubit 1
+        estimator = OptimizationEstimator()
+        c1, c2, orientation = estimator.estimate_commutation(circuit, make_history(circuit), 0, 1)
+        assert c1 == 0 and c2 == 0
+
+    def test_previous_swap_detected_for_ccommute2(self):
+        circuit = QuantumCircuit(3)
+        circuit.swap(0, 1)
+        circuit.cx(0, 2)  # commutes with cx(0,1) (shared control)
+        estimator = OptimizationEstimator()
+        c1, c2, orientation = estimator.estimate_commutation(circuit, make_history(circuit), 0, 1)
+        assert c1 == 0 and c2 == 2
+        assert orientation == 0
+
+    def test_empty_circuit_gives_zero(self):
+        circuit = QuantumCircuit(2)
+        estimator = OptimizationEstimator()
+        assert estimator.estimate_commutation(circuit, make_history(circuit), 0, 1) == (0, 0, None)
+
+
+class TestFullEstimate:
+    def test_enable_flags_respected(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        estimator = OptimizationEstimator()
+        history = make_history(circuit)
+        full = estimator.estimate(circuit, history, 0, 1)
+        assert full.c2q == 2 and full.ccommute1 == 2
+        disabled = estimator.estimate(
+            circuit, history, 0, 1, enable_2q=False, enable_commute1=False, enable_commute2=False
+        )
+        assert disabled.total() == 0
+
+    def test_total_respects_flags(self):
+        estimate = SwapEstimate(c2q=2, ccommute1=2, ccommute2=0)
+        assert estimate.total() == 4
+        assert estimate.total(enable_2q=False) == 2
+        assert estimate.total(enable_commute1=False) == 2

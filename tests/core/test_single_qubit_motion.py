@@ -1,0 +1,98 @@
+"""Tests for single-qubit gate movement through SWAPs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.core import CommuteSingleQubitsThroughSwap
+from repro.transpiler import PassManager
+
+from ..conftest import assert_unitary_equiv
+
+
+def run_pass(circuit):
+    return PassManager([CommuteSingleQubitsThroughSwap()]).run(circuit)
+
+
+class TestSingleQubitMotion:
+    def test_gate_moves_to_swapped_wire(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.swap(0, 1)
+        moved = run_pass(circuit)
+        assert [inst.name for inst in moved.data] == ["swap", "h"]
+        assert moved.data[1].qubits == (1,)
+        assert_unitary_equiv(circuit, moved)
+
+    def test_run_of_gates_keeps_order(self):
+        circuit = QuantumCircuit(2)
+        circuit.t(0)
+        circuit.h(0)
+        circuit.swap(0, 1)
+        moved = run_pass(circuit)
+        assert [inst.name for inst in moved.data] == ["swap", "t", "h"]
+        assert all(inst.qubits == (1,) for inst in moved.data[1:])
+        assert_unitary_equiv(circuit, moved)
+
+    def test_both_wires_move(self):
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.5, 0)
+        circuit.rx(0.3, 1)
+        circuit.swap(0, 1)
+        moved = run_pass(circuit)
+        assert moved.data[0].name == "swap"
+        assert {inst.qubits for inst in moved.data[1:]} == {(0,), (1,)}
+        assert_unitary_equiv(circuit, moved)
+
+    def test_two_qubit_gate_blocks_motion(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 2)
+        circuit.swap(0, 1)
+        moved = run_pass(circuit)
+        assert [inst.name for inst in moved.data] == ["h", "cx", "swap"]
+        assert_unitary_equiv(circuit, moved)
+
+    def test_chained_swaps_carry_gate_forward(self):
+        circuit = QuantumCircuit(3)
+        circuit.t(0)
+        circuit.swap(0, 1)
+        circuit.swap(1, 2)
+        moved = run_pass(circuit)
+        # The T gate should follow its logical qubit: 0 -> 1 -> 2.
+        t_gates = [inst for inst in moved.data if inst.name == "t"]
+        assert t_gates[0].qubits == (2,)
+        assert_unitary_equiv(circuit, moved)
+
+    def test_gates_after_swap_untouched(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        circuit.h(0)
+        moved = run_pass(circuit)
+        assert [inst.name for inst in moved.data] == ["swap", "h"]
+        assert moved.data[1].qubits == (0,)
+
+    def test_interleaved_other_wires_preserved(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(1, 2)
+        circuit.swap(0, 1)
+        moved = run_pass(circuit)
+        assert_unitary_equiv(circuit, moved)
+        assert moved.count_gate("cx") == 1
+
+    def test_measure_blocks_motion(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.swap(0, 1)
+        moved = run_pass(circuit)
+        assert [inst.name for inst in moved.data] == ["h", "measure", "swap"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_preserves_unitary(self, seed):
+        circuit = random_circuit(4, 6, seed=seed, gate_names=["cx", "swap"])
+        moved = run_pass(circuit)
+        assert_unitary_equiv(circuit, moved)
+        assert moved.size() == circuit.size()

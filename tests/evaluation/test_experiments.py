@@ -1,0 +1,134 @@
+"""Tests for the experiment runners (small configurations of the paper's tables/figures)."""
+
+import numpy as np
+import pytest
+
+from repro.benchlib import BenchmarkCase, bv_n5, grover_n4, noise_benchmarks
+from repro.core.nassc import NASSCConfig
+from repro.evaluation import (
+    AblationRow,
+    NOISE_METHODS,
+    cnot_table_to_csv,
+    compare_benchmark,
+    depth_table_to_csv,
+    format_ablation,
+    format_cnot_table,
+    format_depth_table,
+    format_noise_experiment,
+    run_noise_experiment,
+    run_optimization_ablation,
+    run_table_experiment,
+)
+from repro.hardware import linear_coupling_map
+
+SMALL_CASES = [
+    BenchmarkCase("grover_n4", 4, grover_n4),
+    BenchmarkCase("bv_n5", 5, bv_n5),
+]
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return run_table_experiment("linear", cases=SMALL_CASES, seeds=(0,), num_device_qubits=6)
+
+
+class TestTableExperiment:
+    def test_rows_and_names(self, small_table):
+        assert [row.name for row in small_table.rows] == ["grover_n4", "bv_n5"]
+        assert small_table.topology.startswith("linear")
+
+    def test_added_counts_are_nonnegative(self, small_table):
+        for row in small_table.rows:
+            assert row.sabre_cx >= row.original_cx
+            assert row.nassc_cx >= row.original_cx
+
+    def test_delta_columns_consistent(self, small_table):
+        row = small_table.rows[0]
+        assert row.delta_cx_total == pytest.approx(100 * (1 - row.nassc_cx / row.sabre_cx))
+
+    def test_geomeans_finite(self, small_table):
+        assert np.isfinite(small_table.geomean_delta_cx_total)
+        assert np.isfinite(small_table.geomean_delta_cx_added)
+        assert np.isfinite(small_table.geomean_time_ratio)
+
+    def test_formatting_contains_all_rows(self, small_table):
+        text = format_cnot_table(small_table)
+        assert "grover_n4" in text and "geomean" in text
+        depth_text = format_depth_table(small_table)
+        assert "sabre_depth" in depth_text
+
+    def test_csv_export(self, small_table):
+        csv_text = cnot_table_to_csv(small_table)
+        assert csv_text.count("\n") >= 4
+        assert "delta_cx_added_pct" in csv_text.splitlines()[0]
+        assert "bv_n5" in csv_text
+        assert "original_depth" in depth_table_to_csv(small_table).splitlines()[0]
+
+    def test_benchmarks_larger_than_device_skipped(self):
+        result = run_table_experiment(
+            "linear",
+            cases=[BenchmarkCase("bv_n5", 5, bv_n5)],
+            seeds=(0,),
+            num_device_qubits=3,
+        )
+        assert result.rows == []
+
+    def test_compare_benchmark_averages_over_seeds(self):
+        case = BenchmarkCase("grover_n4", 4, grover_n4)
+        row = compare_benchmark(case, linear_coupling_map(5), seeds=(0, 1))
+        assert row.sabre_cx > 0 and row.nassc_cx > 0
+
+
+class TestAblation:
+    def test_eight_combinations_per_row(self):
+        rows = run_optimization_ablation(
+            "linear", cases=[BenchmarkCase("grover_n4", 4, grover_n4)], seeds=(0,),
+            num_device_qubits=5,
+        )
+        assert len(rows) == 1
+        assert len(rows[0].cx_by_combination) == 8
+
+    def test_best_at_least_all_enabled(self):
+        rows = run_optimization_ablation(
+            "linear", cases=SMALL_CASES, seeds=(0,), num_device_qubits=6
+        )
+        for row in rows:
+            assert row.best_reduction >= row.all_enabled_reduction - 1e-9
+
+    def test_combination_key_format(self):
+        key = AblationRow.combination_key(NASSCConfig(True, False, True))
+        assert key == "2q+--+c2"
+
+    def test_formatting(self):
+        rows = run_optimization_ablation(
+            "linear", cases=[BenchmarkCase("grover_n4", 4, grover_n4)], seeds=(0,),
+            num_device_qubits=5,
+        )
+        text = format_ablation(rows, "linear")
+        assert "grover_n4" in text
+
+
+class TestNoiseExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_noise_experiment(
+            cases=noise_benchmarks()[:2], shots=512, seed=0, realizations=16
+        )
+
+    def test_all_methods_present(self, rows):
+        for row in rows:
+            assert set(row.added_cx) == set(NOISE_METHODS)
+            assert set(row.success_rate) == set(NOISE_METHODS)
+
+    def test_success_rates_in_range(self, rows):
+        for row in rows:
+            for rate in row.success_rate.values():
+                assert 0.0 <= rate <= 1.0
+
+    def test_success_rates_nontrivial(self, rows):
+        # With the synthetic calibration the small oracles should succeed most of the time.
+        assert max(rows[0].success_rate.values()) > 0.3
+
+    def test_formatting(self, rows):
+        text = format_noise_experiment(rows)
+        assert "sr_nassc" in text and rows[0].name in text

@@ -1,0 +1,92 @@
+"""Tests for synthetic calibration data and the noise-aware (HA) distance matrix."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    fake_montreal_calibration,
+    hop_distance_matrix,
+    linear_coupling_map,
+    montreal_coupling_map,
+    noise_aware_distance_matrix,
+    swap_error_on_edge,
+    synthetic_calibration,
+)
+
+
+class TestSyntheticCalibration:
+    def test_every_edge_and_qubit_covered(self):
+        cmap = montreal_coupling_map()
+        calib = synthetic_calibration(cmap, seed=3)
+        assert set(calib.cx_error) == set(cmap.edges)
+        assert set(calib.readout_error) == set(range(cmap.num_qubits))
+
+    def test_deterministic_for_a_seed(self):
+        cmap = linear_coupling_map(5)
+        a = synthetic_calibration(cmap, seed=11)
+        b = synthetic_calibration(cmap, seed=11)
+        assert a.cx_error == b.cx_error
+        assert a.readout_error == b.readout_error
+
+    def test_value_ranges(self):
+        calib = fake_montreal_calibration()
+        assert all(6e-3 <= v <= 1.5e-2 for v in calib.cx_error.values())
+        assert all(2e-4 <= v <= 5e-4 for v in calib.single_qubit_error.values())
+        assert all(1e-2 <= v <= 3e-2 for v in calib.readout_error.values())
+
+    def test_cx_error_symmetric_lookup(self):
+        calib = fake_montreal_calibration()
+        a, b = calib.coupling_map.edges[0]
+        assert calib.cx_error_rate(a, b) == calib.cx_error_rate(b, a)
+
+    def test_gate_error_dispatch(self):
+        calib = fake_montreal_calibration()
+        a, b = calib.coupling_map.edges[0]
+        assert calib.gate_error("cx", (a, b)) == calib.cx_error_rate(a, b)
+        assert calib.gate_error("x", (a,)) == calib.single_qubit_error[a]
+
+    def test_best_qubit(self):
+        calib = fake_montreal_calibration()
+        best = calib.best_qubit()
+        assert calib.readout_error[best] == min(calib.readout_error.values())
+
+    def test_swap_error_larger_than_cx_error(self):
+        calib = fake_montreal_calibration()
+        a, b = calib.coupling_map.edges[0]
+        assert swap_error_on_edge(calib, a, b) > calib.cx_error_rate(a, b)
+
+
+class TestNoiseAwareDistance:
+    def test_shape_and_zero_diagonal(self):
+        calib = fake_montreal_calibration()
+        matrix = noise_aware_distance_matrix(calib)
+        assert matrix.shape == (27, 27)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_symmetric(self):
+        calib = fake_montreal_calibration()
+        matrix = noise_aware_distance_matrix(calib)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_pure_hop_weights_recover_hop_distance(self):
+        calib = synthetic_calibration(linear_coupling_map(6), seed=1)
+        matrix = noise_aware_distance_matrix(calib, alpha1=0.0, alpha2=0.0, alpha3=1.0)
+        assert np.allclose(matrix, hop_distance_matrix(calib.coupling_map))
+
+    def test_error_term_orders_links(self):
+        cmap = linear_coupling_map(3)
+        calib = synthetic_calibration(cmap, seed=5)
+        # Make link (0,1) much noisier than (1,2).
+        calib.cx_error[(0, 1)] = 0.05
+        calib.cx_error[(1, 2)] = 0.001
+        matrix = noise_aware_distance_matrix(calib, alpha1=1.0, alpha2=0.0, alpha3=0.0)
+        assert matrix[0, 1] > matrix[1, 2]
+
+    def test_monotone_under_paths(self):
+        calib = fake_montreal_calibration()
+        matrix = noise_aware_distance_matrix(calib)
+        hop = hop_distance_matrix(calib.coupling_map)
+        # Farther (in hops) pairs should on average have larger noise-aware distance.
+        far = matrix[hop == hop.max()].mean()
+        near = matrix[hop == 1].mean()
+        assert far > near

@@ -1,0 +1,80 @@
+"""Tests for coupling maps and distance matrices."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CouplingError
+from repro.hardware import CouplingMap, linear_coupling_map
+
+
+class TestCouplingMap:
+    def test_edges_are_normalised_and_deduplicated(self):
+        cmap = CouplingMap([(1, 0), (0, 1), (1, 2)])
+        assert cmap.edges == ((0, 1), (1, 2))
+        assert cmap.num_qubits == 3
+
+    def test_neighbors_and_degree(self):
+        cmap = linear_coupling_map(4)
+        assert cmap.neighbors(0) == [1]
+        assert cmap.neighbors(1) == [0, 2]
+        assert cmap.degree(1) == 2
+
+    def test_is_connected(self):
+        cmap = linear_coupling_map(4)
+        assert cmap.is_connected(1, 2)
+        assert cmap.is_connected(2, 1)
+        assert not cmap.is_connected(0, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(CouplingError):
+            CouplingMap([(0, 0)])
+
+    def test_num_qubits_too_small_rejected(self):
+        with pytest.raises(CouplingError):
+            CouplingMap([(0, 5)], num_qubits=3)
+
+    def test_out_of_range_query_rejected(self):
+        cmap = linear_coupling_map(3)
+        with pytest.raises(CouplingError):
+            cmap.neighbors(7)
+
+    def test_isolated_qubits_allowed(self):
+        cmap = CouplingMap([(0, 1)], num_qubits=4)
+        assert cmap.degree(3) == 0
+        assert not cmap.is_fully_connected_graph()
+
+
+class TestDistances:
+    def test_linear_distances(self):
+        cmap = linear_coupling_map(5)
+        dist = cmap.distance_matrix()
+        assert dist[0, 4] == 4
+        assert dist[2, 2] == 0
+        assert np.allclose(dist, dist.T)
+
+    def test_distance_method(self):
+        cmap = linear_coupling_map(5)
+        assert cmap.distance(0, 3) == 3
+
+    def test_diameter(self):
+        assert linear_coupling_map(6).diameter() == 5
+
+    def test_shortest_path_endpoints_and_adjacency(self):
+        cmap = linear_coupling_map(6)
+        path = cmap.shortest_path(0, 4)
+        assert path[0] == 0 and path[-1] == 4
+        assert len(path) == 5
+        for a, b in zip(path, path[1:]):
+            assert cmap.is_connected(a, b)
+
+    def test_shortest_path_same_qubit(self):
+        assert linear_coupling_map(3).shortest_path(1, 1) == [1]
+
+    def test_shortest_path_disconnected_raises(self):
+        cmap = CouplingMap([(0, 1)], num_qubits=4)
+        with pytest.raises(CouplingError):
+            cmap.shortest_path(0, 3)
+
+    def test_distance_matrix_cached(self):
+        cmap = linear_coupling_map(4)
+        assert cmap.distance_matrix() is cmap.distance_matrix()

@@ -1,0 +1,70 @@
+"""Tests for the paper's device topologies."""
+
+import pytest
+
+from repro.hardware import (
+    fully_connected_coupling_map,
+    get_topology,
+    grid_coupling_map,
+    heavy_hex_coupling_map,
+    linear_coupling_map,
+    montreal_coupling_map,
+)
+
+
+class TestMontreal:
+    def test_qubit_and_edge_count(self):
+        cmap = montreal_coupling_map()
+        assert cmap.num_qubits == 27
+        assert len(cmap.edges) == 28
+
+    def test_heavy_hex_degree_bound(self):
+        # Heavy-hex lattices have maximum degree 3.
+        cmap = montreal_coupling_map()
+        assert max(cmap.degree(q) for q in range(cmap.num_qubits)) == 3
+
+    def test_connected(self):
+        assert montreal_coupling_map().is_fully_connected_graph()
+
+    def test_heavy_hex_alias(self):
+        assert heavy_hex_coupling_map().num_qubits == 27
+        with pytest.raises(NotImplementedError):
+            heavy_hex_coupling_map(distance=5)
+
+
+class TestLinearAndGrid:
+    def test_linear_default_is_25_qubits(self):
+        cmap = linear_coupling_map()
+        assert cmap.num_qubits == 25
+        assert len(cmap.edges) == 24
+        assert cmap.diameter() == 24
+
+    def test_grid_default_is_5x5(self):
+        cmap = grid_coupling_map()
+        assert cmap.num_qubits == 25
+        assert len(cmap.edges) == 2 * 5 * 4  # 40 edges in a 5x5 grid
+        assert cmap.diameter() == 8
+
+    def test_grid_rectangular(self):
+        cmap = grid_coupling_map(2, 3)
+        assert cmap.num_qubits == 6
+        assert cmap.is_connected(0, 3)
+        assert not cmap.is_connected(0, 4)
+
+    def test_fully_connected(self):
+        cmap = fully_connected_coupling_map(6)
+        assert len(cmap.edges) == 15
+        assert cmap.diameter() == 1
+
+
+class TestGetTopology:
+    @pytest.mark.parametrize("name,qubits", [("montreal", 27), ("linear", 25), ("grid", 25)])
+    def test_lookup(self, name, qubits):
+        assert get_topology(name, 25).num_qubits == qubits
+
+    def test_full_lookup(self):
+        assert get_topology("full", 7).num_qubits == 7
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_topology("torus")

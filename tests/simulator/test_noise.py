@@ -1,0 +1,111 @@
+"""Tests for the noise model and noisy Monte-Carlo simulation."""
+
+import numpy as np
+import pytest
+
+from repro.benchlib import bv_n5
+from repro.circuit import QuantumCircuit
+from repro.hardware import fake_montreal_calibration, linear_coupling_map, synthetic_calibration
+from repro.simulator import NoiseModel, NoisySimulator
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return synthetic_calibration(linear_coupling_map(5), seed=7)
+
+
+class TestNoiseModel:
+    def test_gate_error_lookup(self, calibration):
+        model = NoiseModel.from_calibration(calibration)
+        assert model.gate_error("cx", (0, 1)) == calibration.cx_error_rate(0, 1)
+        assert model.gate_error("x", (2,)) == calibration.single_qubit_error[2]
+        assert model.gate_error("barrier", ()) == 0.0
+
+    def test_scale_factor(self, calibration):
+        model = NoiseModel.from_calibration(calibration, scale=2.0)
+        assert model.gate_error("cx", (0, 1)) == pytest.approx(
+            2.0 * calibration.cx_error_rate(0, 1)
+        )
+
+    def test_error_capped_at_one(self, calibration):
+        model = NoiseModel.from_calibration(calibration, scale=1e4)
+        assert model.gate_error("cx", (0, 1)) == 1.0
+
+    def test_readout_error(self, calibration):
+        model = NoiseModel.from_calibration(calibration)
+        assert model.readout_error(0) == calibration.readout_error[0]
+
+
+class TestNoisySimulator:
+    def test_noiseless_model_reproduces_ideal(self, calibration):
+        model = NoiseModel.from_calibration(calibration, scale=0.0)
+        simulator = NoisySimulator(model, realizations=8, seed=0)
+        circuit = QuantumCircuit(5)
+        circuit.x(0)
+        circuit.cx(0, 1)
+        counts = simulator.run(circuit, shots=200)
+        assert counts == {"11": 200}
+
+    def test_noise_spreads_outcomes(self, calibration):
+        model = NoiseModel.from_calibration(calibration, scale=20.0)
+        simulator = NoisySimulator(model, realizations=64, seed=1)
+        circuit = QuantumCircuit(5)
+        for _ in range(5):
+            circuit.cx(0, 1)
+            circuit.cx(1, 2)
+        counts = simulator.run(circuit, shots=512)
+        assert len(counts) > 1
+
+    def test_success_rate_decreases_with_noise(self, calibration):
+        circuit = QuantumCircuit(5)
+        circuit.x(0)
+        for _ in range(4):
+            circuit.cx(0, 1)
+            circuit.cx(0, 1)
+        low = NoisySimulator(NoiseModel.from_calibration(calibration, scale=0.5),
+                             realizations=64, seed=2).success_rate(circuit, shots=1024)
+        high = NoisySimulator(NoiseModel.from_calibration(calibration, scale=20.0),
+                              realizations=64, seed=2).success_rate(circuit, shots=1024)
+        assert high < low <= 1.0
+
+    def test_success_rate_with_expected_string(self, calibration):
+        model = NoiseModel.from_calibration(calibration, scale=0.0)
+        simulator = NoisySimulator(model, realizations=4, seed=3)
+        circuit = QuantumCircuit(5)
+        circuit.x(1)
+        rate = simulator.success_rate(circuit, shots=128, expected="10", measured_qubits=[0, 1])
+        assert rate == 1.0
+
+    def test_readout_error_flips_bits(self, calibration):
+        # Zero gate noise but large readout error must still corrupt outcomes.
+        calibration_noisy = synthetic_calibration(
+            linear_coupling_map(5), seed=9, readout_error_range=(0.4, 0.5)
+        )
+        model = NoiseModel.from_calibration(calibration_noisy)
+        model.calibration.cx_error = {k: 0.0 for k in model.calibration.cx_error}
+        model.calibration.single_qubit_error = {
+            k: 0.0 for k in model.calibration.single_qubit_error
+        }
+        simulator = NoisySimulator(model, realizations=8, seed=4)
+        circuit = QuantumCircuit(5)
+        circuit.x(0)
+        counts = simulator.run(circuit, shots=512, measured_qubits=[0])
+        assert counts.get("0", 0) > 50
+
+    def test_measuring_untouched_qubit_reads_zero(self, calibration):
+        # Idle measured wires stay in |0> (up to readout error, disabled here).
+        model = NoiseModel.from_calibration(calibration, scale=0.0)
+        simulator = NoisySimulator(model, realizations=4, seed=5)
+        circuit = QuantumCircuit(5)
+        circuit.x(0)
+        counts = simulator.run(circuit, shots=16, measured_qubits=[0, 3])
+        # Bitstrings are little-endian in list order: rightmost char is measured_qubits[0].
+        assert counts == {"01": 16}
+
+    def test_shots_are_conserved(self):
+        calibration = fake_montreal_calibration()
+        model = NoiseModel.from_calibration(calibration)
+        simulator = NoisySimulator(model, realizations=16, seed=6)
+        circuit = bv_n5()
+        counts = simulator.run(circuit, shots=300)
+        assert sum(counts.values()) == 300

@@ -1,0 +1,117 @@
+"""Tests for the statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.exceptions import SimulatorError
+from repro.simulator import StatevectorSimulator, active_qubit_subcircuit
+
+
+class TestStatevector:
+    def test_initial_state_is_zero(self):
+        state = StatevectorSimulator().run(QuantumCircuit(2))
+        assert np.allclose(state, [1, 0, 0, 0])
+
+    def test_bell_state(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        state = StatevectorSimulator().run(circuit)
+        assert np.allclose(state, np.array([1, 0, 0, 1]) / math.sqrt(2))
+
+    def test_x_on_each_qubit(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        circuit.x(2)
+        state = StatevectorSimulator().run(circuit)
+        assert abs(state[0b101]) == pytest.approx(1.0)
+
+    def test_matches_dense_unitary(self):
+        for seed in range(5):
+            circuit = random_circuit(4, 5, seed=seed)
+            state = StatevectorSimulator().run(circuit)
+            expected = circuit.to_matrix()[:, 0]
+            assert np.allclose(state, expected, atol=1e-9)
+
+    def test_custom_initial_state(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        state = StatevectorSimulator().run(circuit, initial_state=np.array([0, 1], dtype=complex))
+        assert np.allclose(state, [1, 0])
+
+    def test_wrong_initial_state_rejected(self):
+        with pytest.raises(SimulatorError):
+            StatevectorSimulator().run(QuantumCircuit(2), initial_state=np.zeros(3))
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(SimulatorError):
+            StatevectorSimulator(max_qubits=4).run(QuantumCircuit(5))
+
+    def test_measurements_and_barriers_ignored(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.measure(0, 0)
+        state = StatevectorSimulator().run(circuit)
+        assert np.allclose(np.abs(state) ** 2, [0.5, 0.5])
+
+    def test_norm_preserved(self):
+        circuit = random_circuit(5, 8, seed=7)
+        state = StatevectorSimulator().run(circuit)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_deterministic_outcome(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(1)
+        counts = StatevectorSimulator().sample_counts(circuit, shots=100, seed=0)
+        assert counts == {"10": 100}
+
+    def test_uniform_superposition_statistics(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        counts = StatevectorSimulator().sample_counts(circuit, shots=4000, seed=1)
+        assert abs(counts["0"] - 2000) < 250
+
+    def test_measured_qubit_subset(self):
+        circuit = QuantumCircuit(3)
+        circuit.x(0)
+        circuit.x(2)
+        counts = StatevectorSimulator().sample_counts(
+            circuit, shots=10, seed=0, measured_qubits=[0, 1]
+        )
+        assert counts == {"01": 10}
+
+    def test_probabilities_sum_to_one(self):
+        circuit = random_circuit(4, 5, seed=3)
+        probs = StatevectorSimulator().probabilities(circuit)
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestActiveQubitSubcircuit:
+    def test_restricts_to_touched_qubits(self):
+        circuit = QuantumCircuit(10)
+        circuit.h(3)
+        circuit.cx(3, 7)
+        reduced, active = active_qubit_subcircuit(circuit)
+        assert active == [3, 7]
+        assert reduced.num_qubits == 2
+        assert reduced.data[1].qubits == (0, 1)
+
+    def test_empty_circuit(self):
+        reduced, active = active_qubit_subcircuit(QuantumCircuit(4))
+        assert reduced.num_qubits == 1
+        assert active == [0]
+
+    def test_semantics_preserved(self):
+        circuit = QuantumCircuit(6)
+        circuit.h(2)
+        circuit.cx(2, 5)
+        reduced, active = active_qubit_subcircuit(circuit)
+        state = StatevectorSimulator().run(reduced)
+        assert abs(state[0b00]) == pytest.approx(1 / math.sqrt(2))
+        assert abs(state[0b11]) == pytest.approx(1 / math.sqrt(2))

@@ -1,0 +1,79 @@
+"""Tests for the linear-algebra helpers."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import gate, random_unitary
+from repro.exceptions import SynthesisError
+from repro.synthesis import (
+    allclose_up_to_global_phase,
+    closest_unitary,
+    fidelity_distance,
+    global_phase_between,
+    is_unitary,
+    kron_factor_4x4,
+)
+
+
+class TestPredicates:
+    def test_is_unitary_accepts_unitaries(self):
+        assert is_unitary(np.eye(3))
+        assert is_unitary(gate("h").matrix())
+        assert is_unitary(random_unitary(8, seed=0))
+
+    def test_is_unitary_rejects_non_unitaries(self):
+        assert not is_unitary(np.ones((2, 2)))
+        assert not is_unitary(np.eye(2)[:1])
+
+    def test_global_phase_between(self):
+        base = gate("h").matrix()
+        phase = global_phase_between(np.exp(0.7j) * base, base)
+        assert phase == pytest.approx(0.7)
+
+    def test_global_phase_none_for_unrelated(self):
+        assert global_phase_between(gate("h").matrix(), 2 * gate("h").matrix()) is None
+
+    def test_allclose_up_to_global_phase(self):
+        base = random_unitary(4, seed=1)
+        assert allclose_up_to_global_phase(base, np.exp(1.2j) * base)
+        assert not allclose_up_to_global_phase(base, random_unitary(4, seed=2))
+
+    def test_fidelity_distance(self):
+        base = random_unitary(4, seed=3)
+        assert fidelity_distance(base, base) == pytest.approx(0.0, abs=1e-12)
+        assert fidelity_distance(base, np.exp(0.5j) * base) == pytest.approx(0.0, abs=1e-12)
+        assert fidelity_distance(np.eye(4), gate("swap").matrix()) > 0.1
+
+
+class TestClosestUnitary:
+    def test_projects_back_to_unitary(self):
+        noisy = random_unitary(4, seed=5) + 1e-3 * np.random.default_rng(0).normal(size=(4, 4))
+        projected = closest_unitary(noisy)
+        assert is_unitary(projected)
+
+    def test_identity_fixed_point(self):
+        assert np.allclose(closest_unitary(np.eye(4)), np.eye(4))
+
+
+class TestKronFactor:
+    def test_factor_product_operator(self):
+        a = random_unitary(2, seed=11)
+        b = random_unitary(2, seed=12)
+        g, fa, fb = kron_factor_4x4(np.kron(a, b))
+        assert np.allclose(abs(g), 1.0, atol=1e-9)
+        assert allclose_up_to_global_phase(np.kron(fa, fb), np.kron(a, b))
+
+    def test_factor_with_global_phase(self):
+        a = gate("h").matrix()
+        b = gate("t").matrix()
+        matrix = np.exp(0.3j) * np.kron(a, b)
+        g, fa, fb = kron_factor_4x4(matrix)
+        assert np.allclose(g * np.kron(fa, fb), matrix)
+
+    def test_entangling_operator_rejected(self):
+        with pytest.raises(SynthesisError):
+            kron_factor_4x4(gate("cx").matrix())
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(SynthesisError):
+            kron_factor_4x4(np.eye(2))

@@ -1,0 +1,97 @@
+"""Tests for single-qubit Euler-angle synthesis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import gate, random_unitary
+from repro.exceptions import SynthesisError
+from repro.synthesis import synthesize_zsx, u_params_from_matrix, zyz_decompose
+from repro.synthesis.one_qubit import matrix_of_ops, synthesis_error
+
+
+def _rz(theta):
+    return gate("rz", theta).matrix()
+
+
+def _ry(theta):
+    return gate("ry", theta).matrix()
+
+
+class TestZYZ:
+    @pytest.mark.parametrize("name", ["id", "x", "y", "z", "h", "s", "sdg", "t", "sx"])
+    def test_reconstruction_of_named_gates(self, name):
+        matrix = gate(name).matrix()
+        angles = zyz_decompose(matrix)
+        rebuilt = np.exp(1j * angles.phase) * (_rz(angles.phi) @ _ry(angles.theta) @ _rz(angles.lam))
+        assert np.allclose(rebuilt, matrix, atol=1e-9)
+
+    def test_reconstruction_of_random_unitaries(self):
+        for seed in range(25):
+            matrix = random_unitary(2, seed=seed)
+            angles = zyz_decompose(matrix)
+            rebuilt = np.exp(1j * angles.phase) * (
+                _rz(angles.phi) @ _ry(angles.theta) @ _rz(angles.lam)
+            )
+            assert np.allclose(rebuilt, matrix, atol=1e-8)
+
+    def test_u_params_reproduce_matrix(self):
+        matrix = random_unitary(2, seed=99)
+        theta, phi, lam, gamma = u_params_from_matrix(matrix)
+        rebuilt = np.exp(1j * gamma) * gate("u", theta, phi, lam).matrix()
+        assert np.allclose(rebuilt, matrix, atol=1e-8)
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(SynthesisError):
+            zyz_decompose(np.ones((2, 2)))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(SynthesisError):
+            zyz_decompose(np.eye(4))
+
+    def test_theta_zero_edge_case(self):
+        angles = zyz_decompose(_rz(0.8))
+        assert angles.theta == pytest.approx(0.0, abs=1e-9)
+
+    def test_theta_pi_edge_case(self):
+        angles = zyz_decompose(gate("x").matrix())
+        assert angles.theta == pytest.approx(math.pi, abs=1e-9)
+
+
+class TestZSXSynthesis:
+    @pytest.mark.parametrize("name", ["id", "x", "z", "h", "s", "t", "sx", "y"])
+    def test_named_gates(self, name):
+        matrix = gate(name).matrix()
+        ops = synthesize_zsx(matrix)
+        assert synthesis_error(matrix, ops) < 1e-7
+        assert all(op_name in ("rz", "sx", "x") for op_name, _ in ops)
+
+    def test_pure_rz_uses_no_sx(self):
+        ops = synthesize_zsx(_rz(1.234))
+        assert [name for name, _ in ops] == ["rz"]
+
+    def test_at_most_two_sx(self):
+        for seed in range(25):
+            matrix = random_unitary(2, seed=200 + seed)
+            ops = synthesize_zsx(matrix)
+            assert sum(1 for name, _ in ops if name == "sx") <= 2
+            assert synthesis_error(matrix, ops) < 1e-7
+
+    def test_identity_synthesises_to_nothing(self):
+        assert synthesize_zsx(np.eye(2)) == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0, math.pi), st.floats(-math.pi, math.pi), st.floats(-math.pi, math.pi))
+    def test_property_random_euler_angles(self, theta, phi, lam):
+        matrix = gate("u", theta, phi, lam).matrix()
+        ops = synthesize_zsx(matrix)
+        assert synthesis_error(matrix, ops) < 1e-6
+
+
+class TestMatrixOfOps:
+    def test_application_order(self):
+        ops = [("x", ()), ("rz", (0.5,))]
+        expected = _rz(0.5) @ gate("x").matrix()
+        assert np.allclose(matrix_of_ops(ops), expected)

@@ -1,0 +1,116 @@
+"""Tests for gate decomposition into the routable gate set."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, random_unitary
+from repro.exceptions import TranspilerError
+from repro.synthesis import allclose_up_to_global_phase
+from repro.transpiler import PassManager
+from repro.transpiler.passes import CheckRoutable, Decompose
+
+from ..conftest import assert_unitary_equiv
+
+
+def decompose(circuit: QuantumCircuit, keep_swaps: bool = True) -> QuantumCircuit:
+    return PassManager([Decompose(keep_swaps=keep_swaps)]).run(circuit)
+
+
+class TestDecompose:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda c: c.cz(0, 1),
+            lambda c: c.cy(0, 1),
+            lambda c: c.ch(0, 1),
+            lambda c: c.cp(0.7, 0, 1),
+            lambda c: c.crx(0.5, 0, 1),
+            lambda c: c.cry(1.1, 0, 1),
+            lambda c: c.crz(0.9, 0, 1),
+            lambda c: c.rzz(0.4, 0, 1),
+            lambda c: c.rxx(0.8, 0, 1),
+            lambda c: c.ryy(0.3, 0, 1),
+            lambda c: c.iswap(0, 1),
+        ],
+        ids=["cz", "cy", "ch", "cp", "crx", "cry", "crz", "rzz", "rxx", "ryy", "iswap"],
+    )
+    def test_two_qubit_gates_preserved(self, builder):
+        circuit = QuantumCircuit(2)
+        builder(circuit)
+        decomposed = decompose(circuit)
+        assert_unitary_equiv(circuit, decomposed)
+        assert all(inst.name == "cx" or len(inst.qubits) == 1 for inst in decomposed.data)
+
+    def test_ccx_equivalence_and_count(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        decomposed = decompose(circuit)
+        assert_unitary_equiv(circuit, decomposed)
+        assert decomposed.cx_count() == 6
+
+    def test_cswap_equivalence(self):
+        circuit = QuantumCircuit(3)
+        circuit.cswap(0, 1, 2)
+        decomposed = decompose(circuit)
+        assert_unitary_equiv(circuit, decomposed)
+
+    def test_swap_kept_by_default(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        assert decompose(circuit).count_gate("swap") == 1
+
+    def test_swap_lowered_when_requested(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        decomposed = decompose(circuit, keep_swaps=False)
+        assert decomposed.count_gate("swap") == 0
+        assert decomposed.cx_count() == 3
+        assert_unitary_equiv(circuit, decomposed)
+
+    def test_explicit_unitary_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.unitary(random_unitary(4, seed=5), [0, 1])
+        circuit.unitary(random_unitary(2, seed=6), [1])
+        decomposed = decompose(circuit)
+        assert_unitary_equiv(circuit, decomposed)
+        assert decomposed.count_gate("unitary") == 0
+
+    def test_directives_pass_through(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.barrier()
+        circuit.measure(0, 0)
+        decomposed = decompose(circuit)
+        assert decomposed.count_gate("measure") == 1
+        assert decomposed.count_gate("barrier") == 1
+
+    def test_mixed_circuit_equivalence(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0)
+        circuit.ccx(0, 1, 2)
+        circuit.cp(0.3, 2, 3)
+        circuit.swap(1, 3)
+        circuit.crz(1.2, 3, 0)
+        decomposed = decompose(circuit, keep_swaps=False)
+        assert_unitary_equiv(circuit, decomposed)
+
+
+class TestCheckRoutable:
+    def test_accepts_routable_circuit(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.swap(0, 1)
+        circuit.measure(0, 0)
+        CheckRoutable().run(circuit, {})
+
+    def test_rejects_three_qubit_gate(self):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        with pytest.raises(TranspilerError):
+            CheckRoutable().run(circuit, {})
+
+    def test_rejects_unroutable_two_qubit_gate(self):
+        circuit = QuantumCircuit(2)
+        circuit.cp(0.5, 0, 1)
+        with pytest.raises(TranspilerError):
+            CheckRoutable().run(circuit, {})

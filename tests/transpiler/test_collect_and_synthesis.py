@@ -1,0 +1,165 @@
+"""Tests for two-qubit block collection and block re-synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.transpiler import PassManager, PropertySet
+from repro.transpiler.passes import Collect2qBlocks, UnitarySynthesis, block_cx_weight, block_matrix
+
+from ..conftest import assert_unitary_equiv
+
+
+def collect(circuit):
+    props = PropertySet()
+    Collect2qBlocks().run(circuit, props)
+    return props
+
+
+class TestCollect2qBlocks:
+    def test_simple_block(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.rz(0.3, 1)
+        circuit.cx(0, 1)
+        props = collect(circuit)
+        assert len(props["block_list"]) == 1
+        assert props["block_list"][0] == [0, 1, 2, 3]
+        assert props["block_pairs"][0] == (0, 1)
+
+    def test_blocks_split_by_third_qubit(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(0, 1)
+        props = collect(circuit)
+        assert len(props["block_list"]) == 3
+
+    def test_blocks_split_by_barrier(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.barrier()
+        circuit.cx(0, 1)
+        props = collect(circuit)
+        assert len(props["block_list"]) == 2
+
+    def test_floating_1q_gates_absorbed_into_next_block(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.t(1)
+        circuit.cx(0, 1)
+        props = collect(circuit)
+        assert props["block_list"][0] == [0, 1, 2]
+
+    def test_trailing_1q_gates_joined_while_block_open(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.h(0)
+        circuit.h(1)
+        props = collect(circuit)
+        assert props["block_list"][0] == [0, 1, 2]
+
+    def test_block_id_mapping(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        props = collect(circuit)
+        assert props["block_id"][0] == 0
+        assert props["block_id"][1] == 1
+
+    def test_block_matrix_and_weight_helpers(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.swap(0, 1)
+        props = collect(circuit)
+        positions = props["block_list"][0]
+        assert block_cx_weight(circuit, positions) == 4  # cx (1) + swap (3)
+        matrix = block_matrix(circuit, positions, (0, 1))
+        assert matrix.shape == (4, 4)
+
+
+class TestUnitarySynthesis:
+    def run_pass(self, circuit):
+        return PassManager([UnitarySynthesis()]).run(circuit)
+
+    def test_swap_adjacent_to_cx_resynthesised_to_two_cnots(self):
+        # Paper Fig. 1(b): CNOT + SWAP on the same pair costs 2 CNOTs after re-synthesis.
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.swap(0, 1)
+        optimized = self.run_pass(circuit)
+        assert optimized.cx_count() == 2
+        assert_unitary_equiv(circuit, optimized)
+
+    def test_three_cnot_block_plus_swap_stays_at_three(self):
+        # Paper Sec. III: a SWAP following a generic 3-CNOT block is free.
+        rng = np.random.default_rng(1)
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.rz(rng.uniform(0.2, 1.0), 0)
+        circuit.ry(rng.uniform(0.2, 1.0), 1)
+        circuit.cx(1, 0)
+        circuit.rz(rng.uniform(0.2, 1.0), 1)
+        circuit.cx(0, 1)
+        circuit.swap(0, 1)
+        optimized = self.run_pass(circuit)
+        assert optimized.cx_count() <= 3
+        assert_unitary_equiv(circuit, optimized)
+
+    def test_redundant_cnot_pair_removed(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        optimized = self.run_pass(circuit)
+        assert optimized.cx_count() == 0
+        assert_unitary_equiv(circuit, optimized)
+
+    def test_single_cx_left_untouched(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        optimized = self.run_pass(circuit)
+        assert optimized.cx_count() == 1
+
+    def test_never_increases_cx_count(self):
+        for seed in range(5):
+            circuit = random_circuit(4, 8, seed=seed)
+            baseline = PassManager([]).run(circuit)
+            optimized = self.run_pass(circuit)
+            swap_weight = 3 * baseline.count_gate("swap") + 2 * (
+                baseline.num_nonlocal_gates()
+                - baseline.cx_count()
+                - baseline.count_gate("swap")
+            )
+            assert optimized.cx_count() <= baseline.cx_count() + swap_weight
+
+    def test_multi_block_circuit_equivalence(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.swap(1, 2)
+        circuit.cx(2, 3)
+        circuit.rz(0.4, 3)
+        circuit.cx(2, 3)
+        optimized = self.run_pass(circuit)
+        assert_unitary_equiv(circuit, optimized)
+        assert optimized.cx_count() <= 2 + 3 + 2
+
+    def test_measurement_blocks_are_untouched(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.cx(0, 1)
+        optimized = self.run_pass(circuit)
+        assert optimized.count_gate("measure") == 1
+        assert optimized.cx_count() == 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_preserves_unitary(self, seed):
+        circuit = random_circuit(4, 7, seed=seed)
+        optimized = self.run_pass(circuit)
+        assert_unitary_equiv(circuit, optimized)

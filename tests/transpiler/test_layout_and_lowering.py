@@ -1,0 +1,154 @@
+"""Tests for layouts, SWAP lowering and coupling-map checking."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.transpiler import PassManager, PropertySet
+from repro.transpiler.passes import (
+    ApplyLayout,
+    CheckMap,
+    Layout,
+    SetLayout,
+    SwapLowering,
+    TrivialLayout,
+    coupling_violations,
+    lower_swap,
+    swap_orientation,
+)
+from repro.hardware import linear_coupling_map
+
+from ..conftest import assert_unitary_equiv
+
+
+class TestLayout:
+    def test_trivial(self):
+        layout = Layout.trivial(3)
+        assert [layout.physical(q) for q in range(3)] == [0, 1, 2]
+
+    def test_random_is_injective_and_seeded(self):
+        a = Layout.random(4, 10, seed=3)
+        b = Layout.random(4, 10, seed=3)
+        assert a == b
+        assert len({a.physical(q) for q in range(4)}) == 4
+
+    def test_random_rejects_too_small_device(self):
+        with pytest.raises(TranspilerError):
+            Layout.random(5, 3)
+
+    def test_from_physical_list(self):
+        layout = Layout.from_physical_list([4, 2, 7])
+        assert layout.physical(1) == 2
+        assert layout.logical(7) == 2
+        assert layout.logical(3) is None
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(TranspilerError):
+            Layout({0: 1, 1: 1})
+
+    def test_swap_physical_moves_logical_qubits(self):
+        layout = Layout.from_physical_list([0, 1])
+        layout.swap_physical(1, 2)
+        assert layout.physical(1) == 2
+        layout.swap_physical(0, 2)
+        assert layout.physical(0) == 2 and layout.physical(1) == 0
+
+    def test_copy_is_independent(self):
+        layout = Layout.trivial(2)
+        other = layout.copy()
+        other.swap_physical(0, 1)
+        assert layout.physical(0) == 0
+
+
+class TestLayoutPasses:
+    def test_trivial_layout_pass(self, linear5):
+        props = PropertySet()
+        TrivialLayout(linear5).run(QuantumCircuit(3), props)
+        assert props["layout"].physical(2) == 2
+
+    def test_trivial_layout_rejects_oversized_circuit(self, linear5):
+        with pytest.raises(TranspilerError):
+            TrivialLayout(linear5).run(QuantumCircuit(9), PropertySet())
+
+    def test_apply_layout_remaps_and_widens(self, linear5):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        props = PropertySet()
+        SetLayout(Layout.from_physical_list([3, 1])).run(circuit, props)
+        mapped = ApplyLayout(linear5).run(circuit, props)
+        assert mapped.num_qubits == 5
+        assert mapped.data[0].qubits == (3, 1)
+
+    def test_apply_layout_defaults_to_trivial(self, linear5):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        mapped = ApplyLayout(linear5).run(circuit, PropertySet())
+        assert mapped.data[0].qubits == (0, 1)
+
+
+class TestSwapLowering:
+    def test_fixed_orientation(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        lowered = PassManager([SwapLowering()]).run(circuit)
+        assert [inst.qubits for inst in lowered.data] == [(0, 1), (1, 0), (0, 1)]
+        assert_unitary_equiv(circuit, lowered)
+
+    def test_labelled_orientation(self):
+        circuit = QuantumCircuit(2)
+        inst = circuit.swap(0, 1)
+        inst.gate.label = "ctrl:1"
+        lowered = PassManager([SwapLowering()]).run(circuit)
+        assert [inst.qubits for inst in lowered.data] == [(1, 0), (0, 1), (1, 0)]
+        assert_unitary_equiv(circuit, lowered)
+
+    def test_labels_ignored_when_disabled(self):
+        circuit = QuantumCircuit(2)
+        inst = circuit.swap(0, 1)
+        inst.gate.label = "ctrl:1"
+        lowered = PassManager([SwapLowering(use_labels=False)]).run(circuit)
+        assert lowered.data[0].qubits == (0, 1)
+
+    def test_invalid_label_falls_back(self):
+        assert swap_orientation("ctrl:9", (0, 1)) == 0
+        assert swap_orientation("garbage", (0, 1)) == 0
+        assert swap_orientation(None, (2, 5)) == 2
+
+    def test_lower_swap_helper(self):
+        insts = lower_swap(3, 4, control_first=4)
+        assert [i.qubits for i in insts] == [(4, 3), (3, 4), (4, 3)]
+
+    def test_other_gates_untouched(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0)
+        circuit.swap(0, 1)
+        circuit.measure(1, 0)
+        lowered = PassManager([SwapLowering()]).run(circuit)
+        assert lowered.count_gate("swap") == 0
+        assert lowered.count_gate("measure") == 1
+        assert lowered.cx_count() == 3
+
+
+class TestCheckMap:
+    def test_valid_circuit_passes(self, linear5):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 1)
+        circuit.cx(3, 4)
+        props = PropertySet()
+        CheckMap(linear5).run(circuit, props)
+        assert props["is_mapped"]
+
+    def test_violation_raises(self, linear5):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4)
+        with pytest.raises(TranspilerError):
+            CheckMap(linear5).run(circuit, PropertySet())
+
+    def test_coupling_violations_lists_offenders(self, linear5):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 1)
+        circuit.cx(0, 3)
+        circuit.cx(2, 4)
+        violations = coupling_violations(circuit, linear5)
+        assert [v[0] for v in violations] == [1, 2]

@@ -1,0 +1,91 @@
+"""Tests for single-qubit gate optimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import QuantumCircuit, random_circuit
+from repro.transpiler import PassManager
+from repro.transpiler.passes import Optimize1qGates, RemoveIdentities
+
+from ..conftest import assert_unitary_equiv
+
+
+class TestOptimize1qGates:
+    def test_merges_run_into_single_u(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.t(0)
+        circuit.rz(0.3, 0)
+        circuit.sx(0)
+        optimized = PassManager([Optimize1qGates(output="u")]).run(circuit)
+        assert optimized.size() == 1
+        assert optimized.data[0].name == "u"
+        assert_unitary_equiv(circuit, optimized)
+
+    def test_identity_run_removed(self):
+        circuit = QuantumCircuit(1)
+        circuit.x(0)
+        circuit.x(0)
+        optimized = PassManager([Optimize1qGates()]).run(circuit)
+        assert optimized.size() == 0
+
+    def test_runs_split_by_two_qubit_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(0)
+        optimized = PassManager([Optimize1qGates()]).run(circuit)
+        assert optimized.cx_count() == 1
+        assert optimized.count_gate("u") == 2
+        assert_unitary_equiv(circuit, optimized)
+
+    def test_runs_split_by_measure(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.h(0)
+        optimized = PassManager([Optimize1qGates()]).run(circuit)
+        assert optimized.count_gate("u") == 2
+
+    def test_zsx_output_uses_hardware_basis(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.t(0)
+        optimized = PassManager([Optimize1qGates(output="zsx")]).run(circuit)
+        assert set(inst.name for inst in optimized.data) <= {"rz", "sx", "x"}
+        assert_unitary_equiv(circuit, optimized)
+
+    def test_invalid_output_format_rejected(self):
+        from repro.exceptions import TranspilerError
+
+        with pytest.raises(TranspilerError):
+            Optimize1qGates(output="xyz")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_random_circuits_preserved(self, seed):
+        circuit = random_circuit(3, 6, seed=seed, two_qubit_prob=0.3)
+        optimized = PassManager([Optimize1qGates(output="u")]).run(circuit)
+        assert_unitary_equiv(circuit, optimized)
+        assert optimized.size() <= circuit.size() + 2
+
+
+class TestRemoveIdentities:
+    def test_removes_id_and_zero_rotations(self):
+        circuit = QuantumCircuit(1)
+        circuit.id(0)
+        circuit.rz(0.0, 0)
+        circuit.rz(0.4, 0)
+        cleaned = PassManager([RemoveIdentities()]).run(circuit)
+        assert cleaned.size() == 1
+        assert cleaned.data[0].gate.params == (0.4,)
+
+    def test_keeps_everything_else(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.barrier()
+        circuit.measure(0, 0)
+        cleaned = PassManager([RemoveIdentities()]).run(circuit)
+        assert cleaned.count_ops() == circuit.count_ops()

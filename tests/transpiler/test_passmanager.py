@@ -1,0 +1,68 @@
+"""Tests for the pass-manager framework."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.exceptions import TranspilerError
+from repro.transpiler import PassManager, PropertySet, TranspilerPass
+
+
+class _CountingPass(TranspilerPass):
+    name = "counting"
+
+    def run(self, circuit, property_set):
+        property_set["count"] = property_set.get("count", 0) + 1
+        return circuit
+
+
+class _AddGatePass(TranspilerPass):
+    def run(self, circuit, property_set):
+        out = circuit.copy()
+        out.x(0)
+        return out
+
+
+class _BrokenPass(TranspilerPass):
+    def run(self, circuit, property_set):
+        return None
+
+
+class TestPassManager:
+    def test_runs_passes_in_order(self):
+        pm = PassManager([_CountingPass(), _AddGatePass(), _AddGatePass()])
+        result = pm.run(QuantumCircuit(1))
+        assert result.count_gate("x") == 2
+        assert pm.property_set["count"] == 1
+
+    def test_append_and_extend(self):
+        pm = PassManager()
+        pm.append(_CountingPass()).extend([_CountingPass()])
+        pm.run(QuantumCircuit(1))
+        assert pm.property_set["count"] == 2
+
+    def test_timings_recorded(self):
+        pm = PassManager([_CountingPass(), _AddGatePass()])
+        pm.run(QuantumCircuit(1))
+        assert "counting" in pm.timings
+        assert pm.total_time() >= 0.0
+
+    def test_none_return_raises(self):
+        pm = PassManager([_BrokenPass()])
+        with pytest.raises(TranspilerError):
+            pm.run(QuantumCircuit(1))
+
+    def test_property_set_is_shared(self):
+        class Writer(TranspilerPass):
+            def run(self, circuit, property_set):
+                property_set["token"] = 42
+                return circuit
+
+        class Reader(TranspilerPass):
+            def run(self, circuit, property_set):
+                assert property_set["token"] == 42
+                return circuit
+
+        PassManager([Writer(), Reader()]).run(QuantumCircuit(1))
+
+    def test_property_set_is_a_dict(self):
+        assert isinstance(PropertySet(), dict)

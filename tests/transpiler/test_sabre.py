@@ -1,0 +1,137 @@
+"""Tests for the SABRE routing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, random_cx_circuit
+from repro.exceptions import TranspilerError
+from repro.hardware import grid_coupling_map, linear_coupling_map
+from repro.transpiler import PassManager, PropertySet
+from repro.transpiler.passes import (
+    Layout,
+    SabreLayoutSelection,
+    SabreRouting,
+    SabreSwapRouter,
+    coupling_violations,
+)
+
+
+def all_gates_mapped(circuit, coupling):
+    return not coupling_violations(circuit, coupling)
+
+
+class TestSabreSwapRouter:
+    def test_already_mapped_circuit_needs_no_swaps(self, linear5):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        result = SabreSwapRouter(linear5, seed=0).route(circuit)
+        assert result.num_swaps == 0
+        assert result.circuit.cx_count() == 2
+
+    def test_distant_gate_gets_swaps(self, linear5):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4)
+        result = SabreSwapRouter(linear5, seed=0).route(circuit)
+        assert result.num_swaps >= 3
+        assert all_gates_mapped(result.circuit, linear5)
+
+    def test_output_width_is_device_width(self, linear10):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        result = SabreSwapRouter(linear10, seed=1).route(circuit)
+        assert result.circuit.num_qubits == 10
+
+    def test_final_layout_tracks_swaps(self, linear5):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        result = SabreSwapRouter(linear5, seed=0).route(circuit)
+        final_positions = {result.final_layout.physical(q) for q in range(3)}
+        assert len(final_positions) == 3
+
+    def test_gate_count_preserved_apart_from_swaps(self, grid9):
+        circuit = random_cx_circuit(6, 20, seed=3)
+        result = SabreSwapRouter(grid9, seed=3).route(circuit)
+        assert result.circuit.cx_count() == 20
+        assert result.circuit.count_gate("swap") == result.num_swaps
+
+    def test_measures_and_barriers_routed(self, linear5):
+        circuit = QuantumCircuit(3, 3)
+        circuit.cx(0, 2)
+        circuit.barrier()
+        circuit.measure(0, 0)
+        result = SabreSwapRouter(linear5, seed=0).route(circuit)
+        assert result.circuit.count_gate("measure") == 1
+        assert result.circuit.count_gate("barrier") == 1
+
+    def test_respects_initial_layout(self, linear5):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        layout = Layout.from_physical_list([0, 4])
+        result = SabreSwapRouter(linear5, seed=0).route(circuit, layout)
+        assert result.num_swaps >= 3
+        assert result.initial_layout.physical(1) == 4
+
+    def test_rejects_oversized_circuit(self, linear5):
+        with pytest.raises(TranspilerError):
+            SabreSwapRouter(linear5).route(QuantumCircuit(6))
+
+    def test_rejects_multi_qubit_gates(self, linear5):
+        circuit = QuantumCircuit(3)
+        circuit.ccx(0, 1, 2)
+        with pytest.raises(TranspilerError):
+            SabreSwapRouter(linear5).route(circuit)
+
+    def test_deterministic_for_fixed_seed(self, grid9):
+        circuit = random_cx_circuit(7, 30, seed=9)
+        first = SabreSwapRouter(grid9, seed=5).route(circuit)
+        second = SabreSwapRouter(grid9, seed=5).route(circuit)
+        assert first.num_swaps == second.num_swaps
+        assert [i.qubits for i in first.circuit.data] == [i.qubits for i in second.circuit.data]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_every_routed_gate_respects_coupling(self, seed, linear10):
+        circuit = random_cx_circuit(8, 40, seed=seed)
+        result = SabreSwapRouter(linear10, seed=seed).route(circuit)
+        assert all_gates_mapped(result.circuit, linear10)
+
+    def test_grid_uses_fewer_swaps_than_line_on_average(self):
+        circuit = random_cx_circuit(9, 60, seed=13)
+        line = SabreSwapRouter(linear_coupling_map(9), seed=0).route(circuit)
+        grid = SabreSwapRouter(grid_coupling_map(3, 3), seed=0).route(circuit)
+        assert grid.num_swaps <= line.num_swaps
+
+
+class TestRoutingPasses:
+    def test_sabre_routing_pass_sets_properties(self, linear5):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        props = PropertySet()
+        routed = SabreRouting(linear5, seed=2).run(circuit, props)
+        assert "final_layout" in props and "num_swaps" in props
+        assert all_gates_mapped(routed, linear5)
+
+    def test_layout_selection_produces_valid_layout(self, grid9):
+        circuit = random_cx_circuit(6, 15, seed=2)
+        props = PropertySet()
+        SabreLayoutSelection(grid9, seed=4).run(circuit, props)
+        layout = props["layout"]
+        physical = {layout.physical(q) for q in range(6)}
+        assert len(physical) == 6
+        assert all(0 <= p < 9 for p in physical)
+
+    def test_layout_selection_reduces_swaps_vs_random(self, grid9):
+        circuit = random_cx_circuit(7, 40, seed=21)
+        random_layout = Layout.random(7, 9, seed=0)
+        baseline = SabreSwapRouter(grid9, seed=0).route(circuit, random_layout)
+        props = PropertySet()
+        SabreLayoutSelection(grid9, iterations=3, seed=0).run(circuit, props)
+        refined = SabreSwapRouter(grid9, seed=0).route(circuit, props["layout"])
+        assert refined.num_swaps <= baseline.num_swaps + 2
+
+    def test_layout_selection_handles_no_two_qubit_gates(self, linear5):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        props = PropertySet()
+        SabreLayoutSelection(linear5, seed=1).run(circuit, props)
+        assert props["layout"].num_logical() == 3
