@@ -43,6 +43,8 @@ def main() -> None:
         )
 
     print("\nNASSC usually adds fewer CNOTs: not all SWAPs have the same cost.")
+    print("For many circuits/seeds at once, see examples/batch_transpile.py and the")
+    print("`python -m repro` CLI (parallel batch executor with result caching).")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@ Public API highlights
 * :func:`repro.transpile` — compile a circuit for a device with SABRE or NASSC routing.
 * :mod:`repro.benchlib` — the paper's benchmark circuits.
 * :mod:`repro.evaluation` — runners regenerating the paper's tables and figures.
+* :mod:`repro.service` — batch transpilation service (job specs, content-addressed
+  result cache, parallel executor) and the ``python -m repro`` CLI.
 """
 
 from .circuit import DAGCircuit, Gate, Instruction, QuantumCircuit, qasm, random_circuit
@@ -18,6 +20,7 @@ from .hardware import (
     montreal_coupling_map,
     synthetic_calibration,
 )
+from .service import BatchTranspiler, ResultCache, TranspileJob
 from .simulator import NoiseModel, NoisySimulator, StatevectorSimulator
 from .synthesis import TwoQubitSynthesizer, cnot_count, weyl_coordinates
 
@@ -28,6 +31,7 @@ __all__ = [
     "NASSCConfig", "TranspileResult", "compare_routings", "optimize_logical", "transpile",
     "CouplingMap", "fake_montreal_calibration", "grid_coupling_map", "linear_coupling_map",
     "montreal_coupling_map", "synthetic_calibration",
+    "BatchTranspiler", "ResultCache", "TranspileJob",
     "NoiseModel", "NoisySimulator", "StatevectorSimulator",
     "TwoQubitSynthesizer", "cnot_count", "weyl_coordinates",
     "__version__",

@@ -1,0 +1,8 @@
+"""``python -m repro`` — batch transpilation service CLI (see :mod:`repro.service.cli`)."""
+
+import sys
+
+from .service.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

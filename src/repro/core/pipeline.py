@@ -65,6 +65,55 @@ class TranspileResult:
     def count_ops(self) -> Dict[str, int]:
         return self.circuit.count_ops()
 
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe representation of the result (circuit serialised as OpenQASM 2.0).
+
+        Only gates in the standard named set survive the round trip, which every circuit
+        produced by :func:`transpile` satisfies.  Used by the result cache of
+        :mod:`repro.service` and by :mod:`repro.evaluation.reporting` JSON exports.
+        """
+        from ..circuit import qasm
+
+        return {
+            "qasm": qasm.dumps(self.circuit),
+            "name": self.circuit.name,
+            "routing": self.routing,
+            "coupling_map": self.coupling_map.to_dict() if self.coupling_map else None,
+            "initial_layout": self.initial_layout.to_pairs() if self.initial_layout else None,
+            "final_layout": self.final_layout.to_pairs() if self.final_layout else None,
+            "num_swaps": int(self.num_swaps),
+            "transpile_time": float(self.transpile_time),
+            "pass_timings": {name: float(t) for name, t in self.pass_timings.items()},
+            "metrics": {
+                "cx_count": self.cx_count,
+                "depth": self.depth,
+                "count_ops": self.count_ops(),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TranspileResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        from ..circuit import qasm
+
+        circuit = qasm.loads(data["qasm"])
+        circuit.name = data.get("name", circuit.name)
+        coupling = data.get("coupling_map")
+        initial = data.get("initial_layout")
+        final = data.get("final_layout")
+        return cls(
+            circuit=circuit,
+            routing=data["routing"],
+            coupling_map=CouplingMap.from_dict(coupling) if coupling else None,
+            initial_layout=Layout.from_pairs(initial) if initial else None,
+            final_layout=Layout.from_pairs(final) if final else None,
+            num_swaps=int(data.get("num_swaps", 0)),
+            transpile_time=float(data.get("transpile_time", 0.0)),
+            pass_timings=dict(data.get("pass_timings", {})),
+        )
+
 
 def _pre_routing_passes() -> list:
     """Optimizations applied to the logical circuit before layout/routing (both pipelines)."""

@@ -8,6 +8,12 @@ Each runner mirrors one artifact of the paper's evaluation (Sec. VI):
   optimization-combination subsets vs enabling all three optimizations.
 * :func:`run_noise_experiment` — Figure 11: added CNOTs and success rate of SABRE, NASSC,
   SABRE+HA and NASSC+HA under the (synthetic) ``ibmq_montreal`` noise model.
+
+Every runner submits its transpile calls as :class:`~repro.service.jobs.TranspileJob`
+batches through a :class:`~repro.service.executor.BatchTranspiler`, so regeneration gets
+worker-pool parallelism and content-addressed result caching for free.  Pass ``workers=N``
+(or a shared ``executor``) to fan out; the default stays serial and bit-identical to the
+historical in-process behaviour because every job carries its own seed.
 """
 
 from __future__ import annotations
@@ -18,14 +24,25 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..benchlib.suite import BenchmarkCase, noise_benchmarks, table_benchmarks
-from ..circuit.circuit import QuantumCircuit
+from ..circuit import qasm
 from ..core.nassc import NASSCConfig
-from ..core.pipeline import optimize_logical, transpile
+from ..core.pipeline import TranspileResult, optimize_logical
 from ..hardware.calibration import DeviceCalibration, fake_montreal_calibration
 from ..hardware.coupling import CouplingMap
 from ..hardware.topologies import get_topology
+from ..service.executor import BatchTranspiler, ProgressCallback
+from ..service.jobs import TranspileJob
 from ..simulator.noise import NoiseModel, NoisySimulator
 from .metrics import geometric_mean_reduction, percentage_change
+
+
+def _resolve_executor(
+    executor: Optional[BatchTranspiler], workers: Optional[int]
+) -> BatchTranspiler:
+    """The executor experiments run on: the caller's, or a fresh one with ``workers``."""
+    if executor is not None:
+        return executor
+    return BatchTranspiler(max_workers=workers if workers is not None else 1)
 
 
 # ---------------------------------------------------------------------------
@@ -125,45 +142,68 @@ class TableResult:
         return float(np.exp(np.mean(np.log(ratios))))
 
 
+def _comparison_jobs(
+    case: BenchmarkCase,
+    coupling_map: CouplingMap,
+    seeds: Sequence[int],
+    nassc_config: Optional[NASSCConfig],
+) -> List[TranspileJob]:
+    """The jobs of one table row: the no-routing baseline, then (sabre, nassc) per seed."""
+    # Serialise the circuit and device once per case; the per-seed jobs share the text.
+    qasm_text = qasm.dumps(case.build())
+    coupling = coupling_map.to_dict()
+    config = nassc_config.as_tuple() if nassc_config else None
+    jobs = [TranspileJob(qasm=qasm_text, routing="none", name=f"{case.name}[orig]")]
+    for seed in seeds:
+        jobs.append(
+            TranspileJob(
+                qasm=qasm_text, routing="sabre", coupling_map=coupling, seed=seed,
+                name=f"{case.name}[sabre,s{seed}]",
+            )
+        )
+        jobs.append(
+            TranspileJob(
+                qasm=qasm_text, routing="nassc", coupling_map=coupling, seed=seed,
+                nassc_config=config, name=f"{case.name}[nassc,s{seed}]",
+            )
+        )
+    return jobs
+
+
+def _comparison_row(
+    case: BenchmarkCase, results: Sequence[TranspileResult]
+) -> ComparisonRow:
+    """Assemble a table row from the results of one :func:`_comparison_jobs` batch."""
+    original = results[0]
+    sabre = results[1::2]
+    nassc = results[2::2]
+    return ComparisonRow(
+        name=case.name,
+        num_qubits=case.num_qubits,
+        original_cx=original.cx_count,
+        original_depth=original.depth,
+        sabre_cx=float(np.mean([r.cx_count for r in sabre])),
+        sabre_depth=float(np.mean([r.depth for r in sabre])),
+        sabre_time=float(np.mean([r.transpile_time for r in sabre])),
+        nassc_cx=float(np.mean([r.cx_count for r in nassc])),
+        nassc_depth=float(np.mean([r.depth for r in nassc])),
+        nassc_time=float(np.mean([r.transpile_time for r in nassc])),
+    )
+
+
 def compare_benchmark(
     case: BenchmarkCase,
     coupling_map: CouplingMap,
     *,
     seeds: Sequence[int] = (0,),
     nassc_config: Optional[NASSCConfig] = None,
+    executor: Optional[BatchTranspiler] = None,
+    workers: Optional[int] = None,
 ) -> ComparisonRow:
     """Average SABRE-vs-NASSC comparison for one benchmark over the given seeds."""
-    circuit = case.build()
-    optimized = optimize_logical(circuit)
-    original_cx = optimized.cx_count()
-    original_depth = optimized.depth()
-
-    sabre_cx, sabre_depth, sabre_time = [], [], []
-    nassc_cx, nassc_depth, nassc_time = [], [], []
-    for seed in seeds:
-        sabre = transpile(circuit, coupling_map, routing="sabre", seed=seed)
-        nassc = transpile(
-            circuit, coupling_map, routing="nassc", seed=seed, nassc_config=nassc_config
-        )
-        sabre_cx.append(sabre.cx_count)
-        sabre_depth.append(sabre.depth)
-        sabre_time.append(sabre.transpile_time)
-        nassc_cx.append(nassc.cx_count)
-        nassc_depth.append(nassc.depth)
-        nassc_time.append(nassc.transpile_time)
-
-    return ComparisonRow(
-        name=case.name,
-        num_qubits=case.num_qubits,
-        original_cx=original_cx,
-        original_depth=original_depth,
-        sabre_cx=float(np.mean(sabre_cx)),
-        sabre_depth=float(np.mean(sabre_depth)),
-        sabre_time=float(np.mean(sabre_time)),
-        nassc_cx=float(np.mean(nassc_cx)),
-        nassc_depth=float(np.mean(nassc_depth)),
-        nassc_time=float(np.mean(nassc_time)),
-    )
+    executor = _resolve_executor(executor, workers)
+    jobs = _comparison_jobs(case, coupling_map, seeds, nassc_config)
+    return _comparison_row(case, executor.results(jobs))
 
 
 def run_table_experiment(
@@ -172,16 +212,27 @@ def run_table_experiment(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     seeds: Sequence[int] = (0,),
     num_device_qubits: int = 25,
+    executor: Optional[BatchTranspiler] = None,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> TableResult:
-    """Regenerate one of Tables I-IV (the table is chosen by ``topology``)."""
+    """Regenerate one of Tables I-IV (the table is chosen by ``topology``).
+
+    All (benchmark, routing, seed) combinations are submitted as one job batch, so with
+    ``workers > 1`` the rows transpile concurrently and identical jobs are served from the
+    executor's content-addressed cache.
+    """
     coupling_map = get_topology(topology, num_device_qubits)
     if cases is None:
         cases = table_benchmarks(max_qubits=coupling_map.num_qubits)
+    executor = _resolve_executor(executor, workers)
+    eligible = [case for case in cases if case.num_qubits <= coupling_map.num_qubits]
+    job_lists = [_comparison_jobs(case, coupling_map, seeds, None) for case in eligible]
+    flat = [job for jobs in job_lists for job in jobs]
+    outcomes = iter(executor.results(flat, progress=progress))
     result = TableResult(topology=coupling_map.name)
-    for case in cases:
-        if case.num_qubits > coupling_map.num_qubits:
-            continue
-        result.rows.append(compare_benchmark(case, coupling_map, seeds=seeds))
+    for case, jobs in zip(eligible, job_lists):
+        result.rows.append(_comparison_row(case, [next(outcomes) for _ in jobs]))
     return result
 
 
@@ -222,29 +273,56 @@ def run_optimization_ablation(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     seeds: Sequence[int] = (0,),
     num_device_qubits: int = 25,
+    executor: Optional[BatchTranspiler] = None,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[AblationRow]:
-    """Regenerate one panel of Figure 9 (best-of-8 combinations vs all-enabled)."""
+    """Regenerate one panel of Figure 9 (best-of-8 combinations vs all-enabled).
+
+    Each benchmark contributes ``len(seeds) * 9`` jobs (SABRE plus the 8 NASSC
+    combinations), all submitted as one batch through the executor.
+    """
     coupling_map = get_topology(topology, num_device_qubits)
     if cases is None:
         cases = table_benchmarks(max_qubits=coupling_map.num_qubits)
-    rows: List[AblationRow] = []
-    for case in cases:
-        if case.num_qubits > coupling_map.num_qubits:
-            continue
-        circuit = case.build()
-        sabre_counts = []
-        for seed in seeds:
-            sabre_counts.append(transpile(circuit, coupling_map, routing="sabre", seed=seed).cx_count)
-        row = AblationRow(name=case.name, sabre_cx=float(np.mean(sabre_counts)))
-        for config in NASSCConfig.all_combinations():
-            counts = []
-            for seed in seeds:
-                counts.append(
-                    transpile(
-                        circuit, coupling_map, routing="nassc", seed=seed, nassc_config=config
-                    ).cx_count
+    executor = _resolve_executor(executor, workers)
+    eligible = [case for case in cases if case.num_qubits <= coupling_map.num_qubits]
+    combinations = NASSCConfig.all_combinations()
+
+    coupling = coupling_map.to_dict()
+    job_lists: List[List[TranspileJob]] = []
+    for case in eligible:
+        qasm_text = qasm.dumps(case.build())
+        jobs = [
+            TranspileJob(
+                qasm=qasm_text, routing="sabre", coupling_map=coupling, seed=seed,
+                name=f"{case.name}[sabre,s{seed}]",
+            )
+            for seed in seeds
+        ]
+        for config in combinations:
+            key = AblationRow.combination_key(config)
+            jobs.extend(
+                TranspileJob(
+                    qasm=qasm_text, routing="nassc", coupling_map=coupling, seed=seed,
+                    nassc_config=config.as_tuple(), name=f"{case.name}[{key},s{seed}]",
                 )
-            row.cx_by_combination[AblationRow.combination_key(config)] = float(np.mean(counts))
+                for seed in seeds
+            )
+        job_lists.append(jobs)
+
+    flat = [job for jobs in job_lists for job in jobs]
+    results = iter(executor.results(flat, progress=progress))
+    rows: List[AblationRow] = []
+    for case, jobs in zip(eligible, job_lists):
+        case_results = [next(results) for _ in jobs]
+        sabre_counts = [r.cx_count for r in case_results[: len(seeds)]]
+        row = AblationRow(name=case.name, sabre_cx=float(np.mean(sabre_counts)))
+        for i, config in enumerate(combinations):
+            chunk = case_results[(i + 1) * len(seeds) : (i + 2) * len(seeds)]
+            row.cx_by_combination[AblationRow.combination_key(config)] = float(
+                np.mean([r.cx_count for r in chunk])
+            )
         rows.append(row)
     return rows
 
@@ -273,6 +351,9 @@ def run_noise_experiment(
     seed: int = 0,
     calibration: Optional[DeviceCalibration] = None,
     realizations: int = 256,
+    executor: Optional[BatchTranspiler] = None,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[NoiseExperimentRow]:
     """Regenerate Figure 11 using the synthetic ``ibmq_montreal`` calibration.
 
@@ -280,6 +361,10 @@ def run_noise_experiment(
     noise-free output of the *original* logical circuit, measured on the physical qubits that
     hold the logical qubits at the end of the routed circuit (the paper's definition of
     "correct output state").
+
+    The four routing variants of every benchmark are transpiled as one job batch through
+    the executor (the HA variants ship the calibration inside the job spec); the noisy
+    simulation itself stays in-process.
     """
     from ..simulator.statevector import StatevectorSimulator
 
@@ -288,11 +373,29 @@ def run_noise_experiment(
     noise_model = NoiseModel.from_calibration(calibration)
     if cases is None:
         cases = noise_benchmarks()
+    executor = _resolve_executor(executor, workers)
+
+    circuits = [case.build() for case in cases]
+    coupling = coupling_map.to_dict()
+    calibration_dict = calibration.to_dict()
+    routing_jobs = [
+        TranspileJob(
+            qasm=qasm_text,
+            routing="sabre" if method.startswith("sabre") else "nassc",
+            coupling_map=coupling,
+            seed=seed,
+            calibration=calibration_dict if method.endswith("_ha") else None,
+            noise_aware=method.endswith("_ha"),
+            name=f"{case.name}[{method}]",
+        )
+        for case, qasm_text in zip(cases, (qasm.dumps(circuit) for circuit in circuits))
+        for method in NOISE_METHODS
+    ]
+    routed_results = iter(executor.results(routing_jobs, progress=progress))
 
     ideal = StatevectorSimulator()
     rows: List[NoiseExperimentRow] = []
-    for case in cases:
-        circuit = case.build()
+    for case, circuit in zip(cases, circuits):
         optimized = optimize_logical(circuit)
         row = NoiseExperimentRow(name=case.name, original_cx=optimized.cx_count())
 
@@ -314,16 +417,7 @@ def run_noise_experiment(
         expected = max(reference_counts, key=reference_counts.get)
 
         for method in NOISE_METHODS:
-            routing = "sabre" if method.startswith("sabre") else "nassc"
-            noise_aware = method.endswith("_ha")
-            result = transpile(
-                circuit,
-                coupling_map,
-                routing=routing,
-                seed=seed,
-                calibration=calibration if noise_aware else None,
-                noise_aware=noise_aware,
-            )
+            result = next(routed_results)
             # Measure the physical qubits holding each measured logical qubit at the end.
             measured_physical = [result.final_layout.physical(q) for q in logical_measured]
             routed = result.circuit.copy()

@@ -1,10 +1,11 @@
-"""Plain-text and CSV rendering of the experiment results (the paper's tables and figures)."""
+"""Plain-text, CSV and JSON rendering of the experiment results (the paper's tables/figures)."""
 
 from __future__ import annotations
 
 import csv
 import io
-from typing import List, Sequence
+import json
+from typing import Dict, List, Sequence
 
 from .experiments import AblationRow, ComparisonRow, NoiseExperimentRow, NOISE_METHODS, TableResult
 
@@ -83,6 +84,70 @@ def format_noise_experiment(rows: List[NoiseExperimentRow]) -> str:
         values += [f"{row.success_rate[m]:.3f}" for m in NOISE_METHODS]
         lines.append(_format_row(values, widths))
     return "\n".join(lines)
+
+
+def table_result_to_dict(result: TableResult) -> Dict:
+    """JSON-safe form of a table experiment (rows plus the geometric-mean aggregates)."""
+    return {
+        "topology": result.topology,
+        "rows": [
+            {
+                "name": row.name,
+                "num_qubits": row.num_qubits,
+                "original_cx": row.original_cx,
+                "original_depth": row.original_depth,
+                "sabre_cx": row.sabre_cx,
+                "sabre_depth": row.sabre_depth,
+                "sabre_time": row.sabre_time,
+                "nassc_cx": row.nassc_cx,
+                "nassc_depth": row.nassc_depth,
+                "nassc_time": row.nassc_time,
+                "delta_cx_total_pct": row.delta_cx_total,
+                "delta_cx_added_pct": row.delta_cx_added,
+                "delta_depth_total_pct": row.delta_depth_total,
+            }
+            for row in result.rows
+        ],
+        "geomean": {
+            "delta_cx_total_pct": result.geomean_delta_cx_total,
+            "delta_cx_added_pct": result.geomean_delta_cx_added,
+            "delta_depth_total_pct": result.geomean_delta_depth_total,
+            "delta_depth_added_pct": result.geomean_delta_depth_added,
+            "time_ratio": result.geomean_time_ratio,
+        },
+    }
+
+
+def ablation_rows_to_dict(rows: Sequence[AblationRow]) -> List[Dict]:
+    """JSON-safe form of a Figure 9 ablation panel."""
+    return [
+        {
+            "name": row.name,
+            "sabre_cx": row.sabre_cx,
+            "cx_by_combination": dict(row.cx_by_combination),
+            "best_reduction_pct": row.best_reduction,
+            "all_enabled_reduction_pct": row.all_enabled_reduction,
+        }
+        for row in rows
+    ]
+
+
+def noise_rows_to_dict(rows: Sequence[NoiseExperimentRow]) -> List[Dict]:
+    """JSON-safe form of the Figure 11 noise experiment."""
+    return [
+        {
+            "name": row.name,
+            "original_cx": row.original_cx,
+            "added_cx": dict(row.added_cx),
+            "success_rate": dict(row.success_rate),
+        }
+        for row in rows
+    ]
+
+
+def table_result_to_json(result: TableResult, *, indent: int = 2) -> str:
+    """Serialise a table experiment to a JSON document."""
+    return json.dumps(table_result_to_dict(result), indent=indent)
 
 
 def cnot_table_to_csv(result: TableResult) -> str:

@@ -66,6 +66,42 @@ class DeviceCalibration:
         """Qubit with the lowest readout error (used by layout heuristics)."""
         return min(self.readout_error, key=self.readout_error.get)
 
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe representation (used to ship calibrations to service-layer workers)."""
+
+        def _edge_map(mapping: Dict[Tuple[int, int], float]) -> list:
+            return [[a, b, value] for (a, b), value in sorted(mapping.items())]
+
+        def _qubit_map(mapping: Dict[int, float]) -> list:
+            return [[q, value] for q, value in sorted(mapping.items())]
+
+        return {
+            "coupling_map": self.coupling_map.to_dict(),
+            "cx_error": _edge_map(self.cx_error),
+            "cx_duration": _edge_map(self.cx_duration),
+            "single_qubit_error": _qubit_map(self.single_qubit_error),
+            "single_qubit_duration": _qubit_map(self.single_qubit_duration),
+            "readout_error": _qubit_map(self.readout_error),
+            "t1": _qubit_map(self.t1),
+            "t2": _qubit_map(self.t2),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DeviceCalibration":
+        """Rebuild a calibration from :meth:`to_dict` output."""
+        return cls(
+            coupling_map=CouplingMap.from_dict(data["coupling_map"]),
+            cx_error={(a, b): v for a, b, v in data["cx_error"]},
+            cx_duration={(a, b): v for a, b, v in data["cx_duration"]},
+            single_qubit_error={q: v for q, v in data["single_qubit_error"]},
+            single_qubit_duration={q: v for q, v in data["single_qubit_duration"]},
+            readout_error={q: v for q, v in data["readout_error"]},
+            t1={q: v for q, v in data["t1"]},
+            t2={q: v for q, v in data["t2"]},
+        )
+
 
 def synthetic_calibration(
     coupling_map: CouplingMap,

@@ -128,5 +128,24 @@ class CouplingMap:
         """True if a circuit with ``num_circuit_qubits`` logical qubits fits on the device."""
         return num_circuit_qubits <= self.num_qubits
 
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe representation (used by the service layer's job specs)."""
+        return {
+            "name": self.name,
+            "num_qubits": self.num_qubits,
+            "edges": [list(edge) for edge in self._edges],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CouplingMap":
+        """Rebuild a coupling map from :meth:`to_dict` output."""
+        return cls(
+            [tuple(edge) for edge in data["edges"]],
+            num_qubits=data["num_qubits"],
+            name=data.get("name", "device"),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"CouplingMap(name={self.name!r}, qubits={self.num_qubits}, edges={len(self._edges)})"

@@ -1,0 +1,339 @@
+"""Command-line front end of the batch transpilation service (``python -m repro``).
+
+Subcommands
+-----------
+* ``transpile`` — compile one OpenQASM 2.0 file for a device; emits routed QASM and an
+  optional metrics JSON.
+* ``table`` — regenerate a Tables I-IV style SABRE-vs-NASSC report through the batch
+  executor (text, CSV and JSON outputs).
+* ``ablation`` — regenerate a Figure 9 style optimization-combination panel.
+* ``noise`` — regenerate the Figure 11 noise/success-rate experiment.
+* ``cache`` — inspect or clear an on-disk result cache directory.
+
+Every experiment subcommand accepts ``--workers N`` (process-pool fan-out) and
+``--cache-dir DIR`` (persistent content-addressed result cache); a warm rerun of the same
+command performs zero new transpile calls.  The default benchmark selection is the quick
+subset used by the benchmark harness; pass ``--full`` for the paper's complete lists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .. import __version__
+from ..benchlib.suite import benchmark_names, table_benchmarks
+from ..circuit import qasm
+from ..exceptions import ReproError
+from ..hardware.calibration import synthetic_calibration
+from ..hardware.topologies import get_topology
+from .cache import ResultCache
+from .executor import BatchTranspiler
+from .jobs import JobOutcome, TranspileJob
+
+#: Quick default benchmark selections (mirrors ``benchmarks/bench_config.py``).
+DEFAULT_TABLE_NAMES = [
+    "grover_n4", "grover_n6", "vqe_n8", "bv_n19", "qft_n15", "qpe_n9", "adder_n10",
+]
+DEFAULT_ABLATION_NAMES = ["grover_n4", "adder_n10"]
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Batch transpilation service for the NASSC (HPCA'22) reproduction.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, *, workers: bool = True) -> None:
+        if workers:
+            p.add_argument("--workers", "-w", type=int, default=1,
+                           help="worker processes for the batch executor (default: 1)")
+        p.add_argument("--cache-dir", default=os.environ.get(CACHE_DIR_ENV),
+                       help="on-disk result cache directory (env: REPRO_CACHE_DIR)")
+        p.add_argument("--progress", action="store_true",
+                       help="print per-job progress to stderr")
+
+    def add_device(p: argparse.ArgumentParser, default: str = "montreal") -> None:
+        p.add_argument("--device", "-d", default=default,
+                       help="device topology: montreal | linear | grid | full "
+                            f"(default: {default})")
+        p.add_argument("--num-qubits", type=int, default=25,
+                       help="device size for linear/grid/full topologies (default: 25)")
+
+    p = sub.add_parser("transpile", help="compile one OpenQASM 2.0 file for a device")
+    p.add_argument("input", help="input OpenQASM 2.0 file ('-' for stdin)")
+    add_device(p)
+    p.add_argument("--routing", "-r", default="nassc", choices=("none", "sabre", "nassc"))
+    p.add_argument("--seed", type=int, default=0, help="routing seed (default: 0)")
+    p.add_argument("--noise-aware", action="store_true",
+                   help="use the HA distance matrix built from a synthetic calibration")
+    p.add_argument("--out", "-o", default="-", help="routed QASM output path (default: stdout)")
+    p.add_argument("--metrics", help="write a metrics JSON to this path ('-' for stdout)")
+    add_common(p, workers=False)
+
+    p = sub.add_parser("table", help="regenerate a Tables I-IV style report")
+    add_device(p)
+    p.add_argument("--seeds", type=int, nargs="+", default=[0],
+                   help="routing seeds to average over (default: 0)")
+    p.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                   help=f"benchmark subset (default: quick set; known: {', '.join(benchmark_names())})")
+    p.add_argument("--full", action="store_true",
+                   help="run the paper's complete benchmark list (slow)")
+    p.add_argument("--depth", action="store_true", help="also print the depth (Table II) report")
+    p.add_argument("--csv", metavar="PATH", help="write the CNOT table as CSV")
+    p.add_argument("--json", metavar="PATH", help="write the full result as JSON")
+    add_common(p)
+
+    p = sub.add_parser("ablation", help="regenerate a Figure 9 style ablation panel")
+    add_device(p)
+    p.add_argument("--seeds", type=int, nargs="+", default=[0])
+    p.add_argument("--benchmarks", nargs="+", metavar="NAME")
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--json", metavar="PATH")
+    add_common(p)
+
+    p = sub.add_parser("noise", help="regenerate the Figure 11 noise experiment")
+    p.add_argument("--shots", type=int, default=2048)
+    p.add_argument("--realizations", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--benchmarks", nargs="+", metavar="NAME")
+    p.add_argument("--json", metavar="PATH")
+    add_common(p)
+
+    p = sub.add_parser("cache", help="inspect or clear an on-disk result cache")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--cache-dir", default=os.environ.get(CACHE_DIR_ENV), required=False)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _make_executor(args: argparse.Namespace) -> BatchTranspiler:
+    cache = ResultCache(directory=args.cache_dir) if args.cache_dir else ResultCache()
+    workers = getattr(args, "workers", 1)
+    return BatchTranspiler(max_workers=workers, cache=cache)
+
+
+def _progress_callback(args: argparse.Namespace):
+    if not getattr(args, "progress", False):
+        return None
+
+    def callback(done: int, total: int, outcome: JobOutcome) -> None:
+        state = "cached" if outcome.from_cache else ("ok" if outcome.ok else "ERROR")
+        label = outcome.job.name or outcome.fingerprint[:12]
+        print(f"[{done}/{total}] {label}: {state}", file=sys.stderr)
+
+    return callback
+
+
+def _print_stats(executor: BatchTranspiler) -> None:
+    stats = executor.stats
+    print(
+        f"cache: {stats.hits} memory hits, {stats.disk_hits} disk hits, "
+        f"{stats.misses} misses ({stats.hit_rate:.0%} hit rate)",
+        file=sys.stderr,
+    )
+
+
+def _selected_cases(args: argparse.Namespace, default_names: List[str]):
+    if args.benchmarks:
+        unknown = set(args.benchmarks) - set(benchmark_names())
+        if unknown:
+            raise SystemExit(f"unknown benchmarks: {', '.join(sorted(unknown))}")
+        return table_benchmarks(names=list(args.benchmarks))
+    if args.full:
+        return table_benchmarks()
+    return table_benchmarks(names=default_names)
+
+
+def _write_text(path: Optional[str], text: str) -> None:
+    if path is None:
+        return
+    if path == "-":
+        print(text)
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_transpile(args: argparse.Namespace) -> int:
+    if args.input == "-":
+        circuit = qasm.loads(sys.stdin.read())
+    else:
+        circuit = qasm.load(args.input)
+        circuit.name = os.path.splitext(os.path.basename(args.input))[0]
+
+    coupling = None if args.routing == "none" else get_topology(args.device, args.num_qubits)
+    calibration = synthetic_calibration(coupling) if args.noise_aware and coupling else None
+    job = TranspileJob.from_circuit(
+        circuit,
+        coupling,
+        routing=args.routing,
+        seed=args.seed,
+        calibration=calibration,
+        noise_aware=args.noise_aware,
+    )
+    executor = _make_executor(args)
+    outcome = executor.run([job], progress=_progress_callback(args))[0]
+    if not outcome.ok:
+        print(f"error: {outcome.error}", file=sys.stderr)
+        return 1
+
+    result = outcome.result
+    routed_qasm = qasm.dumps(result.circuit)
+    if args.out == "-":
+        sys.stdout.write(routed_qasm)
+    else:
+        _write_text(args.out, routed_qasm)
+
+    if args.metrics:
+        payload = {
+            "fingerprint": outcome.fingerprint,
+            "from_cache": outcome.from_cache,
+            "routing": result.routing,
+            "device": coupling.name if coupling else None,
+            "cx_count": result.cx_count,
+            "depth": result.depth,
+            "num_swaps": result.num_swaps,
+            "transpile_time": result.transpile_time,
+            "count_ops": result.count_ops(),
+        }
+        text = json.dumps(payload, indent=2)
+        if args.metrics == "-":
+            print(text)
+        else:
+            _write_text(args.metrics, text)
+    _print_stats(executor)
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from ..evaluation import (
+        cnot_table_to_csv,
+        format_cnot_table,
+        format_depth_table,
+        run_table_experiment,
+        table_result_to_json,
+    )
+
+    executor = _make_executor(args)
+    result = run_table_experiment(
+        args.device,
+        cases=_selected_cases(args, DEFAULT_TABLE_NAMES),
+        seeds=tuple(args.seeds),
+        num_device_qubits=args.num_qubits,
+        executor=executor,
+        progress=_progress_callback(args),
+    )
+    print(format_cnot_table(result))
+    if args.depth:
+        print()
+        print(format_depth_table(result))
+    if args.csv:
+        _write_text(args.csv, cnot_table_to_csv(result))
+    if args.json:
+        _write_text(args.json, table_result_to_json(result))
+    _print_stats(executor)
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from ..evaluation import ablation_rows_to_dict, format_ablation, run_optimization_ablation
+
+    executor = _make_executor(args)
+    rows = run_optimization_ablation(
+        args.device,
+        cases=_selected_cases(args, DEFAULT_ABLATION_NAMES),
+        seeds=tuple(args.seeds),
+        num_device_qubits=args.num_qubits,
+        executor=executor,
+        progress=_progress_callback(args),
+    )
+    print(format_ablation(rows, args.device))
+    if args.json:
+        _write_text(args.json, json.dumps(ablation_rows_to_dict(rows), indent=2))
+    _print_stats(executor)
+    return 0
+
+
+def _cmd_noise(args: argparse.Namespace) -> int:
+    from ..benchlib.suite import noise_benchmarks
+    from ..evaluation import format_noise_experiment, noise_rows_to_dict, run_noise_experiment
+
+    cases = noise_benchmarks()
+    if args.benchmarks:
+        wanted = set(args.benchmarks)
+        cases = [case for case in cases if case.name in wanted]
+        if not cases:
+            known = ", ".join(case.name for case in noise_benchmarks())
+            raise SystemExit(f"no matching noise benchmarks; known: {known}")
+
+    executor = _make_executor(args)
+    rows = run_noise_experiment(
+        cases=cases,
+        shots=args.shots,
+        seed=args.seed,
+        realizations=args.realizations,
+        executor=executor,
+        progress=_progress_callback(args),
+    )
+    print(format_noise_experiment(rows))
+    if args.json:
+        _write_text(args.json, json.dumps(noise_rows_to_dict(rows), indent=2))
+    _print_stats(executor)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if not args.cache_dir:
+        print("error: --cache-dir (or REPRO_CACHE_DIR) is required", file=sys.stderr)
+        return 1
+    cache = ResultCache(directory=args.cache_dir)
+    if args.action == "stats":
+        print(f"cache directory: {args.cache_dir}")
+        if not os.path.isdir(args.cache_dir):
+            print("(directory does not exist yet -- it is created on first use)")
+        print(f"entries on disk: {cache.disk_entries()}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cached results from {args.cache_dir}")
+    return 0
+
+
+_COMMANDS = {
+    "transpile": _cmd_transpile,
+    "table": _cmd_table,
+    "ablation": _cmd_ablation,
+    "noise": _cmd_noise,
+    "cache": _cmd_cache,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro`` and the ``repro`` console script."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, ValueError, OSError) as exc:
+        # Expected operational failures (bad device name, unreadable/malformed input
+        # file, ...) get a clean one-line diagnostic instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

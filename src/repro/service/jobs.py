@@ -1,0 +1,234 @@
+"""Job specifications for the batch transpilation service.
+
+A :class:`TranspileJob` is a fully self-contained, JSON-serialisable description of one
+``transpile()`` call: the circuit (as OpenQASM 2.0 text), the device coupling map, the
+routing method and its configuration, and the seed.  Because the spec is pure data it can
+be shipped to worker processes, written to disk, and — crucially — content-addressed:
+:meth:`TranspileJob.fingerprint` hashes the canonical JSON form, so two jobs that would
+produce byte-identical results share one fingerprint regardless of where or when they were
+built.  The fingerprint is the key of the service's result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..circuit import qasm
+from ..circuit.circuit import QuantumCircuit
+from ..core.nassc import NASSCConfig
+from ..core.pipeline import TranspileResult, transpile
+from ..hardware.calibration import DeviceCalibration
+from ..hardware.coupling import CouplingMap
+
+#: Bump when the transpiler pipeline changes in a way that invalidates cached results.
+FINGERPRINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TranspileJob:
+    """One unit of work for the batch transpiler (a single ``transpile()`` call).
+
+    All fields are plain JSON-compatible data; use :meth:`from_circuit` to build a job from
+    live objects.  ``name`` is a display label only and does not enter the fingerprint, so
+    identically-configured jobs share cache entries whatever they are called.
+    """
+
+    qasm: str
+    routing: str = "sabre"
+    coupling_map: Optional[Dict] = None  # CouplingMap.to_dict() form
+    seed: Optional[int] = None
+    nassc_config: Optional[Tuple[bool, bool, bool]] = None
+    noise_aware: bool = False
+    calibration: Optional[Dict] = None  # DeviceCalibration.to_dict() form
+    extended_set_size: int = 20
+    extended_set_weight: float = 0.5
+    layout_iterations: int = 2
+    final_basis: str = "zsx"
+    name: str = ""
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_circuit(
+        cls,
+        circuit: QuantumCircuit,
+        coupling_map: Optional[CouplingMap] = None,
+        *,
+        routing: str = "sabre",
+        seed: Optional[int] = None,
+        nassc_config: Optional[NASSCConfig] = None,
+        calibration: Optional[DeviceCalibration] = None,
+        noise_aware: bool = False,
+        name: Optional[str] = None,
+        **kwargs,
+    ) -> "TranspileJob":
+        """Build a job spec from live circuit/device objects (mirrors ``transpile()``)."""
+        return cls(
+            qasm=qasm.dumps(circuit),
+            routing=routing,
+            coupling_map=coupling_map.to_dict() if coupling_map else None,
+            seed=seed,
+            nassc_config=nassc_config.as_tuple() if nassc_config else None,
+            noise_aware=noise_aware,
+            calibration=calibration.to_dict() if calibration else None,
+            name=name if name is not None else (circuit.name or ""),
+            **kwargs,
+        )
+
+    # -- content addressing -------------------------------------------------
+
+    def content_dict(self) -> Dict:
+        """The canonical content of the job (everything that influences the result)."""
+        return {
+            "version": FINGERPRINT_VERSION,
+            "qasm": self.qasm,
+            "routing": self.routing,
+            "coupling_map": self.coupling_map,
+            "seed": self.seed,
+            "nassc_config": list(self.nassc_config) if self.nassc_config else None,
+            "noise_aware": self.noise_aware,
+            "calibration": self.calibration,
+            "extended_set_size": self.extended_set_size,
+            "extended_set_weight": self.extended_set_weight,
+            "layout_iterations": self.layout_iterations,
+            "final_basis": self.final_basis,
+        }
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash of the job (sha256 over canonical JSON).
+
+        Stable across processes and machines: the hash covers only the canonical JSON
+        serialisation, never object identities, and ``name`` is excluded.
+        """
+        canonical = json.dumps(self.content_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        data = self.content_dict()
+        del data["version"]
+        data["name"] = self.name
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TranspileJob":
+        nassc = data.get("nassc_config")
+        return cls(
+            qasm=data["qasm"],
+            routing=data.get("routing", "sabre"),
+            coupling_map=data.get("coupling_map"),
+            seed=data.get("seed"),
+            nassc_config=tuple(nassc) if nassc else None,
+            noise_aware=data.get("noise_aware", False),
+            calibration=data.get("calibration"),
+            extended_set_size=data.get("extended_set_size", 20),
+            extended_set_weight=data.get("extended_set_weight", 0.5),
+            layout_iterations=data.get("layout_iterations", 2),
+            final_basis=data.get("final_basis", "zsx"),
+            name=data.get("name", ""),
+        )
+
+    def with_name(self, name: str) -> "TranspileJob":
+        return replace(self, name=name)
+
+    # -- execution ----------------------------------------------------------
+
+    def build_circuit(self) -> QuantumCircuit:
+        circuit = qasm.loads(self.qasm)
+        if self.name:
+            circuit.name = self.name
+        return circuit
+
+    def run(self) -> TranspileResult:
+        """Execute the job in the current process and return the live result."""
+        coupling = CouplingMap.from_dict(self.coupling_map) if self.coupling_map else None
+        calibration = (
+            DeviceCalibration.from_dict(self.calibration) if self.calibration else None
+        )
+        config = NASSCConfig(*self.nassc_config) if self.nassc_config else None
+        return transpile(
+            self.build_circuit(),
+            coupling,
+            routing=self.routing,
+            seed=self.seed,
+            nassc_config=config,
+            calibration=calibration,
+            noise_aware=self.noise_aware,
+            extended_set_size=self.extended_set_size,
+            extended_set_weight=self.extended_set_weight,
+            layout_iterations=self.layout_iterations,
+            final_basis=self.final_basis,
+        )
+
+
+@dataclass(frozen=True)
+class JobError:
+    """Structured record of a job that raised instead of producing a result."""
+
+    fingerprint: str
+    job_name: str
+    exc_type: str
+    message: str
+    traceback: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "job_name": self.job_name,
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobError":
+        return cls(
+            fingerprint=data["fingerprint"],
+            job_name=data.get("job_name", ""),
+            exc_type=data.get("exc_type", "Exception"),
+            message=data.get("message", ""),
+            traceback=data.get("traceback", ""),
+        )
+
+    def __str__(self) -> str:
+        label = self.job_name or self.fingerprint[:12]
+        return f"{label}: {self.exc_type}: {self.message}"
+
+
+@dataclass
+class JobOutcome:
+    """The terminal state of one submitted job: a result, or a structured error."""
+
+    job: TranspileJob
+    fingerprint: str
+    result: Optional[TranspileResult] = None
+    error: Optional[JobError] = None
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> TranspileResult:
+        """The result, raising a ``RuntimeError`` if the job failed."""
+        if self.error is not None:
+            raise RuntimeError(f"transpile job failed -- {self.error}")
+        assert self.result is not None
+        return self.result
+
+
+def jobs_for_seeds(
+    circuit: QuantumCircuit,
+    coupling_map: Optional[CouplingMap],
+    seeds: Sequence[int],
+    **kwargs,
+) -> list:
+    """Convenience fan-out: one job per seed (the paper averages over routing seeds)."""
+    return [
+        TranspileJob.from_circuit(circuit, coupling_map, seed=seed, **kwargs)
+        for seed in seeds
+    ]

@@ -56,6 +56,15 @@ class Layout:
     def copy(self) -> "Layout":
         return Layout(self._l2p)
 
+    def to_pairs(self) -> List[List[int]]:
+        """JSON-safe ``[[logical, physical], ...]`` representation, sorted by logical qubit."""
+        return [[l, p] for l, p in sorted(self._l2p.items())]
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Sequence[int]]) -> "Layout":
+        """Rebuild a layout from :meth:`to_pairs` output."""
+        return cls({int(l): int(p) for l, p in pairs})
+
     # -- mutation -----------------------------------------------------------
 
     def swap_physical(self, p0: int, p1: int) -> None:

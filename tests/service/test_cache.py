@@ -1,0 +1,112 @@
+"""Tests for the content-addressed result cache (LRU + on-disk JSON store)."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.cache import CacheStats, ResultCache
+
+
+def payload(tag: str) -> dict:
+    return {"qasm": f"// {tag}", "metrics": {"cx_count": len(tag)}}
+
+
+class TestMemoryCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("a" * 64) is None
+        cache.put("a" * 64, payload("a"))
+        assert cache.get("a" * 64) == payload("a")
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("k1", payload("1"))
+        cache.put("k2", payload("2"))
+        assert cache.get("k1") is not None  # k1 becomes most-recent
+        cache.put("k3", payload("3"))  # evicts k2
+        assert cache.stats.evictions == 1
+        assert cache.get("k2") is None
+        assert cache.get("k1") is not None
+        assert cache.get("k3") is not None
+
+    def test_len_and_clear(self):
+        cache = ResultCache()
+        cache.put("k1", payload("1"))
+        cache.put("k2", payload("2"))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get("k1") is None
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestDiskCache:
+    def test_round_trip_through_disk(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        writer = ResultCache(directory=directory)
+        writer.put("f" * 64, payload("disk"))
+        assert writer.disk_entries() == 1
+
+        # A second cache instance (fresh process in real use) reads the same entry.
+        reader = ResultCache(directory=directory)
+        assert reader.get("f" * 64) == payload("disk")
+        assert reader.stats.disk_hits == 1
+        assert reader.stats.misses == 0
+        # The entry was promoted into memory: next lookup is a memory hit.
+        assert reader.get("f" * 64) == payload("disk")
+        assert reader.stats.hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        os.makedirs(directory)
+        cache = ResultCache(directory=directory)
+        with open(os.path.join(directory, "bad.json"), "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert cache.get("bad") is None
+        assert cache.stats.misses == 1
+
+    def test_directory_created_lazily_on_first_write(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        # Read-only use (e.g. `repro cache stats`) must not create the directory.
+        assert cache.get("a" * 64) is None
+        assert cache.disk_entries() == 0
+        assert not os.path.isdir(directory)
+        cache.put("a" * 64, payload("lazy"))
+        assert os.path.isdir(directory)
+        assert cache.disk_entries() == 1
+
+    def test_clear_removes_disk_files(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        cache.put("k1", payload("1"))
+        cache.put("k2", payload("2"))
+        removed = cache.clear()
+        assert removed >= 2
+        assert cache.disk_entries() == 0
+
+    def test_disk_files_are_valid_json(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        cache.put("k1", payload("json"))
+        (path,) = [p for p in os.listdir(directory) if p.endswith(".json")]
+        with open(os.path.join(directory, path), encoding="utf-8") as handle:
+            assert json.load(handle) == payload("json")
+
+
+class TestCacheStats:
+    def test_to_dict_and_reset(self):
+        stats = CacheStats(hits=2, disk_hits=1, misses=1, stores=3, evictions=1)
+        data = stats.to_dict()
+        assert data["hits"] == 2 and data["hit_rate"] == pytest.approx(0.75)
+        assert stats.total_hits == 3 and stats.lookups == 4
+        stats.reset()
+        assert stats.lookups == 0 and stats.hit_rate == 0.0

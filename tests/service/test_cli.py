@@ -1,0 +1,166 @@
+"""Tests for the ``python -m repro`` CLI and executor-backed experiment regeneration."""
+
+import json
+
+import pytest
+
+from repro import QuantumCircuit
+from repro.benchlib import BenchmarkCase
+from repro.benchlib.grover import grover_n4
+from repro.circuit import qasm
+from repro.service import BatchTranspiler, ResultCache
+from repro.service.cli import main
+from repro.evaluation import run_table_experiment
+
+SMALL = [BenchmarkCase("grover_n4", 4, grover_n4)]
+
+
+class TestTranspileCommand:
+    @pytest.fixture()
+    def qasm_file(self, tmp_path):
+        circuit = QuantumCircuit(3, name="cli")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(0, 2)
+        path = tmp_path / "input.qasm"
+        path.write_text(qasm.dumps(circuit))
+        return str(path)
+
+    def test_writes_routed_qasm_and_metrics(self, qasm_file, tmp_path, capsys):
+        out = tmp_path / "routed.qasm"
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "transpile", qasm_file, "--device", "linear", "--num-qubits", "3",
+            "--routing", "nassc", "--seed", "0",
+            "--out", str(out), "--metrics", str(metrics),
+        ])
+        assert code == 0
+        routed = qasm.loads(out.read_text())
+        assert routed.num_qubits == 3
+        payload = json.loads(metrics.read_text())
+        assert payload["routing"] == "nassc"
+        assert payload["cx_count"] == routed.cx_count()
+        assert payload["device"].startswith("linear")
+        assert len(payload["fingerprint"]) == 64
+
+    def test_failure_returns_nonzero(self, qasm_file, capsys):
+        # 3-qubit circuit on a 2-qubit device: the job fails, the CLI reports it.
+        code = main([
+            "transpile", qasm_file, "--device", "linear", "--num-qubits", "2", "--out", "-",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_stdout_output(self, qasm_file, capsys):
+        code = main([
+            "transpile", qasm_file, "--device", "linear", "--num-qubits", "3", "--out", "-",
+        ])
+        assert code == 0
+        assert "OPENQASM 2.0;" in capsys.readouterr().out
+
+
+class TestTableCommand:
+    def test_report_and_artifacts(self, tmp_path, capsys):
+        csv_path = tmp_path / "table.csv"
+        json_path = tmp_path / "table.json"
+        code = main([
+            "table", "--device", "linear", "--num-qubits", "5",
+            "--benchmarks", "grover_n4", "--workers", "1",
+            "--csv", str(csv_path), "--json", str(json_path), "--depth",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "grover_n4" in out and "geomean" in out
+        assert "sabre_depth" in out  # --depth adds the Table II style report
+        assert "delta_cx_added_pct" in csv_path.read_text()
+        payload = json.loads(json_path.read_text())
+        assert payload["rows"][0]["name"] == "grover_n4"
+        assert "geomean" in payload
+
+    def test_warm_cache_rerun_zero_misses(self, tmp_path, capsys):
+        """Acceptance: a warm-cache rerun performs zero new transpile calls."""
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "table", "--device", "linear", "--num-qubits", "5",
+            "--benchmarks", "grover_n4", "--workers", "2", "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert cold.out == warm.out  # identical report from cached results
+        assert "0 misses" in warm.err
+        assert "100% hit rate" in warm.err
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "--benchmarks", "not_a_benchmark"])
+
+
+class TestAblationCommand:
+    def test_panel_regeneration(self, tmp_path, capsys):
+        json_path = tmp_path / "ablation.json"
+        code = main([
+            "ablation", "--device", "linear", "--num-qubits", "5",
+            "--benchmarks", "grover_n4", "--json", str(json_path),
+        ])
+        assert code == 0
+        assert "grover_n4" in capsys.readouterr().out
+        payload = json.loads(json_path.read_text())
+        assert len(payload[0]["cx_by_combination"]) == 8
+
+
+class TestNoiseCommand:
+    def test_small_noise_run(self, capsys):
+        code = main([
+            "noise", "--benchmarks", "grover_n4", "--shots", "128",
+            "--realizations", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sr_nassc" in out and "grover_n4" in out
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        ResultCache(directory=cache_dir).put("a" * 64, {"qasm": "//"})
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries on disk: 1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries on disk: 0" in capsys.readouterr().out
+
+    def test_cache_requires_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 1
+
+
+class TestExperimentsThroughExecutor:
+    def test_table_experiment_serial_vs_parallel_identical(self):
+        serial = run_table_experiment(
+            "linear", cases=SMALL, seeds=(0, 1), num_device_qubits=5,
+            executor=BatchTranspiler(max_workers=1),
+        )
+        parallel = run_table_experiment(
+            "linear", cases=SMALL, seeds=(0, 1), num_device_qubits=5,
+            executor=BatchTranspiler(max_workers=2),
+        )
+        row_s, row_p = serial.rows[0], parallel.rows[0]
+        assert (row_s.sabre_cx, row_s.nassc_cx, row_s.sabre_depth, row_s.nassc_depth) == (
+            row_p.sabre_cx, row_p.nassc_cx, row_p.sabre_depth, row_p.nassc_depth,
+        )
+
+    def test_table_experiment_warm_executor_zero_misses(self):
+        executor = BatchTranspiler(max_workers=1)
+        first = run_table_experiment(
+            "linear", cases=SMALL, seeds=(0,), num_device_qubits=5, executor=executor,
+        )
+        cold_misses = executor.stats.misses
+        assert cold_misses > 0
+        second = run_table_experiment(
+            "linear", cases=SMALL, seeds=(0,), num_device_qubits=5, executor=executor,
+        )
+        # Zero new transpile calls on the warm rerun, identical table.
+        assert executor.stats.misses == cold_misses
+        assert second.rows[0].nassc_cx == first.rows[0].nassc_cx

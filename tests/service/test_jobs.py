@@ -1,0 +1,148 @@
+"""Tests for TranspileJob specs: fingerprints, serialization, and execution."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import QuantumCircuit, linear_coupling_map
+from repro.core.nassc import NASSCConfig
+from repro.core.pipeline import TranspileResult, transpile
+from repro.hardware.calibration import fake_montreal_calibration
+from repro.hardware.topologies import montreal_coupling_map
+from repro.service.jobs import JobError, TranspileJob
+
+
+def small_circuit(name: str = "small") -> QuantumCircuit:
+    circuit = QuantumCircuit(4, name=name)
+    circuit.h(0)
+    circuit.cx(0, 1)
+    circuit.cx(0, 3)
+    circuit.crx(0.3, 1, 3)
+    return circuit
+
+
+class TestFingerprint:
+    def test_deterministic_for_identical_content(self):
+        coupling = linear_coupling_map(5)
+        job_a = TranspileJob.from_circuit(small_circuit(), coupling, routing="sabre", seed=0)
+        job_b = TranspileJob.from_circuit(small_circuit(), coupling, routing="sabre", seed=0)
+        assert job_a.fingerprint() == job_b.fingerprint()
+
+    def test_name_does_not_enter_fingerprint(self):
+        coupling = linear_coupling_map(5)
+        job_a = TranspileJob.from_circuit(small_circuit("a"), coupling, seed=0, name="first")
+        job_b = TranspileJob.from_circuit(small_circuit("b"), coupling, seed=0, name="second")
+        assert job_a.fingerprint() == job_b.fingerprint()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"routing": "nassc"},
+            {"seed": 1},
+            {"nassc_config": NASSCConfig(True, False, True)},
+            {"noise_aware": True, "calibration": "montreal"},
+        ],
+    )
+    def test_content_changes_change_fingerprint(self, change):
+        coupling = montreal_coupling_map()
+        base = TranspileJob.from_circuit(small_circuit(), coupling, routing="sabre", seed=0)
+        kwargs = dict(routing="sabre", seed=0)
+        if change.get("calibration") == "montreal":
+            change = dict(change, calibration=fake_montreal_calibration())
+        kwargs.update(change)
+        other = TranspileJob.from_circuit(small_circuit(), coupling, **kwargs)
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_circuit_changes_change_fingerprint(self):
+        coupling = linear_coupling_map(5)
+        base = TranspileJob.from_circuit(small_circuit(), coupling, seed=0)
+        circuit = small_circuit()
+        circuit.x(2)
+        other = TranspileJob.from_circuit(circuit, coupling, seed=0)
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_stable_across_processes(self):
+        """The fingerprint is a pure content hash: a fresh interpreter computes the same."""
+        coupling = linear_coupling_map(5)
+        job = TranspileJob.from_circuit(
+            small_circuit(), coupling, routing="nassc", seed=3,
+            nassc_config=NASSCConfig(True, True, False),
+        )
+        script = (
+            "import json, sys\n"
+            "from repro.service.jobs import TranspileJob\n"
+            "job = TranspileJob.from_dict(json.load(sys.stdin))\n"
+            "print(job.fingerprint())\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "12345"  # prove independence from hash randomisation
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps(job.to_dict()),
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert proc.stdout.strip() == job.fingerprint()
+
+
+class TestSerialization:
+    def test_job_round_trip(self):
+        coupling = montreal_coupling_map()
+        job = TranspileJob.from_circuit(
+            small_circuit(), coupling, routing="nassc", seed=7,
+            nassc_config=NASSCConfig(False, True, True),
+            calibration=fake_montreal_calibration(), noise_aware=True, name="rt",
+        )
+        clone = TranspileJob.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone == job
+        assert clone.fingerprint() == job.fingerprint()
+
+    def test_job_error_round_trip(self):
+        error = JobError("f" * 64, "job", "ValueError", "boom", "trace")
+        clone = JobError.from_dict(error.to_dict())
+        assert clone == error
+        assert "boom" in str(clone)
+
+
+class TestExecution:
+    def test_run_matches_direct_transpile(self):
+        coupling = linear_coupling_map(5)
+        circuit = small_circuit()
+        direct = transpile(circuit, coupling, routing="nassc", seed=0)
+        via_job = TranspileJob.from_circuit(circuit, coupling, routing="nassc", seed=0).run()
+        assert via_job.cx_count == direct.cx_count
+        assert via_job.depth == direct.depth
+        assert via_job.num_swaps == direct.num_swaps
+        assert via_job.final_layout == direct.final_layout
+
+    def test_routing_none_needs_no_coupling_map(self):
+        result = TranspileJob.from_circuit(small_circuit(), None, routing="none").run()
+        assert result.routing == "none"
+        assert result.coupling_map is None
+
+
+class TestTranspileResultRoundTrip:
+    def test_to_dict_from_dict(self):
+        coupling = linear_coupling_map(5)
+        result = transpile(small_circuit(), coupling, routing="nassc", seed=1)
+        clone = TranspileResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone.cx_count == result.cx_count
+        assert clone.depth == result.depth
+        assert clone.num_swaps == result.num_swaps
+        assert clone.routing == result.routing
+        assert clone.initial_layout == result.initial_layout
+        assert clone.final_layout == result.final_layout
+        assert clone.coupling_map.edges == result.coupling_map.edges
+        assert clone.count_ops() == result.count_ops()
+        assert clone.transpile_time == pytest.approx(result.transpile_time)
+
+    def test_metrics_embedded_in_payload(self):
+        coupling = linear_coupling_map(5)
+        result = transpile(small_circuit(), coupling, routing="sabre", seed=0)
+        payload = result.to_dict()
+        assert payload["metrics"]["cx_count"] == result.cx_count
+        assert payload["metrics"]["depth"] == result.depth

@@ -1,0 +1,1 @@
+"""Test package (makes relative imports of conftest helpers work)."""
