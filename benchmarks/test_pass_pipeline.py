@@ -1,0 +1,159 @@
+"""Per-pass wall-time of the transpile pipeline over the Table-III linear suite.
+
+Uses the per-instance ``pass_timing_log`` the pass manager records to attribute wall time
+to individual pass invocations (fixed-point loop iterations stay distinguishable), writes a
+JSON breakdown under ``benchmarks/results/`` so future PRs can diff per-pass regressions,
+and asserts the structural properties the DAG-native refactor guarantees: commutation
+analysis runs at most once per optimization-loop iteration, and the optimization loop
+stops once it reaches a fixed point.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the suite to one small benchmark
+so the harness runs in seconds while still exercising every assertion.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.benchlib import table_benchmarks
+from repro.core import transpile
+from repro.hardware import linear_coupling_map
+
+from bench_config import QUICK_TABLE_NAMES, RESULTS_DIR, SEEDS, save_report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("0", "", "false")
+PIPELINE_NAMES = ["grover_n4"] if SMOKE else QUICK_TABLE_NAMES
+PIPELINE_SEED = SEEDS[0]
+
+
+@pytest.fixture(scope="module")
+def pipeline_timings():
+    """Transpile the linear suite once per routing method, collecting timing logs."""
+    coupling = linear_coupling_map(25)
+    cases = table_benchmarks(names=PIPELINE_NAMES)
+    rows = []
+    for case in cases:
+        circuit = case.build()
+        for routing in ("sabre", "nassc"):
+            start = time.perf_counter()
+            result = transpile(circuit, coupling, routing=routing, seed=PIPELINE_SEED)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "benchmark": case.name,
+                    "routing": routing,
+                    "wall_time": elapsed,
+                    "transpile_time": result.transpile_time,
+                    "cx_count": result.cx_count,
+                    "depth": result.depth,
+                    "num_swaps": result.num_swaps,
+                    "pass_timing_log": [[name, t] for name, t in result.pass_timing_log],
+                    "pass_timings": result.pass_timings,
+                }
+            )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def pipeline_report(pipeline_timings):
+    """Aggregate per-pass totals and persist the JSON breakdown."""
+    per_pass = {}
+    total = 0.0
+    for row in pipeline_timings:
+        total += row["wall_time"]
+        for name, elapsed in row["pass_timing_log"]:
+            per_pass[name] = per_pass.get(name, 0.0) + elapsed
+    report = {
+        "suite": "table3-linear",
+        "smoke": SMOKE,
+        "benchmarks": PIPELINE_NAMES,
+        "seed": PIPELINE_SEED,
+        "mean_transpile_time": total / max(len(pipeline_timings), 1),
+        "total_wall_time": total,
+        "per_pass_seconds": dict(sorted(per_pass.items(), key=lambda kv: -kv[1])),
+        "rows": pipeline_timings,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "pass_pipeline.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    lines = [f"Pass pipeline wall time (linear_25, seed {PIPELINE_SEED})"]
+    lines.append(f"mean transpile: {report['mean_transpile_time']:.3f}s over "
+                 f"{len(pipeline_timings)} runs")
+    for name, seconds in report["per_pass_seconds"].items():
+        lines.append(f"  {name:32s} {seconds:8.3f}s")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_report("pass_pipeline.txt", text)
+    return report
+
+
+def test_breakdown_written(pipeline_report):
+    path = os.path.join(RESULTS_DIR, "pass_pipeline.json")
+    assert os.path.exists(path)
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle)["rows"]
+
+
+def test_timing_log_covers_transpile_time(pipeline_timings):
+    """The per-instance log accounts for (almost all of) each run's transpile time."""
+    for row in pipeline_timings:
+        logged = sum(t for _, t in row["pass_timing_log"])
+        assert logged <= row["transpile_time"] + 1e-6
+        assert logged >= 0.5 * row["transpile_time"]
+
+
+def test_commutation_analysis_not_recomputed_inside_cancellation(pipeline_timings):
+    """Commutation analysis runs at most once per optimization-loop iteration.
+
+    ``CommutativeCancellation`` appears once per loop iteration; the refactor guarantees it
+    never rebuilds the analysis when a cached (incrementally patched) one is valid, which
+    bounds the number of from-scratch analyses by the number of loop iterations.
+    """
+    from repro.circuit import DAGCircuit
+    from repro.transpiler import PropertySet
+    from repro.transpiler.passes import CommutationAnalysis, CommutativeCancellation
+    from repro.benchlib import get_benchmark
+
+    calls = []
+    original = CommutationAnalysis.run
+
+    def counting_run(self, dag, property_set):
+        calls.append(1)
+        return original(self, dag, property_set)
+
+    CommutationAnalysis.run = counting_run
+    try:
+        dag = DAGCircuit.from_circuit(get_benchmark("grover_n4"))
+        props = PropertySet()
+        pass_ = CommutativeCancellation()
+        pass_.run(dag, props)
+        first = len(calls)
+        # Second invocation on the (patched) property set: no from-scratch recomputation.
+        pass_.run(dag, props)
+        assert first == 1
+        assert len(calls) == 1
+    finally:
+        CommutationAnalysis.run = original
+
+
+def test_optimization_loop_iteration_bound(pipeline_timings):
+    """The declared fixed-point loop never exceeds its iteration cap."""
+    from repro.core.pipeline import MAX_OPT_LOOP_ITERATIONS
+
+    for row in pipeline_timings:
+        names = [name for name, _ in row["pass_timing_log"]]
+        post_routing_us = names[names.index("SwapLowering"):].count("UnitarySynthesis")
+        assert 1 <= post_routing_us <= MAX_OPT_LOOP_ITERATIONS
+
+
+@pytest.mark.benchmark(group="pass-pipeline")
+@pytest.mark.parametrize("routing", ["sabre", "nassc"])
+def test_pipeline_speed(benchmark, routing):
+    """Headline number: one full transpile of the suite's smallest circuit."""
+    coupling = linear_coupling_map(25)
+    circuit = table_benchmarks(names=[PIPELINE_NAMES[0]])[0].build()
+    result = benchmark(lambda: transpile(circuit, coupling, routing=routing, seed=PIPELINE_SEED))
+    assert result.cx_count > 0

@@ -342,6 +342,17 @@ class QuantumCircuit:
                 out.append(inst.gate.copy(), mapped, inst.clbits)
         return out
 
+    def to_dag(self):
+        """DAG view of the circuit (the transpiler's canonical IR).
+
+        This conversion and :meth:`DAGCircuit.to_circuit` form the only circuit<->DAG
+        boundary of the pass framework: ``PassManager.run`` converts exactly once on entry
+        and once on exit, and every pass in between is DAG-in/DAG-out.
+        """
+        from .dag import DAGCircuit
+
+        return DAGCircuit.from_circuit(self)
+
     def without_directives(self) -> "QuantumCircuit":
         """Copy with measurements, resets and barriers removed (unitary part only)."""
         out = self.copy_empty()

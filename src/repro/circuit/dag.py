@@ -3,6 +3,21 @@
 The routing algorithms (SABRE and NASSC) and the commutation analysis pass both operate on
 the DAG representation described in Sec. IV-B of the paper: each node is a gate, and an edge
 ``i -> j`` means gate ``i`` must execute before gate ``j`` because they share a wire.
+
+Since the pass-framework refactor the DAG is also the canonical IR of the whole transpiler:
+:class:`~repro.transpiler.passmanager.PassManager` converts a circuit to a DAG exactly once
+on entry and back exactly once on exit, and every pass consumes and produces ``DAGCircuit``
+objects.  To support in-place rewriting the DAG offers a mutation API
+(:meth:`DAGCircuit.substitute_node`, :meth:`DAGCircuit.substitute_node_with_ops`,
+:meth:`DAGCircuit.remove_op_node`, :meth:`DAGCircuit.apply_operation_back`) that maintains
+two invariants:
+
+* ``_insertion_order`` is always a valid topological linearization (new nodes are spliced
+  into the slot of the node they replace, whose wires they must be confined to), so
+  :meth:`to_circuit` is O(n) with no Kahn traversal; and
+* every mutation bumps :attr:`version`, which lets the pass manager detect "this pass
+  changed nothing" without diffing and lets :meth:`fingerprint` memoise its hash — the key
+  the fixed-point pass scheduler converges on.
 """
 
 from __future__ import annotations
@@ -59,6 +74,7 @@ class DAGCircuit:
         self.num_qubits = num_qubits
         self.num_clbits = num_clbits
         self.name = name
+        self.metadata: Dict[str, object] = {}
         self.nodes: Dict[int, DAGNode] = {}
         self._successors: Dict[int, Set[int]] = {}
         self._predecessors: Dict[int, Set[int]] = {}
@@ -69,6 +85,9 @@ class DAGCircuit:
             self._wire_order[("c", c)] = []
         self._next_id = 0
         self._insertion_order: List[int] = []
+        self._version = 0
+        self._fingerprint: Optional[int] = None
+        self._fingerprint_version = -1
 
     # ------------------------------------------------------------------
     # Construction
@@ -77,9 +96,16 @@ class DAGCircuit:
     @classmethod
     def from_circuit(cls, circuit: QuantumCircuit) -> "DAGCircuit":
         dag = cls(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        dag.metadata = dict(circuit.metadata)
         for inst in circuit.data:
             dag.add_node(inst.gate, inst.qubits, inst.clbits)
         return dag
+
+    def copy_empty_like(self, name: Optional[str] = None) -> "DAGCircuit":
+        """Empty DAG with the same registers, name and metadata (used by rebuild passes)."""
+        out = DAGCircuit(self.num_qubits, self.num_clbits, name or self.name)
+        out.metadata = dict(self.metadata)
+        return out
 
     def add_node(
         self, gate: Gate, qubits: Sequence[int], clbits: Sequence[int] = ()
@@ -103,7 +129,11 @@ class DAGCircuit:
                 self._successors[prev].add(node.node_id)
                 self._predecessors[node.node_id].add(prev)
             order.append(node.node_id)
+        self._version += 1
         return node
+
+    #: Qiskit-style alias for :meth:`add_node`.
+    apply_operation_back = add_node
 
     @staticmethod
     def _node_wires(node: DAGNode) -> List[Tuple[str, int]]:
@@ -119,9 +149,23 @@ class DAGCircuit:
     def __len__(self) -> int:
         return len(self.nodes)
 
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; unchanged version means an unchanged DAG."""
+        return self._version
+
+    def node(self, node_id: int) -> DAGNode:
+        return self.nodes[node_id]
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
     def op_nodes(self, name: Optional[str] = None) -> List[DAGNode]:
-        """All nodes in insertion order, optionally filtered by gate name."""
-        nodes = [self.nodes[i] for i in self._insertion_order if i in self.nodes]
+        """All nodes in linearized (insertion) order, optionally filtered by gate name."""
+        if len(self._insertion_order) != len(self.nodes):
+            # Compact out lazily-deleted ids so repeated traversals stay O(n).
+            self._insertion_order = [i for i in self._insertion_order if i in self.nodes]
+        nodes = [self.nodes[i] for i in self._insertion_order]
         if name is None:
             return nodes
         return [n for n in nodes if n.name == name]
@@ -181,6 +225,31 @@ class DAGCircuit:
             stack.extend(self._successors[nid])
         return seen
 
+    def fingerprint(self) -> int:
+        """Hash of the linearized circuit content, memoised by :attr:`version`.
+
+        Two DAGs with equal fingerprints hold the same gate sequence (names, parameters,
+        labels, wires) in the same linear order.  The fixed-point flow controller keys its
+        convergence check on this value, so an unchanged optimization-loop iteration is
+        detected in O(1) after the first (cached) computation.
+        """
+        if self._fingerprint is None or self._fingerprint_version != self._version:
+            content = tuple(
+                (
+                    n.gate.name,
+                    n.gate.params,
+                    n.gate.label,
+                    n.qubits,
+                    n.clbits,
+                    # Explicit-matrix gates carry their content in the matrix, not params.
+                    n.gate._matrix.tobytes() if n.gate.name == "unitary" else None,
+                )
+                for n in self.op_nodes()
+            )
+            self._fingerprint = hash((self.num_qubits, self.num_clbits, content))
+            self._fingerprint_version = self._version
+        return self._fingerprint
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -209,14 +278,96 @@ class DAGCircuit:
         for pred in self._predecessors.pop(nid, set()):
             self._successors.get(pred, set()).discard(nid)
         del self.nodes[nid]
+        self._version += 1
+
+    #: Qiskit-style alias for :meth:`remove_node`.
+    remove_op_node = remove_node
+
+    def substitute_node(self, node: DAGNode, gate: Gate) -> DAGNode:
+        """Replace a node's gate in place (same wires, same position, same node id)."""
+        if node.node_id not in self.nodes:
+            raise CircuitError(f"node {node.node_id} not in DAG")
+        if gate.is_unitary and gate.name != "barrier" and gate.num_qubits != len(node.qubits):
+            raise CircuitError(
+                f"cannot substitute '{gate.name}' ({gate.num_qubits} qubits) for a node on "
+                f"{len(node.qubits)} qubits"
+            )
+        node.gate = gate
+        self._version += 1
+        return node
+
+    def substitute_node_with_ops(
+        self, node: DAGNode, ops: Sequence[Instruction]
+    ) -> List[DAGNode]:
+        """Replace one node by a sequence of operations confined to the node's wires.
+
+        The replacement occupies exactly the removed node's slot in the linearization and in
+        every per-wire order, so the invariant that ``_insertion_order`` is a topological
+        order is preserved.  Each op must act only on wires the removed node acts on.
+        """
+        nid = node.node_id
+        if nid not in self.nodes:
+            raise CircuitError(f"node {nid} not in DAG")
+        node_qubits = set(node.qubits)
+        node_clbits = set(node.clbits)
+        for inst in ops:
+            if not set(inst.qubits) <= node_qubits or not set(inst.clbits) <= node_clbits:
+                raise CircuitError(
+                    f"replacement op '{inst.name}' on {inst.qubits} leaves the wires of the "
+                    f"substituted node {node.qubits}"
+                )
+
+        new_nodes: List[DAGNode] = []
+        for inst in ops:
+            fresh = DAGNode(self._next_id, inst.gate, inst.qubits, inst.clbits)
+            self._next_id += 1
+            self.nodes[fresh.node_id] = fresh
+            self._successors[fresh.node_id] = set()
+            self._predecessors[fresh.node_id] = set()
+            new_nodes.append(fresh)
+
+        order_idx = self._insertion_order.index(nid)
+        self._insertion_order[order_idx : order_idx + 1] = [n.node_id for n in new_nodes]
+
+        for wire in self._wires(node):
+            order = self._wire_order[wire]
+            pos = order.index(nid)
+            sub = [n.node_id for n in new_nodes if wire in self._wires(n)]
+            prev_id = order[pos - 1] if pos > 0 else None
+            next_id = order[pos + 1] if pos + 1 < len(order) else None
+            order[pos : pos + 1] = sub
+            chain = ([prev_id] if prev_id is not None else []) + sub + (
+                [next_id] if next_id is not None else []
+            )
+            for a, b in zip(chain, chain[1:]):
+                self._successors[a].add(b)
+                self._predecessors[b].add(a)
+
+        # Disconnect and drop the replaced node.
+        for succ in self._successors.pop(nid, set()):
+            self._predecessors.get(succ, set()).discard(nid)
+        for pred in self._predecessors.pop(nid, set()):
+            self._successors.get(pred, set()).discard(nid)
+        del self.nodes[nid]
+        self._version += 1
+        return new_nodes
 
     # ------------------------------------------------------------------
     # Conversion
     # ------------------------------------------------------------------
 
     def to_circuit(self) -> QuantumCircuit:
+        """Linearize back to a circuit.
+
+        Emission follows ``_insertion_order``, which the mutation API keeps topologically
+        valid, so conversion is a single O(n) sweep and — crucially for reproducibility —
+        deterministic: the emitted instruction order equals the order in which operations
+        were appended/substituted, exactly matching the list-of-instructions semantics the
+        passes had before the DAG became the canonical IR.
+        """
         circuit = QuantumCircuit(self.num_qubits, self.num_clbits, self.name)
-        for node in self.topological_nodes():
+        circuit.metadata = dict(self.metadata)
+        for node in self.op_nodes():
             if node.name == "barrier":
                 circuit.barrier(*node.qubits)
             else:
@@ -228,6 +379,9 @@ class DAGCircuit:
         for node in self.nodes.values():
             counts[node.name] = counts.get(node.name, 0) + 1
         return counts
+
+    def count_gate(self, name: str) -> int:
+        return sum(1 for node in self.nodes.values() if node.name == name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"DAGCircuit(qubits={self.num_qubits}, nodes={len(self.nodes)})"

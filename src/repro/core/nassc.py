@@ -15,11 +15,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..circuit.dag import DAGNode
+from ..circuit.dag import DAGCircuit, DAGNode
 from ..hardware.coupling import CouplingMap
 from ..transpiler.passes.layout import Layout
 from ..transpiler.passes.sabre import SabreSwapRouter
-from ..transpiler.passmanager import PropertySet, TranspilerPass
+from ..transpiler.passmanager import PropertySet, TransformationPass
 from .estimators import OptimizationEstimator, SwapEstimate
 
 
@@ -83,7 +83,7 @@ class NASSCSwapRouter(SabreSwapRouter):
         return super().route(circuit, initial_layout)
 
     def _execute_ready_gates(self, frontier, layout, out):
-        # Keep a handle on the output circuit so the estimators can inspect the resolved layer.
+        # Keep a handle on the routed output so the estimators can inspect the resolved layer.
         self._out_circuit = out
         return super()._execute_ready_gates(frontier, layout, out)
 
@@ -150,7 +150,7 @@ class NASSCSwapRouter(SabreSwapRouter):
         return None
 
 
-class NASSCRouting(TranspilerPass):
+class NASSCRouting(TransformationPass):
     """Transpiler pass wrapper around :class:`NASSCSwapRouter`."""
 
     def __init__(
@@ -174,10 +174,10 @@ class NASSCRouting(TranspilerPass):
             distance_matrix=distance_matrix,
         )
 
-    def run(self, circuit, property_set: PropertySet):
-        layout = property_set.get("layout") or Layout.trivial(circuit.num_qubits)
-        result = self.router.route(circuit, layout)
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> DAGCircuit:
+        layout = property_set.get("layout") or Layout.trivial(dag.num_qubits)
+        result = self.router.route(dag, layout)
         property_set["final_layout"] = result.final_layout
         property_set["initial_layout"] = result.initial_layout
         property_set["num_swaps"] = result.num_swaps
-        return result.circuit
+        return result.dag

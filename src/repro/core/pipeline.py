@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from ..exceptions import TranspilerError
 from ..hardware.calibration import DeviceCalibration
 from ..hardware.coupling import CouplingMap
 from ..hardware.noise_distance import noise_aware_distance_matrix
-from ..transpiler.passmanager import PassManager, PropertySet
+from ..transpiler.passmanager import FixedPoint, PassManager, PropertySet
 from ..transpiler.passes.basis import CheckRoutable, Decompose
 from ..transpiler.passes.check_map import CheckMap
 from ..transpiler.passes.commutation import CommutativeCancellation
@@ -40,6 +40,19 @@ from .single_qubit_motion import CommuteSingleQubitsThroughSwap
 
 ROUTING_METHODS = ("none", "sabre", "nassc")
 
+#: Version of the transpiler pipeline's structure/semantics.  Bumped whenever a refactor
+#: could change compiled output or the meaning of recorded metrics; the service layer folds
+#: it into job fingerprints so refactored pipelines never serve stale cached results.
+PIPELINE_VERSION = 2
+
+#: Iteration cap of the post-routing optimization loop.  Two matches the historical
+#: pipeline (which hard-coded the UnitarySynthesis/CommutativeCancellation pair twice), so
+#: compiled output stays bit-identical to it; unlike the historical pipeline the loop
+#: exits after a single iteration when that iteration already reached the fixed point.
+#: Iterations beyond two keep rewriting equivalent 1q expressions without reducing CNOTs,
+#: so a larger cap buys no quality — only wall time.
+MAX_OPT_LOOP_ITERATIONS = 2
+
 
 @dataclass
 class TranspileResult:
@@ -52,7 +65,11 @@ class TranspileResult:
     final_layout: Optional[Layout]
     num_swaps: int
     transpile_time: float
+    #: Per-pass-name aggregate wall time (instances of the same pass are summed).
     pass_timings: Dict[str, float] = field(default_factory=dict)
+    #: Ordered per-invocation timing entries ``(pass name, elapsed seconds)`` — repeated
+    #: instances (e.g. fixed-point loop iterations) stay distinguishable here.
+    pass_timing_log: List[Tuple[str, float]] = field(default_factory=list)
 
     @property
     def cx_count(self) -> int:
@@ -86,6 +103,7 @@ class TranspileResult:
             "num_swaps": int(self.num_swaps),
             "transpile_time": float(self.transpile_time),
             "pass_timings": {name: float(t) for name, t in self.pass_timings.items()},
+            "pass_timing_log": [[name, float(t)] for name, t in self.pass_timing_log],
             "metrics": {
                 "cx_count": self.cx_count,
                 "depth": self.depth,
@@ -112,6 +130,9 @@ class TranspileResult:
             num_swaps=int(data.get("num_swaps", 0)),
             transpile_time=float(data.get("transpile_time", 0.0)),
             pass_timings=dict(data.get("pass_timings", {})),
+            pass_timing_log=[
+                (str(name), float(t)) for name, t in data.get("pass_timing_log", [])
+            ],
         )
 
 
@@ -129,12 +150,17 @@ def _pre_routing_passes() -> list:
 
 
 def _post_routing_passes(final_basis: str) -> list:
-    """Optimizations applied to the routed physical circuit (both pipelines)."""
+    """Optimizations applied to the routed physical circuit (both pipelines).
+
+    The re-synthesis/cancellation pair runs as a declared fixed-point loop (keyed on the
+    DAG fingerprint) instead of a hard-coded run-twice sequence: iterations repeat only
+    while they still change the circuit.
+    """
     return [
-        UnitarySynthesis(),
-        CommutativeCancellation(),
-        UnitarySynthesis(),
-        CommutativeCancellation(),
+        FixedPoint(
+            [UnitarySynthesis(), CommutativeCancellation()],
+            max_iterations=MAX_OPT_LOOP_ITERATIONS,
+        ),
         Optimize1qGates(output=final_basis),
         RemoveIdentities(),
     ]
@@ -237,6 +263,7 @@ def transpile(
         num_swaps=props.get("num_swaps", 0),
         transpile_time=elapsed,
         pass_timings=dict(manager.timings),
+        pass_timing_log=list(manager.timing_log),
     )
 
 

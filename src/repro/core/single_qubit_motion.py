@@ -15,18 +15,19 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..circuit.circuit import Instruction, QuantumCircuit
-from ..transpiler.passmanager import PropertySet, TranspilerPass
+from ..circuit.circuit import Instruction
+from ..circuit.dag import DAGCircuit
+from ..transpiler.passmanager import PropertySet, TransformationPass
 
 
-class CommuteSingleQubitsThroughSwap(TranspilerPass):
+class CommuteSingleQubitsThroughSwap(TransformationPass):
     """Move single-qubit gates that immediately precede a SWAP to after it (on the swapped wire)."""
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> DAGCircuit:
         # Entries are instructions or None (a gate that was relocated); indices are stable.
         output: List[Optional[Instruction]] = []
         # For every wire, indices into ``output`` of the instructions touching it, in order.
-        wire: Dict[int, List[int]] = {q: [] for q in range(circuit.num_qubits)}
+        wire: Dict[int, List[int]] = {q: [] for q in range(dag.num_qubits)}
 
         def append(inst: Instruction) -> int:
             index = len(output)
@@ -35,9 +36,10 @@ class CommuteSingleQubitsThroughSwap(TranspilerPass):
                 wire[q].append(index)
             return index
 
-        for inst in circuit.data:
+        for node in dag.op_nodes():
+            inst = Instruction(node.gate.copy(), node.qubits, node.clbits)
             if inst.name != "swap":
-                append(inst.copy())
+                append(inst)
                 continue
             a, b = inst.qubits
             relocated: List[Instruction] = []
@@ -59,16 +61,13 @@ class CommuteSingleQubitsThroughSwap(TranspilerPass):
                     history.pop()
                 # The walk collected gates from latest to earliest; restore circuit order.
                 relocated.extend(reversed(collected))
-            append(inst.copy())
+            append(inst)
             for moved in relocated:
                 append(moved)
 
-        result = circuit.copy_empty()
+        result = dag.copy_empty_like()
         for inst in output:
             if inst is None:
                 continue
-            if inst.name == "barrier":
-                result.barrier(*inst.qubits)
-            else:
-                result.append(inst.gate.copy(), inst.qubits, inst.clbits)
+            result.add_node(inst.gate, inst.qubits, inst.clbits)
         return result

@@ -19,12 +19,14 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..circuit import qasm
 from ..circuit.circuit import QuantumCircuit
 from ..core.nassc import NASSCConfig
-from ..core.pipeline import TranspileResult, transpile
+from ..core.pipeline import PIPELINE_VERSION, TranspileResult, transpile
 from ..hardware.calibration import DeviceCalibration
 from ..hardware.coupling import CouplingMap
 
-#: Bump when the transpiler pipeline changes in a way that invalidates cached results.
-FINGERPRINT_VERSION = 1
+#: Bump when the job *schema* changes in a way that invalidates cached results.  The
+#: fingerprint additionally folds in :data:`repro.core.pipeline.PIPELINE_VERSION`, so
+#: pipeline refactors invalidate the cache without touching the service layer.
+FINGERPRINT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -84,6 +86,7 @@ class TranspileJob:
         """The canonical content of the job (everything that influences the result)."""
         return {
             "version": FINGERPRINT_VERSION,
+            "pipeline_version": PIPELINE_VERSION,
             "qasm": self.qasm,
             "routing": self.routing,
             "coupling_map": self.coupling_map,
@@ -111,6 +114,7 @@ class TranspileJob:
     def to_dict(self) -> Dict:
         data = self.content_dict()
         del data["version"]
+        del data["pipeline_version"]
         data["name"] = self.name
         return data
 

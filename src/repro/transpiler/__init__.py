@@ -1,6 +1,29 @@
-"""Transpiler framework: pass manager and the standard pass library."""
+"""Transpiler framework: DAG-native pass manager, flow control and the standard pass library."""
 
-from .passmanager import PassManager, PropertySet, TranspilerPass
+from .passmanager import (
+    ANALYSIS_KEYS,
+    AnalysisPass,
+    ConditionalController,
+    DoWhile,
+    FixedPoint,
+    FlowController,
+    PassManager,
+    PropertySet,
+    TransformationPass,
+    TranspilerPass,
+)
 from . import passes
 
-__all__ = ["PassManager", "PropertySet", "TranspilerPass", "passes"]
+__all__ = [
+    "ANALYSIS_KEYS",
+    "AnalysisPass",
+    "ConditionalController",
+    "DoWhile",
+    "FixedPoint",
+    "FlowController",
+    "PassManager",
+    "PropertySet",
+    "TransformationPass",
+    "TranspilerPass",
+    "passes",
+]

@@ -3,10 +3,15 @@
 from .basis import CheckRoutable, Decompose
 from .check_map import CheckMap, coupling_violations
 from .collect_2q import Collect2qBlocks, TwoQubitBlock
-from .commutation import CommutationAnalysis, CommutativeCancellation, gates_commute
+from .commutation import (
+    CommutationAnalysis,
+    CommutativeCancellation,
+    gates_commute,
+    refresh_commutation_wires,
+)
 from .layout import ApplyLayout, Layout, SetLayout, TrivialLayout
 from .optimize_1q import Optimize1qGates, RemoveIdentities
-from .sabre import RoutingResult, SabreLayoutSelection, SabreRouting, SabreSwapRouter
+from .sabre import RoutedOutput, RoutingResult, SabreLayoutSelection, SabreRouting, SabreSwapRouter
 from .swap_lowering import SwapLowering, lower_swap, swap_orientation
 from .unitary_synthesis import UnitarySynthesis, block_cx_weight, block_matrix
 
@@ -20,12 +25,14 @@ __all__ = [
     "CommutationAnalysis",
     "CommutativeCancellation",
     "gates_commute",
+    "refresh_commutation_wires",
     "ApplyLayout",
     "Layout",
     "SetLayout",
     "TrivialLayout",
     "Optimize1qGates",
     "RemoveIdentities",
+    "RoutedOutput",
     "RoutingResult",
     "SabreLayoutSelection",
     "SabreRouting",

@@ -13,10 +13,11 @@ from typing import List
 import numpy as np
 
 from ...circuit.circuit import Instruction, QuantumCircuit
+from ...circuit.dag import DAGCircuit
 from ...circuit.gates import Gate, gate as make_gate
 from ...exceptions import TranspilerError
 from ...synthesis.two_qubit import TwoQubitSynthesizer
-from ..passmanager import PropertySet, TranspilerPass
+from ..passmanager import AnalysisPass, PropertySet, TransformationPass
 
 #: Gate names that are already acceptable input for the routing stage.
 _ROUTABLE_1Q = {
@@ -27,7 +28,7 @@ _ROUTABLE_2Q = {"cx", "swap"}
 _DIRECTIVES = {"measure", "barrier", "reset"}
 
 
-class Decompose(TranspilerPass):
+class Decompose(TransformationPass):
     """Decompose every gate into single-qubit gates, CNOTs and (optionally) SWAPs.
 
     ``keep_swaps`` keeps explicit SWAP gates in the circuit (they are handled natively by the
@@ -39,15 +40,11 @@ class Decompose(TranspilerPass):
         self.keep_swaps = keep_swaps
         self._synthesizer = TwoQubitSynthesizer()
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
-        out.metadata = dict(circuit.metadata)
-        for inst in circuit.data:
-            for new_inst in self._decompose_instruction(inst):
-                if new_inst.name == "barrier":
-                    out.barrier(*new_inst.qubits)
-                else:
-                    out.append(new_inst.gate, new_inst.qubits, new_inst.clbits)
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> DAGCircuit:
+        out = dag.copy_empty_like()
+        for node in dag.op_nodes():
+            for new_inst in self._decompose_instruction(node.to_instruction()):
+                out.add_node(new_inst.gate, new_inst.qubits, new_inst.clbits)
         return out
 
     # ------------------------------------------------------------------
@@ -159,18 +156,17 @@ class Decompose(TranspilerPass):
         ]
 
 
-class CheckRoutable(TranspilerPass):
-    """Verify the circuit only contains gates the routing stage can handle."""
+class CheckRoutable(AnalysisPass):
+    """Verify the DAG only contains gates the routing stage can handle."""
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        for inst in circuit.data:
-            if inst.name in _DIRECTIVES:
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> None:
+        for node in dag.op_nodes():
+            if node.name in _DIRECTIVES:
                 continue
-            if len(inst.qubits) == 1 and (inst.name in _ROUTABLE_1Q or inst.name == "unitary"):
+            if len(node.qubits) == 1 and (node.name in _ROUTABLE_1Q or node.name == "unitary"):
                 continue
-            if len(inst.qubits) == 2 and inst.name in _ROUTABLE_2Q:
+            if len(node.qubits) == 2 and node.name in _ROUTABLE_2Q:
                 continue
             raise TranspilerError(
-                f"gate '{inst.name}' on {inst.qubits} is not routable; run Decompose first"
+                f"gate '{node.name}' on {node.qubits} is not routable; run Decompose first"
             )
-        return circuit

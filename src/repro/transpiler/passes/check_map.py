@@ -5,15 +5,20 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ...circuit.circuit import QuantumCircuit
+from ...circuit.dag import DAGCircuit
 from ...exceptions import TranspilerError
 from ...hardware.coupling import CouplingMap
-from ..passmanager import PropertySet, TranspilerPass
+from ..passmanager import AnalysisPass, PropertySet
 
 
-def coupling_violations(circuit: QuantumCircuit, coupling_map: CouplingMap) -> List[Tuple[int, str, Tuple[int, ...]]]:
-    """All two-qubit gates applied to physically unconnected qubit pairs."""
+def coupling_violations(circuit, coupling_map: CouplingMap) -> List[Tuple[int, str, Tuple[int, ...]]]:
+    """All two-qubit gates applied to physically unconnected qubit pairs.
+
+    ``circuit`` may be a :class:`QuantumCircuit` or a :class:`DAGCircuit`.
+    """
+    ops = circuit.op_nodes() if isinstance(circuit, DAGCircuit) else circuit.data
     violations = []
-    for pos, inst in enumerate(circuit.data):
+    for pos, inst in enumerate(ops):
         if inst.name == "barrier" or not inst.gate.is_unitary:
             continue
         if len(inst.qubits) == 2:
@@ -25,15 +30,15 @@ def coupling_violations(circuit: QuantumCircuit, coupling_map: CouplingMap) -> L
     return violations
 
 
-class CheckMap(TranspilerPass):
+class CheckMap(AnalysisPass):
     """Raise if any two-qubit gate is applied to an unconnected pair."""
 
     def __init__(self, coupling_map: CouplingMap) -> None:
         super().__init__()
         self.coupling_map = coupling_map
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        violations = coupling_violations(circuit, self.coupling_map)
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> None:
+        violations = coupling_violations(dag, self.coupling_map)
         property_set["is_mapped"] = not violations
         if violations:
             first = violations[0]
@@ -41,4 +46,3 @@ class CheckMap(TranspilerPass):
                 f"{len(violations)} gate(s) violate the coupling map; first: "
                 f"{first[1]} on {first[2]} at position {first[0]}"
             )
-        return circuit

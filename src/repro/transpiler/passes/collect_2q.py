@@ -10,8 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ...circuit.circuit import Instruction, QuantumCircuit
-from ..passmanager import PropertySet, TranspilerPass
+from ...circuit.dag import DAGCircuit
+from ..passmanager import AnalysisPass, PropertySet
 
 
 @dataclass
@@ -25,27 +25,31 @@ class TwoQubitBlock:
         return len(self.positions)
 
 
-class Collect2qBlocks(TranspilerPass):
+class Collect2qBlocks(AnalysisPass):
     """Identify two-qubit blocks and record them in the property set.
 
-    ``property_set["block_list"]`` holds a list of blocks, each a list of instruction indices
-    into ``circuit.data`` (in circuit order).  ``property_set["block_id"]`` maps an
-    instruction index to its block index (only for instructions that are inside a block).
+    ``property_set["block_list"]`` holds a list of blocks, each a list of DAG node ids in
+    linearized circuit order (node ids are *not* numerically sorted — after in-place
+    substitutions they need not be monotone in circuit order).  ``property_set["block_id"]``
+    maps a node id to its block index (only for nodes that are inside a block), and
+    ``property_set["block_pairs"]`` holds each block's qubit pair.
     """
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> None:
         blocks: List[List[int]] = []
         block_pairs: List[Tuple[int, int]] = []
-        current_block: Dict[int, Optional[int]] = {q: None for q in range(circuit.num_qubits)}
-        pending_1q: Dict[int, List[int]] = {q: [] for q in range(circuit.num_qubits)}
+        current_block: Dict[int, Optional[int]] = {q: None for q in range(dag.num_qubits)}
+        # Floating 1q gates per wire as (scan position, node id): scan position lets two
+        # wires' pending lists merge back into circuit order when a block absorbs them.
+        pending_1q: Dict[int, List[Tuple[int, int]]] = {q: [] for q in range(dag.num_qubits)}
 
         def close(qubit: int) -> None:
             current_block[qubit] = None
             pending_1q[qubit] = []
 
-        for pos, inst in enumerate(circuit.data):
-            qubits = inst.qubits
-            if (not inst.gate.is_unitary) or inst.name == "barrier" or len(qubits) > 2:
+        for scan_pos, node in enumerate(dag.op_nodes()):
+            qubits = node.qubits
+            if (not node.gate.is_unitary) or node.name == "barrier" or len(qubits) > 2:
                 for q in qubits:
                     close(q)
                 continue
@@ -53,24 +57,24 @@ class Collect2qBlocks(TranspilerPass):
                 q = qubits[0]
                 block_idx = current_block[q]
                 if block_idx is not None:
-                    blocks[block_idx].append(pos)
+                    blocks[block_idx].append(node.node_id)
                 else:
-                    pending_1q[q].append(pos)
+                    pending_1q[q].append((scan_pos, node.node_id))
                 continue
             a, b = qubits
             idx_a, idx_b = current_block[a], current_block[b]
             if idx_a is not None and idx_a == idx_b:
-                blocks[idx_a].append(pos)
+                blocks[idx_a].append(node.node_id)
                 continue
             # Start a new block on (a, b); absorb any floating 1q gates on these wires.
             if idx_a is not None:
                 current_block[a] = None
             if idx_b is not None:
                 current_block[b] = None
-            new_positions = sorted(pending_1q[a] + pending_1q[b])
+            new_positions = [nid for _, nid in sorted(pending_1q[a] + pending_1q[b])]
             pending_1q[a] = []
             pending_1q[b] = []
-            new_positions.append(pos)
+            new_positions.append(node.node_id)
             blocks.append(new_positions)
             block_pairs.append((a, b))
             current_block[a] = len(blocks) - 1
@@ -84,4 +88,3 @@ class Collect2qBlocks(TranspilerPass):
         property_set["block_list"] = blocks
         property_set["block_pairs"] = block_pairs
         property_set["block_id"] = block_id
-        return circuit

@@ -7,9 +7,10 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ...circuit.circuit import QuantumCircuit
+from ...circuit.dag import DAGCircuit
 from ...exceptions import TranspilerError
 from ...hardware.coupling import CouplingMap
-from ..passmanager import PropertySet, TranspilerPass
+from ..passmanager import AnalysisPass, PropertySet, TransformationPass
 
 
 class Layout:
@@ -84,45 +85,47 @@ class Layout:
         return f"Layout({self._l2p})"
 
 
-class SetLayout(TranspilerPass):
+class SetLayout(AnalysisPass):
     """Record a chosen layout in the property set."""
 
     def __init__(self, layout: Layout) -> None:
         super().__init__()
         self.layout = layout
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> None:
         property_set["layout"] = self.layout.copy()
-        return circuit
 
 
-class TrivialLayout(TranspilerPass):
+class TrivialLayout(AnalysisPass):
     """Choose the identity layout (logical i -> physical i)."""
 
     def __init__(self, coupling_map: CouplingMap) -> None:
         super().__init__()
         self.coupling_map = coupling_map
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        if circuit.num_qubits > self.coupling_map.num_qubits:
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> None:
+        if dag.num_qubits > self.coupling_map.num_qubits:
             raise TranspilerError("circuit does not fit on the device")
-        property_set["layout"] = Layout.trivial(circuit.num_qubits)
-        return circuit
+        property_set["layout"] = Layout.trivial(dag.num_qubits)
 
 
-class ApplyLayout(TranspilerPass):
-    """Rewrite the circuit over the device's physical qubits using the chosen layout."""
+class ApplyLayout(TransformationPass):
+    """Rewrite the DAG over the device's physical qubits using the chosen layout."""
 
     def __init__(self, coupling_map: CouplingMap) -> None:
         super().__init__()
         self.coupling_map = coupling_map
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> DAGCircuit:
         layout: Optional[Layout] = property_set.get("layout")
         if layout is None:
-            layout = Layout.trivial(circuit.num_qubits)
+            layout = Layout.trivial(dag.num_qubits)
             property_set["layout"] = layout
-        mapping = {l: layout.physical(l) for l in range(circuit.num_qubits)}
-        out = circuit.remap_qubits(mapping, num_qubits=self.coupling_map.num_qubits)
-        property_set["original_num_qubits"] = circuit.num_qubits
+        mapping = {l: layout.physical(l) for l in range(dag.num_qubits)}
+        out = DAGCircuit(self.coupling_map.num_qubits, dag.num_clbits, dag.name)
+        out.metadata = dict(dag.metadata)
+        for node in dag.op_nodes():
+            mapped = tuple(mapping[q] for q in node.qubits)
+            out.add_node(node.gate.copy(), mapped, node.clbits)
+        property_set["original_num_qubits"] = dag.num_qubits
         return out

@@ -11,20 +11,25 @@ from typing import List, Optional
 import numpy as np
 
 from ...circuit.circuit import Instruction, QuantumCircuit
+from ...circuit.dag import DAGCircuit
 from ...circuit.gates import Gate, gate as make_gate
 from ...exceptions import TranspilerError
 from ...synthesis.one_qubit import synthesize_zsx, u_params_from_matrix
-from ..passmanager import PropertySet, TranspilerPass
+from ..passmanager import PropertySet, TransformationPass
+from .commutation import refresh_commutation_wires
 
 _IDENTITY_TOL = 1e-9
 
 
-class Optimize1qGates(TranspilerPass):
+class Optimize1qGates(TransformationPass):
     """Merge runs of adjacent single-qubit gates and re-synthesise them.
 
     ``output`` selects the emitted form: ``"u"`` (a single generic rotation, compact and
     convenient before routing) or ``"zsx"`` (the ``{rz, sx, x}`` hardware basis used for the
     final circuits whose CNOT counts and depths the paper reports).
+
+    The pass rebuilds the DAG in one linear sweep: per-wire pending products are flushed
+    whenever a multi-qubit gate or directive touches the wire.
     """
 
     def __init__(self, output: str = "u") -> None:
@@ -33,9 +38,9 @@ class Optimize1qGates(TranspilerPass):
             raise TranspilerError(f"unknown 1q synthesis output format {output!r}")
         self.output = output
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        out = circuit.copy_empty()
-        pending: List[Optional[np.ndarray]] = [None] * circuit.num_qubits
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> DAGCircuit:
+        out = dag.copy_empty_like()
+        pending: List[Optional[np.ndarray]] = [None] * dag.num_qubits
 
         def flush(qubit: int) -> None:
             matrix = pending[qubit]
@@ -45,21 +50,18 @@ class Optimize1qGates(TranspilerPass):
             if np.allclose(matrix, np.eye(2) * matrix[0, 0], atol=_IDENTITY_TOL):
                 return
             for inst in self._emit(matrix, qubit):
-                out.append(inst.gate, inst.qubits)
+                out.add_node(inst.gate, inst.qubits)
 
-        for inst in circuit.data:
-            if len(inst.qubits) == 1 and inst.gate.is_unitary and inst.name != "barrier":
-                q = inst.qubits[0]
-                matrix = inst.gate.matrix()
+        for node in dag.op_nodes():
+            if len(node.qubits) == 1 and node.gate.is_unitary and node.name != "barrier":
+                q = node.qubits[0]
+                matrix = node.gate.matrix()
                 pending[q] = matrix if pending[q] is None else matrix @ pending[q]
                 continue
-            for q in inst.qubits:
+            for q in node.qubits:
                 flush(q)
-            if inst.name == "barrier":
-                out.barrier(*inst.qubits)
-            else:
-                out.append(inst.gate.copy(), inst.qubits, inst.clbits)
-        for q in range(circuit.num_qubits):
+            out.add_node(node.gate.copy(), node.qubits, node.clbits)
+        for q in range(dag.num_qubits):
             flush(q)
         return out
 
@@ -73,18 +75,23 @@ class Optimize1qGates(TranspilerPass):
         return [Instruction(Gate(name, params), (qubit,)) for name, params in ops]
 
 
-class RemoveIdentities(TranspilerPass):
-    """Drop explicit identity gates and zero-angle rotations."""
+class RemoveIdentities(TransformationPass):
+    """Drop explicit identity gates and zero-angle rotations (in place).
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        out = circuit.copy_empty()
-        for inst in circuit.data:
-            if inst.name == "id":
-                continue
-            if inst.name in ("rz", "rx", "ry", "p", "u1") and abs(inst.gate.params[0]) < _IDENTITY_TOL:
-                continue
-            if inst.name == "barrier":
-                out.barrier(*inst.qubits)
-            else:
-                out.append(inst.gate.copy(), inst.qubits, inst.clbits)
-        return out
+    Removal-only, so the cached commutation analysis is patched rather than invalidated.
+    """
+
+    preserves = ("commutation_sets", "commutation_index")
+
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> DAGCircuit:
+        dirty_wires = set()
+        for node in dag.op_nodes():
+            drop = node.name == "id" or (
+                node.name in ("rz", "rx", "ry", "p", "u1")
+                and abs(node.gate.params[0]) < _IDENTITY_TOL
+            )
+            if drop:
+                dirty_wires.update(node.qubits)
+                dag.remove_op_node(node)
+        refresh_commutation_wires(dag, property_set, dirty_wires)
+        return dag

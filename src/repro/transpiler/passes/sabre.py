@@ -4,6 +4,12 @@ The router processes the logical circuit's DAG layer by layer (resolved / front 
 layers, paper Fig. 6), inserting SWAPs chosen by a lookahead heuristic cost function over the
 device distance matrix.  :class:`SabreSwapRouter` is also the base class for the NASSC router
 in :mod:`repro.core.nassc`, which only overrides the cost function and the SWAP labelling.
+
+Routing is DAG-in/DAG-out: :meth:`SabreSwapRouter.route` consumes the pipeline's canonical
+:class:`DAGCircuit` directly (a plain :class:`QuantumCircuit` is still accepted and converted
+for standalone use) and emits the routed result into a fresh DAG through
+:class:`RoutedOutput`, which also maintains the positional instruction view and per-wire
+history the NASSC estimators inspect.
 """
 
 from __future__ import annotations
@@ -18,19 +24,49 @@ from ...circuit.dag import DAGCircuit, DAGNode, ExecutionFrontier
 from ...circuit.gates import Gate, gate as make_gate
 from ...exceptions import TranspilerError
 from ...hardware.coupling import CouplingMap
-from ..passmanager import PropertySet, TranspilerPass
+from ..passmanager import AnalysisPass, PropertySet, TransformationPass
 from .layout import Layout
+
+
+class RoutedOutput:
+    """Append-only routed circuit under construction.
+
+    Keeps three synchronized views the router and the NASSC estimators need: the output
+    :class:`DAGCircuit` (node id == append position), the positional instruction list
+    ``data`` (what the estimators' backward scans index), and nothing else — per-wire
+    history is tracked by the router itself.
+    """
+
+    def __init__(self, num_qubits: int, num_clbits: int, name: str, metadata: Dict) -> None:
+        self.dag = DAGCircuit(num_qubits, num_clbits, name)
+        self.dag.metadata = dict(metadata)
+        self.data: List[Instruction] = []
+
+    def append(self, gate: Gate, qubits: Sequence[int], clbits: Sequence[int] = ()) -> None:
+        self.dag.add_node(gate, qubits, clbits)
+        self.data.append(Instruction(gate, tuple(qubits), tuple(clbits)))
+
+    def __len__(self) -> int:
+        return len(self.data)
 
 
 @dataclass
 class RoutingResult:
     """Output of one routing run."""
 
-    circuit: QuantumCircuit
+    dag: DAGCircuit
     initial_layout: Layout
     final_layout: Layout
     num_swaps: int
     swap_labels: Dict[int, str] = field(default_factory=dict)
+    _circuit: Optional[QuantumCircuit] = field(default=None, repr=False, compare=False)
+
+    @property
+    def circuit(self) -> QuantumCircuit:
+        """Linearized view of the routed DAG (materialised lazily and cached)."""
+        if self._circuit is None:
+            self._circuit = self.dag.to_circuit()
+        return self._circuit
 
 
 class SabreSwapRouter:
@@ -68,26 +104,27 @@ class SabreSwapRouter:
     # Main loop
     # ------------------------------------------------------------------
 
-    def route(self, circuit: QuantumCircuit, initial_layout: Optional[Layout] = None) -> RoutingResult:
-        """Route a logical circuit onto the device, inserting SWAP gates as needed."""
-        if circuit.num_qubits > self.coupling_map.num_qubits:
+    def route(self, circuit, initial_layout: Optional[Layout] = None) -> RoutingResult:
+        """Route a logical circuit (``QuantumCircuit`` or ``DAGCircuit``) onto the device."""
+        dag = circuit if isinstance(circuit, DAGCircuit) else DAGCircuit.from_circuit(circuit)
+        if dag.num_qubits > self.coupling_map.num_qubits:
             raise TranspilerError(
-                f"circuit needs {circuit.num_qubits} qubits but the device has "
+                f"circuit needs {dag.num_qubits} qubits but the device has "
                 f"{self.coupling_map.num_qubits}"
             )
-        for inst in circuit.data:
-            if len(inst.qubits) > 2 and inst.name != "barrier":
+        for node in dag.op_nodes():
+            if len(node.qubits) > 2 and node.name != "barrier":
                 raise TranspilerError(
-                    f"cannot route gate '{inst.name}' on {len(inst.qubits)} qubits; decompose first"
+                    f"cannot route gate '{node.name}' on {len(node.qubits)} qubits; decompose first"
                 )
 
         rng = np.random.default_rng(self.seed)
-        layout = (initial_layout or Layout.trivial(circuit.num_qubits)).copy()
+        layout = (initial_layout or Layout.trivial(dag.num_qubits)).copy()
         initial = layout.copy()
-        dag = DAGCircuit.from_circuit(circuit)
         frontier = ExecutionFrontier(dag)
-        out = QuantumCircuit(self.coupling_map.num_qubits, circuit.num_clbits, circuit.name)
-        out.metadata = dict(circuit.metadata)
+        out = RoutedOutput(
+            self.coupling_map.num_qubits, dag.num_clbits, dag.name, dag.metadata
+        )
 
         self._wire_history: Dict[int, List[int]] = {q: [] for q in range(self.coupling_map.num_qubits)}
         self._decay = np.ones(self.coupling_map.num_qubits)
@@ -122,7 +159,7 @@ class SabreSwapRouter:
                 swap = self._select_swap(candidates, front_gates, extended, layout, rng)
 
             label = self._swap_label(swap, front_gates, layout, out)
-            position = len(out.data)
+            position = len(out)
             gate_obj = make_gate("swap")
             gate_obj.label = label
             out.append(gate_obj, swap)
@@ -137,7 +174,7 @@ class SabreSwapRouter:
             last_swap = swap
 
         return RoutingResult(
-            circuit=out,
+            dag=out.dag,
             initial_layout=initial,
             final_layout=layout,
             num_swaps=num_swaps,
@@ -149,7 +186,7 @@ class SabreSwapRouter:
     # ------------------------------------------------------------------
 
     def _execute_ready_gates(
-        self, frontier: ExecutionFrontier, layout: Layout, out: QuantumCircuit
+        self, frontier: ExecutionFrontier, layout: Layout, out: RoutedOutput
     ) -> bool:
         executed_any = False
         progress = True
@@ -169,11 +206,11 @@ class SabreSwapRouter:
         a, b = node.qubits
         return self.coupling_map.is_connected(layout.physical(a), layout.physical(b))
 
-    def _emit(self, node: DAGNode, layout: Layout, out: QuantumCircuit) -> None:
+    def _emit(self, node: DAGNode, layout: Layout, out: RoutedOutput) -> None:
         physical = tuple(layout.physical(q) for q in node.qubits)
-        position = len(out.data)
+        position = len(out)
         if node.name == "barrier":
-            out.barrier(*physical)
+            out.append(node.gate, physical)
         else:
             out.append(node.gate.copy(), physical, node.clbits)
         self._record_wire(position, physical)
@@ -251,7 +288,7 @@ class SabreSwapRouter:
         swap: Tuple[int, int],
         front_gates: List[DAGNode],
         layout: Layout,
-        out: QuantumCircuit,
+        out: RoutedOutput,
     ) -> Optional[str]:
         """Hook for optimization-aware SWAP decomposition labels (fixed orientation here)."""
         return None
@@ -264,7 +301,7 @@ class SabreSwapRouter:
         return (min(path[0], path[1]), max(path[0], path[1]))
 
 
-class SabreRouting(TranspilerPass):
+class SabreRouting(TransformationPass):
     """Transpiler pass wrapper around :class:`SabreSwapRouter`."""
 
     def __init__(
@@ -287,16 +324,16 @@ class SabreRouting(TranspilerPass):
         kwargs.setdefault("distance_matrix", distance_matrix)
         self.router = router_cls(coupling_map, **kwargs)
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        layout = property_set.get("layout") or Layout.trivial(circuit.num_qubits)
-        result = self.router.route(circuit, layout)
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> DAGCircuit:
+        layout = property_set.get("layout") or Layout.trivial(dag.num_qubits)
+        result = self.router.route(dag, layout)
         property_set["final_layout"] = result.final_layout
         property_set["initial_layout"] = result.initial_layout
         property_set["num_swaps"] = result.num_swaps
-        return result.circuit
+        return result.dag
 
 
-class SabreLayoutSelection(TranspilerPass):
+class SabreLayoutSelection(AnalysisPass):
     """SABRE-style initial layout: random start plus reverse-traversal refinement.
 
     This is the layout method the paper uses for both SABRE and NASSC (Sec. IV-A): route the
@@ -321,17 +358,19 @@ class SabreLayoutSelection(TranspilerPass):
         kwargs.setdefault("seed", seed)
         self.router = router_cls(coupling_map, **kwargs)
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> None:
+        circuit = dag.to_circuit()
         unitary_only = circuit.without_directives()
-        layout = Layout.random(circuit.num_qubits, self.coupling_map.num_qubits, seed=self.seed)
+        layout = Layout.random(dag.num_qubits, self.coupling_map.num_qubits, seed=self.seed)
         if not unitary_only.two_qubit_pairs():
             property_set["layout"] = layout
-            return circuit
+            return
         reversed_circuit = unitary_only.reverse_ops()
+        forward_dag = DAGCircuit.from_circuit(unitary_only)
+        backward_dag = DAGCircuit.from_circuit(reversed_circuit)
         for _ in range(self.iterations):
-            forward = self.router.route(unitary_only, layout)
+            forward = self.router.route(forward_dag, layout)
             layout = forward.final_layout
-            backward = self.router.route(reversed_circuit, layout)
+            backward = self.router.route(backward_dag, layout)
             layout = backward.final_layout
         property_set["layout"] = layout
-        return circuit

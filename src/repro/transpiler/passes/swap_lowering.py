@@ -17,8 +17,9 @@ from __future__ import annotations
 from typing import List
 
 from ...circuit.circuit import Instruction, QuantumCircuit
+from ...circuit.dag import DAGCircuit
 from ...circuit.gates import gate as make_gate
-from ..passmanager import PropertySet, TranspilerPass
+from ..passmanager import PropertySet, TransformationPass
 
 
 def swap_orientation(label: str | None, qubits: tuple) -> int:
@@ -34,29 +35,44 @@ def swap_orientation(label: str | None, qubits: tuple) -> int:
     return a
 
 
-class SwapLowering(TranspilerPass):
+class SwapLowering(TransformationPass):
     """Replace every SWAP with three CNOTs, honouring optimization-aware orientation labels."""
 
     def __init__(self, use_labels: bool = True) -> None:
         super().__init__()
         self.use_labels = use_labels
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        out = circuit.copy_empty()
-        for inst in circuit.data:
-            if inst.name != "swap":
-                if inst.name == "barrier":
-                    out.barrier(*inst.qubits)
+    #: Above this (#swaps x #gates) product a single rebuild sweep beats per-node splices.
+    _REBUILD_THRESHOLD = 1 << 18
+
+    def _lowering(self, node) -> List[Instruction]:
+        a, b = node.qubits
+        control = swap_orientation(node.gate.label if self.use_labels else None, (a, b))
+        target = b if control == a else a
+        return [
+            Instruction(make_gate("cx"), (control, target)),
+            Instruction(make_gate("cx"), (target, control)),
+            Instruction(make_gate("cx"), (control, target)),
+        ]
+
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> DAGCircuit:
+        swaps = dag.op_nodes("swap")
+        if not swaps:
+            return dag
+        if len(swaps) * len(dag) > self._REBUILD_THRESHOLD:
+            # Each in-place splice costs a linear scan of the linearization; on circuits
+            # with many SWAPs one O(n) rebuild is cheaper and emits the identical order.
+            out = dag.copy_empty_like()
+            for node in dag.op_nodes():
+                if node.name == "swap":
+                    for inst in self._lowering(node):
+                        out.add_node(inst.gate, inst.qubits)
                 else:
-                    out.append(inst.gate.copy(), inst.qubits, inst.clbits)
-                continue
-            a, b = inst.qubits
-            control = swap_orientation(inst.gate.label if self.use_labels else None, (a, b))
-            target = b if control == a else a
-            out.cx(control, target)
-            out.cx(target, control)
-            out.cx(control, target)
-        return out
+                    out.add_node(node.gate.copy(), node.qubits, node.clbits)
+            return out
+        for node in swaps:
+            dag.substitute_node_with_ops(node, self._lowering(node))
+        return dag
 
 
 def lower_swap(a: int, b: int, control_first: int | None = None) -> List[Instruction]:

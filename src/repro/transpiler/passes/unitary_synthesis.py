@@ -5,23 +5,37 @@ Each collected two-qubit block is multiplied into a 4x4 unitary and re-synthesis
 KAK-based :class:`~repro.synthesis.two_qubit.TwoQubitSynthesizer`, which emits at most three
 CNOTs.  A block is only replaced when the re-synthesised form does not increase the CNOT
 count, so the pass never makes the circuit worse.
+
+The pass consumes the ``Collect2qBlocks`` analysis from the property set (recomputing it
+only when a previous transformation invalidated it) and rewrites blocks in place on the
+DAG.  Synthesis results are memoised by block *signature* (gate names, exact parameters and
+local wire pattern): inside the post-routing fixed-point loop most blocks reach the second
+iteration unchanged, and repeated KAK decompositions of identical blocks across invocations
+and circuits are served from the cache instead of being recomputed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ...circuit.circuit import Instruction, QuantumCircuit
+from ...circuit.dag import DAGCircuit, DAGNode
 from ...synthesis.two_qubit import TwoQubitSynthesizer
-from ..passmanager import PropertySet, TranspilerPass
+from ..passmanager import PropertySet, TransformationPass
 from .collect_2q import Collect2qBlocks
 
 #: Equivalent-CNOT weight of two-qubit gates when estimating a block's original cost.
 _TWO_QUBIT_WEIGHT = {"cx": 1, "cz": 1, "cy": 1, "cp": 2, "cu1": 2, "crx": 2, "cry": 2,
                      "crz": 2, "rzz": 2, "rxx": 2, "ryy": 2, "iswap": 2, "dcx": 2,
                      "swap": 3, "ch": 2, "unitary": 3}
+
+#: Memoised synthesis results keyed by block signature: signature -> (ops template, cx
+#: count) where the template is a list of (Gate, local qubit tuple) pairs.  ``None`` marks
+#: an explicit-matrix block that cannot be signature-keyed.
+_SYNTH_CACHE: Dict[Tuple, Tuple[List[Tuple[object, Tuple[int, ...]]], int]] = {}
+_SYNTH_CACHE_LIMIT = 50000
 
 
 def block_matrix(circuit: QuantumCircuit, positions: List[int], pair: Tuple[int, int]) -> np.ndarray:
@@ -44,72 +58,96 @@ def block_cx_weight(circuit: QuantumCircuit, positions: List[int]) -> int:
     return weight
 
 
-class UnitarySynthesis(TranspilerPass):
+def _node_block_matrix(nodes: List[DAGNode], pair: Tuple[int, int]) -> np.ndarray:
+    local = QuantumCircuit(2)
+    mapping = {pair[0]: 0, pair[1]: 1}
+    for node in nodes:
+        local.append(node.gate.copy(), tuple(mapping[q] for q in node.qubits))
+    return local.to_matrix()
+
+
+def _block_signature(nodes: List[DAGNode], pair: Tuple[int, int]) -> Optional[Tuple]:
+    """Exact content key of a block on its local wires, or ``None`` if unkeyable.
+
+    Blocks containing explicit-matrix ``unitary`` gates are not keyed (their content is
+    the matrix itself); everything else is fully determined by (name, params, wires).
+    """
+    mapping = {pair[0]: 0, pair[1]: 1}
+    signature = []
+    for node in nodes:
+        if node.name == "unitary":
+            return None
+        signature.append(
+            (node.name, node.gate.params, tuple(mapping[q] for q in node.qubits))
+        )
+    return tuple(signature)
+
+
+class UnitarySynthesis(TransformationPass):
     """Re-synthesise every two-qubit block with at most three CNOTs."""
 
     def __init__(self, min_block_size: int = 2, synthesizer: TwoQubitSynthesizer | None = None) -> None:
         super().__init__()
         self.min_block_size = min_block_size
+        # The shared signature cache holds default-synthesizer results only; a caller
+        # injecting a custom synthesizer must never be served someone else's templates.
+        self._use_shared_cache = synthesizer is None
         self._synthesizer = synthesizer or TwoQubitSynthesizer()
 
-    def run(self, circuit: QuantumCircuit, property_set: PropertySet) -> QuantumCircuit:
-        # Always (re-)collect blocks: block bookkeeping is positional and only valid for the
-        # exact circuit object being rewritten.
-        Collect2qBlocks().run(circuit, property_set)
+    def _synthesize_block(
+        self, nodes: List[DAGNode], pair: Tuple[int, int]
+    ) -> Tuple[List[Tuple[object, Tuple[int, ...]]], int]:
+        """Synthesised ops template (gates on local wires 0/1) and its CNOT count."""
+        signature = _block_signature(nodes, pair) if self._use_shared_cache else None
+        if signature is not None and signature in _SYNTH_CACHE:
+            return _SYNTH_CACHE[signature]
+        matrix = _node_block_matrix(nodes, pair)
+        result = self._synthesizer.synthesize(matrix)
+        template = [(inst.gate, inst.qubits) for inst in result.circuit.data]
+        new_cx = result.circuit.cx_count()
+        if signature is not None and len(_SYNTH_CACHE) < _SYNTH_CACHE_LIMIT:
+            _SYNTH_CACHE[signature] = (template, new_cx)
+        return template, new_cx
+
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> DAGCircuit:
+        if "block_list" not in property_set or "block_pairs" not in property_set:
+            Collect2qBlocks().run(dag, property_set)
         blocks: List[List[int]] = property_set["block_list"]
         pairs: List[Tuple[int, int]] = property_set["block_pairs"]
 
-        replacements: Dict[int, List[Instruction]] = {}
-        skip: set[int] = set()
-
         for positions, pair in zip(blocks, pairs):
-            two_qubit_positions = [p for p in positions if len(circuit.data[p].qubits) == 2]
-            if len(positions) < self.min_block_size or not two_qubit_positions:
+            nodes = [dag.node(nid) for nid in positions]
+            two_qubit_nodes = [n for n in nodes if len(n.qubits) == 2]
+            if len(nodes) < self.min_block_size or not two_qubit_nodes:
                 continue
-            old_weight = block_cx_weight(circuit, positions)
-            has_non_cx = any(
-                circuit.data[p].name != "cx" for p in two_qubit_positions
+            old_weight = sum(
+                _TWO_QUBIT_WEIGHT.get(n.name, 3) for n in two_qubit_nodes
             )
+            has_non_cx = any(n.name != "cx" for n in two_qubit_nodes)
             if old_weight <= 1 and not has_non_cx:
                 continue
-            matrix = block_matrix(circuit, positions, pair)
-            result = self._synthesizer.synthesize(matrix)
-            new_cx = result.circuit.cx_count()
+            template, new_cx = self._synthesize_block(nodes, pair)
             if new_cx > old_weight:
                 continue
-            if new_cx == old_weight and not has_non_cx and len(positions) <= len(result.circuit.data):
+            if new_cx == old_weight and not has_non_cx and len(nodes) <= len(template):
                 # No CNOT was saved and the block is already in CNOT form: keep the original.
                 continue
-            mapped: List[Instruction] = []
-            for inst in result.circuit.data:
-                qubits = tuple(pair[q] for q in inst.qubits)
-                mapped.append(Instruction(inst.gate.copy(), qubits))
+            mapped = [
+                Instruction(gate.copy(), tuple(pair[q] for q in qubits))
+                for gate, qubits in template
+            ]
             # Anchor the replacement at the block's first two-qubit gate: every leading
             # single-qubit member has an empty wire between itself and this anchor, so moving
             # it to the anchor is safe, whereas anchoring earlier could illegally reorder this
             # block against a neighbouring block that shares one of its wires.
-            anchor = two_qubit_positions[0]
-            replacements[anchor] = mapped
-            skip.update(positions)
-            skip.discard(anchor)
+            anchor = two_qubit_nodes[0]
+            for node in nodes:
+                if node is anchor:
+                    continue
+                dag.remove_op_node(node)
+            dag.substitute_node_with_ops(anchor, mapped)
 
-        if not replacements:
-            return circuit
-
-        out = circuit.copy_empty()
-        for pos, inst in enumerate(circuit.data):
-            if pos in replacements:
-                for rep in replacements[pos]:
-                    out.append(rep.gate, rep.qubits)
-                continue
-            if pos in skip:
-                continue
-            if inst.name == "barrier":
-                out.barrier(*inst.qubits)
-            else:
-                out.append(inst.gate.copy(), inst.qubits, inst.clbits)
-        # The block bookkeeping refers to the old circuit; invalidate it.
-        property_set.pop("block_list", None)
-        property_set.pop("block_pairs", None)
-        property_set.pop("block_id", None)
-        return out
+        # The block bookkeeping refers to the pre-rewrite DAG; the pass manager drops it
+        # (``block_*`` is not in ``preserves``) when the DAG changed.  When nothing changed
+        # the analysis is still valid and stays cached for the next invocation.
+        return dag

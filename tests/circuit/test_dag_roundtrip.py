@@ -1,0 +1,199 @@
+"""Property-style tests: DAG round-trips and mutation-API consistency.
+
+The DAG is the transpiler's canonical IR, so ``from_circuit``/``to_circuit`` must preserve
+per-wire gate order, depth and the unitary (up to global phase), and every mutation must
+leave predecessor/successor links, wire orders and the linearization mutually consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import DAGCircuit, Instruction, QuantumCircuit, random_circuit
+from repro.circuit.gates import gate as make_gate
+from repro.exceptions import CircuitError
+from repro.synthesis import allclose_up_to_global_phase
+
+
+def wire_sequences(circuit: QuantumCircuit):
+    """Per-qubit sequence of (name, params, qubits) the wire sees, in order."""
+    wires = {q: [] for q in range(circuit.num_qubits)}
+    for inst in circuit.data:
+        for q in inst.qubits:
+            wires[q].append((inst.name, inst.gate.params, inst.qubits))
+    return wires
+
+
+def assert_dag_consistent(dag: DAGCircuit):
+    """Predecessor/successor links, wire orders and linearization agree with each other."""
+    linear = [n.node_id for n in dag.op_nodes()]
+    position = {nid: i for i, nid in enumerate(linear)}
+    assert sorted(linear) == sorted(dag.nodes)
+    for node in dag.op_nodes():
+        for succ in dag.successors(node):
+            # Edges are symmetric and respect the linearization.
+            assert node in dag.predecessors(succ)
+            assert position[node.node_id] < position[succ.node_id]
+        for pred in dag.predecessors(node):
+            assert node in dag.successors(pred)
+    for qubit in range(dag.num_qubits):
+        order = [n.node_id for n in dag.wire_nodes(qubit)]
+        # Wire order is a subsequence of the linearization, and consecutive wire
+        # neighbours are linked by an edge.
+        assert order == sorted(order, key=position.__getitem__)
+        for a, b in zip(order, order[1:]):
+            assert b in dag._successors[a]
+            assert a in dag._predecessors[b]
+
+
+class TestRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_round_trip_preserves_wire_order_depth_unitary(self, seed):
+        circuit = random_circuit(4, 8, seed=seed)
+        rebuilt = DAGCircuit.from_circuit(circuit).to_circuit()
+        assert wire_sequences(rebuilt) == wire_sequences(circuit)
+        assert rebuilt.depth() == circuit.depth()
+        assert rebuilt.count_ops() == circuit.count_ops()
+        assert allclose_up_to_global_phase(rebuilt.to_matrix(), circuit.to_matrix())
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_double_round_trip_is_stable(self, seed):
+        circuit = random_circuit(3, 6, seed=seed)
+        once = DAGCircuit.from_circuit(circuit).to_circuit()
+        twice = DAGCircuit.from_circuit(once).to_circuit()
+        assert [
+            (i.name, i.gate.params, i.qubits) for i in once.data
+        ] == [(i.name, i.gate.params, i.qubits) for i in twice.data]
+
+    def test_round_trip_preserves_measurements_and_metadata(self):
+        circuit = QuantumCircuit(2, 2, name="meta")
+        circuit.metadata["origin"] = "test"
+        circuit.h(0)
+        circuit.barrier()
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        rebuilt = DAGCircuit.from_circuit(circuit).to_circuit()
+        assert rebuilt.name == "meta"
+        assert rebuilt.metadata == {"origin": "test"}
+        assert rebuilt.count_gate("measure") == 2
+        assert rebuilt.count_gate("barrier") == 1
+
+
+class TestFingerprint:
+    def test_identical_content_same_fingerprint(self):
+        a = DAGCircuit.from_circuit(random_circuit(3, 6, seed=7))
+        b = DAGCircuit.from_circuit(random_circuit(3, 6, seed=7))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_mutation_changes_fingerprint_and_version(self):
+        dag = DAGCircuit.from_circuit(random_circuit(3, 6, seed=7))
+        before_print, before_version = dag.fingerprint(), dag.version
+        dag.add_node(make_gate("x"), (0,))
+        assert dag.version > before_version
+        assert dag.fingerprint() != before_print
+
+    def test_label_enters_fingerprint(self):
+        def swap_with_label(label):
+            dag = DAGCircuit(2)
+            g = make_gate("swap")
+            g.label = label
+            dag.add_node(g, (0, 1))
+            return dag.fingerprint()
+
+        assert swap_with_label("ctrl:0") != swap_with_label("ctrl:1")
+
+
+class TestMutationConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_removals_keep_links_consistent(self, seed):
+        circuit = random_circuit(4, 8, seed=seed)
+        dag = DAGCircuit.from_circuit(circuit)
+        rng = np.random.default_rng(seed)
+        for _ in range(min(4, len(dag))):
+            nodes = dag.op_nodes()
+            dag.remove_op_node(nodes[int(rng.integers(len(nodes)))])
+            assert_dag_consistent(dag)
+        dag.to_circuit()  # linearization must still be emittable
+
+    def test_substitute_node_keeps_position_and_wires(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(0)
+        dag = DAGCircuit.from_circuit(circuit)
+        target = dag.op_nodes()[2]
+        dag.substitute_node(target, make_gate("rz", 0.5))
+        assert_dag_consistent(dag)
+        out = dag.to_circuit()
+        assert [i.name for i in out.data] == ["h", "cx", "rz"]
+
+    def test_substitute_node_rejects_wrong_arity(self):
+        dag = DAGCircuit(2)
+        node = dag.add_node(make_gate("cx"), (0, 1))
+        with pytest.raises(CircuitError):
+            dag.substitute_node(node, make_gate("h"))
+
+    def test_substitute_node_with_ops_splices_in_place(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.swap(0, 1)
+        circuit.cx(1, 2)
+        dag = DAGCircuit.from_circuit(circuit)
+        swap = dag.op_nodes("swap")[0]
+        new_nodes = dag.substitute_node_with_ops(
+            swap,
+            [
+                Instruction(make_gate("cx"), (0, 1)),
+                Instruction(make_gate("cx"), (1, 0)),
+                Instruction(make_gate("cx"), (0, 1)),
+            ],
+        )
+        assert len(new_nodes) == 3
+        assert_dag_consistent(dag)
+        out = dag.to_circuit()
+        assert [i.name for i in out.data] == ["h", "cx", "cx", "cx", "cx"]
+        # The replacement sits between the h and the trailing cx on every shared wire.
+        assert [i.qubits for i in out.data if 1 in i.qubits][-1] == (1, 2)
+        assert allclose_up_to_global_phase(out.to_matrix(), circuit.to_matrix())
+
+    def test_substitute_node_with_ops_rejects_foreign_wires(self):
+        dag = DAGCircuit(3)
+        node = dag.add_node(make_gate("cx"), (0, 1))
+        with pytest.raises(CircuitError):
+            dag.substitute_node_with_ops(node, [Instruction(make_gate("x"), (2,))])
+
+    def test_substitute_node_with_empty_ops_removes_and_reconnects(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.h(1)
+        dag = DAGCircuit.from_circuit(circuit)
+        cx = dag.op_nodes("cx")[0]
+        dag.substitute_node_with_ops(cx, [])
+        assert_dag_consistent(dag)
+        out = dag.to_circuit()
+        assert [i.name for i in out.data] == ["h", "h"]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_swap_lowering_via_mutation_preserves_unitary(self, seed):
+        """Realistic mutation workload: lower every swap in place, check the unitary."""
+        circuit = random_circuit(4, 10, seed=seed)
+        dag = DAGCircuit.from_circuit(circuit)
+        for node in dag.op_nodes("swap"):
+            a, b = node.qubits
+            dag.substitute_node_with_ops(
+                node,
+                [
+                    Instruction(make_gate("cx"), (a, b)),
+                    Instruction(make_gate("cx"), (b, a)),
+                    Instruction(make_gate("cx"), (a, b)),
+                ],
+            )
+            assert_dag_consistent(dag)
+        out = dag.to_circuit()
+        assert out.count_gate("swap") == 0
+        assert allclose_up_to_global_phase(out.to_matrix(), circuit.to_matrix())

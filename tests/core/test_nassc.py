@@ -87,7 +87,7 @@ class TestNASSCRoutingPass:
         circuit = QuantumCircuit(3)
         circuit.cx(0, 2)
         props = PropertySet()
-        routed = NASSCRouting(linear5, seed=0).run(circuit, props)
+        routed = NASSCRouting(linear5, seed=0).run_circuit(circuit, props)
         assert "final_layout" in props
         assert props["num_swaps"] >= 1
         assert not coupling_violations(routed, linear5)

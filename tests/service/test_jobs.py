@@ -64,6 +64,39 @@ class TestFingerprint:
         other = TranspileJob.from_circuit(circuit, coupling, seed=0)
         assert base.fingerprint() != other.fingerprint()
 
+    def test_pipeline_version_enters_fingerprint(self):
+        """A pipeline refactor (version bump) must never serve pre-refactor cache entries."""
+        import repro.service.jobs as jobs_module
+
+        coupling = linear_coupling_map(5)
+        job = TranspileJob.from_circuit(small_circuit(), coupling, seed=0)
+        assert job.content_dict()["pipeline_version"] == jobs_module.PIPELINE_VERSION
+        before = job.fingerprint()
+        original = jobs_module.PIPELINE_VERSION
+        jobs_module.PIPELINE_VERSION = original + 1
+        try:
+            assert job.fingerprint() != before
+        finally:
+            jobs_module.PIPELINE_VERSION = original
+        assert job.fingerprint() == before
+
+    def test_pipeline_version_bump_misses_result_cache(self):
+        """End to end: a cached result is not served once the pipeline version changes."""
+        import repro.service.jobs as jobs_module
+        from repro.service.cache import ResultCache
+
+        coupling = linear_coupling_map(5)
+        job = TranspileJob.from_circuit(small_circuit(), coupling, routing="none", seed=0)
+        cache = ResultCache()
+        cache.put(job.fingerprint(), job.run().to_dict())
+        assert cache.get(job.fingerprint()) is not None
+        original = jobs_module.PIPELINE_VERSION
+        jobs_module.PIPELINE_VERSION = original + 1
+        try:
+            assert cache.get(job.fingerprint()) is None
+        finally:
+            jobs_module.PIPELINE_VERSION = original
+
     def test_stable_across_processes(self):
         """The fingerprint is a pure content hash: a fresh interpreter computes the same."""
         coupling = linear_coupling_map(5)

@@ -6,7 +6,7 @@ import pytest
 from repro.circuit import QuantumCircuit, random_unitary
 from repro.exceptions import TranspilerError
 from repro.synthesis import allclose_up_to_global_phase
-from repro.transpiler import PassManager
+from repro.transpiler import PassManager, PropertySet
 from repro.transpiler.passes import CheckRoutable, Decompose
 
 from ..conftest import assert_unitary_equiv
@@ -101,16 +101,16 @@ class TestCheckRoutable:
         circuit.cx(0, 1)
         circuit.swap(0, 1)
         circuit.measure(0, 0)
-        CheckRoutable().run(circuit, {})
+        CheckRoutable().run_circuit(circuit, PropertySet())
 
     def test_rejects_three_qubit_gate(self):
         circuit = QuantumCircuit(3)
         circuit.ccx(0, 1, 2)
         with pytest.raises(TranspilerError):
-            CheckRoutable().run(circuit, {})
+            CheckRoutable().run_circuit(circuit, PropertySet())
 
     def test_rejects_unroutable_two_qubit_gate(self):
         circuit = QuantumCircuit(2)
         circuit.cp(0.5, 0, 1)
         with pytest.raises(TranspilerError):
-            CheckRoutable().run(circuit, {})
+            CheckRoutable().run_circuit(circuit, PropertySet())

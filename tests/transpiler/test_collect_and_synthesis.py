@@ -13,7 +13,7 @@ from ..conftest import assert_unitary_equiv
 
 def collect(circuit):
     props = PropertySet()
-    Collect2qBlocks().run(circuit, props)
+    Collect2qBlocks().run_circuit(circuit, props)
     return props
 
 

@@ -64,7 +64,7 @@ class TestCommutationAnalysis:
         circuit.cx(0, 2)
         circuit.cx(0, 1)
         props = PropertySet()
-        CommutationAnalysis().run(circuit, props)
+        CommutationAnalysis().run_circuit(circuit, props)
         index = props["commutation_index"]
         assert index[(0, 0)] == index[(0, 1)] == index[(0, 2)]
 
@@ -74,7 +74,7 @@ class TestCommutationAnalysis:
         circuit.h(0)
         circuit.cx(0, 1)
         props = PropertySet()
-        CommutationAnalysis().run(circuit, props)
+        CommutationAnalysis().run_circuit(circuit, props)
         index = props["commutation_index"]
         assert index[(0, 0)] != index[(0, 2)]
 
@@ -84,7 +84,7 @@ class TestCommutationAnalysis:
         circuit.measure(0, 0)
         circuit.rz(0.2, 0)
         props = PropertySet()
-        CommutationAnalysis().run(circuit, props)
+        CommutationAnalysis().run_circuit(circuit, props)
         index = props["commutation_index"]
         assert index[(0, 0)] != index[(0, 2)]
 
@@ -93,7 +93,7 @@ class TestCommutationAnalysis:
         for _ in range(50):
             circuit.rz(0.01, 0)
         props = PropertySet()
-        CommutationAnalysis().run(circuit, props)
+        CommutationAnalysis().run_circuit(circuit, props)
         sets = props["commutation_sets"][0]
         assert all(len(group) <= CommutationAnalysis.MAX_SET_SIZE for group in sets)
 

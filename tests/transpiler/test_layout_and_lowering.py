@@ -64,26 +64,26 @@ class TestLayout:
 class TestLayoutPasses:
     def test_trivial_layout_pass(self, linear5):
         props = PropertySet()
-        TrivialLayout(linear5).run(QuantumCircuit(3), props)
+        TrivialLayout(linear5).run_circuit(QuantumCircuit(3), props)
         assert props["layout"].physical(2) == 2
 
     def test_trivial_layout_rejects_oversized_circuit(self, linear5):
         with pytest.raises(TranspilerError):
-            TrivialLayout(linear5).run(QuantumCircuit(9), PropertySet())
+            TrivialLayout(linear5).run_circuit(QuantumCircuit(9), PropertySet())
 
     def test_apply_layout_remaps_and_widens(self, linear5):
         circuit = QuantumCircuit(2)
         circuit.cx(0, 1)
         props = PropertySet()
-        SetLayout(Layout.from_physical_list([3, 1])).run(circuit, props)
-        mapped = ApplyLayout(linear5).run(circuit, props)
+        SetLayout(Layout.from_physical_list([3, 1])).run_circuit(circuit, props)
+        mapped = ApplyLayout(linear5).run_circuit(circuit, props)
         assert mapped.num_qubits == 5
         assert mapped.data[0].qubits == (3, 1)
 
     def test_apply_layout_defaults_to_trivial(self, linear5):
         circuit = QuantumCircuit(2)
         circuit.cx(0, 1)
-        mapped = ApplyLayout(linear5).run(circuit, PropertySet())
+        mapped = ApplyLayout(linear5).run_circuit(circuit, PropertySet())
         assert mapped.data[0].qubits == (0, 1)
 
 
@@ -136,14 +136,14 @@ class TestCheckMap:
         circuit.cx(0, 1)
         circuit.cx(3, 4)
         props = PropertySet()
-        CheckMap(linear5).run(circuit, props)
+        CheckMap(linear5).run_circuit(circuit, props)
         assert props["is_mapped"]
 
     def test_violation_raises(self, linear5):
         circuit = QuantumCircuit(5)
         circuit.cx(0, 4)
         with pytest.raises(TranspilerError):
-            CheckMap(linear5).run(circuit, PropertySet())
+            CheckMap(linear5).run_circuit(circuit, PropertySet())
 
     def test_coupling_violations_lists_offenders(self, linear5):
         circuit = QuantumCircuit(5)
