@@ -10,23 +10,28 @@ API used in ``quickstart.py``:
 Run with:  python examples/batch_transpile.py
 """
 
+import os
 import time
 
-from repro import BatchTranspiler, TranspileJob, linear_coupling_map
+from repro import BatchTranspiler, Target, TranspileJob, TranspileOptions
 from repro.benchlib import table_benchmarks
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def build_batch():
     """One job per (benchmark, routing, seed): the shape of a table regeneration."""
-    coupling = linear_coupling_map(25)
+    target = Target.from_topology("linear", 25)
+    names = ["grover_n4", "adder_n10"] if SMOKE else ["grover_n4", "vqe_n8", "adder_n10"]
+    seeds = (0,) if SMOKE else (0, 1)
     jobs = []
-    for case in table_benchmarks(names=["grover_n4", "vqe_n8", "adder_n10"]):
+    for case in table_benchmarks(names=names):
         circuit = case.build()
         for routing in ("sabre", "nassc"):
-            for seed in (0, 1):
+            for seed in seeds:
                 jobs.append(
                     TranspileJob.from_circuit(
-                        circuit, coupling, routing=routing, seed=seed,
+                        circuit, target, TranspileOptions(routing=routing, seed=seed),
                         name=f"{case.name}[{routing},seed{seed}]",
                     )
                 )

@@ -2,14 +2,15 @@
 
 Shows the full public-API workflow a downstream user would follow:
   1. load a circuit from OpenQASM 2.0 text,
-  2. describe a custom device (coupling graph + synthetic calibration),
-  3. compile with NASSC and inspect the result,
+  2. describe a custom device as a ``Target`` (coupling graph + synthetic calibration),
+  3. compile at different optimization levels, including the noise-aware ``O3`` preset
+     that switches on automatically because the target is calibrated,
   4. verify the compiled circuit still respects the device connectivity.
 
 Run with:  python examples/custom_device.py
 """
 
-from repro import CouplingMap, synthetic_calibration, transpile
+from repro import CouplingMap, Target, TranspileOptions, synthetic_calibration, transpile
 from repro.circuit import qasm
 from repro.core import optimize_logical
 from repro.transpiler.passes import coupling_violations
@@ -34,23 +35,31 @@ def main() -> None:
     circuit = qasm.loads(QASM_SOURCE)
     print(f"parsed circuit: {circuit.num_qubits} qubits, ops = {circuit.count_ops()}")
 
-    # A 2x3 ladder device with a weak link between qubits 2 and 5.
-    device = CouplingMap(
+    # A 2x3 ladder device with a weak link between qubits 2 and 5, described once as a
+    # Target: coupling + calibration + output basis travel together through the API.
+    coupling = CouplingMap(
         [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)], name="ladder_2x3"
     )
-    calibration = synthetic_calibration(device, seed=42)
+    calibration = synthetic_calibration(coupling, seed=42)
     calibration.cx_error[(2, 5)] = 0.08  # pretend this link is unusually noisy
+    target = Target(coupling_map=coupling, calibration=calibration)
 
     original = optimize_logical(circuit)
     print(f"optimized (no routing): {original.cx_count()} CNOTs")
 
-    for routing, noise_aware in (("sabre", False), ("nassc", False), ("nassc", True)):
+    # O1 is the paper pipeline; O3 adds noise-aware routing because the target is
+    # calibrated, steering traffic away from the weak (2, 5) link.
+    runs = (
+        ("sabre", "O1"),
+        ("nassc", "O1"),
+        ("nassc", "O3"),
+    )
+    for routing, level in runs:
         result = transpile(
-            circuit, device, routing=routing, seed=0,
-            noise_aware=noise_aware, calibration=calibration if noise_aware else None,
+            circuit, target, TranspileOptions(routing=routing, level=level, seed=0)
         )
-        label = routing + ("+HA" if noise_aware else "")
-        violations = coupling_violations(result.circuit, device)
+        label = f"{routing}@{level}"
+        violations = coupling_violations(result.circuit, coupling)
         print(
             f"  {label:9s} total CNOTs {result.cx_count:3d}  depth {result.depth:3d}  "
             f"swaps {result.num_swaps}  coupling violations {len(violations)}"

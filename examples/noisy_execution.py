@@ -1,16 +1,22 @@
 """NISQ execution study: route a small oracle circuit and estimate its success rate under a
 realistic noise model (the paper's Figure 11 experiment).
 
-Four routing variants are compared: SABRE, NASSC, and their noise-aware (+HA) versions that
-use an error-rate-weighted distance matrix.
+Four routing variants are compared: SABRE, NASSC, and their noise-aware (+HA) versions
+that use an error-rate-weighted distance matrix.  The calibrated device is described once
+as a ``Target``; ``noise_aware=True`` in the options switches a method to its +HA variant.
 
-Run with:  python examples/noisy_execution.py
+Run with:  python examples/noisy_execution.py            (full study)
+           REPRO_SMOKE=1 python examples/noisy_execution.py   (quick CI-sized run)
 """
 
-from repro import fake_montreal_calibration, montreal_coupling_map, transpile
+import os
+
+from repro import Target, TranspileOptions, fake_montreal_calibration, transpile
 from repro.benchlib import bv_n5, grover_n4
 from repro.core import optimize_logical
 from repro.simulator import NoiseModel, NoisySimulator, StatevectorSimulator
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def expected_outcome(circuit, measured):
@@ -21,36 +27,38 @@ def expected_outcome(circuit, measured):
 
 
 def main() -> None:
-    coupling = montreal_coupling_map()
     calibration = fake_montreal_calibration()
+    target = Target(calibration=calibration)  # coupling map comes from the calibration
     noise_model = NoiseModel.from_calibration(calibration)
+    realizations, shots = (16, 512) if SMOKE else (128, 4096)
 
     benchmarks = {
         "bv_n5 (data register)": (bv_n5(), list(range(4))),
         "grover_n4 (search register)": (grover_n4(), list(range(3))),
     }
+    if SMOKE:
+        benchmarks = dict(list(benchmarks.items())[:1])
 
     for name, (circuit, measured_logical) in benchmarks.items():
         print(f"\n=== {name} ===")
         original_cx = optimize_logical(circuit).cx_count()
         expected = expected_outcome(circuit, measured_logical)
         print(f"original CNOTs: {original_cx}, ideal outcome: {expected}")
-        for method in ("sabre", "nassc", "sabre+HA", "nassc+HA"):
-            routing = "sabre" if method.startswith("sabre") else "nassc"
-            noise_aware = method.endswith("+HA")
-            result = transpile(
-                circuit, coupling, routing=routing, seed=0,
-                noise_aware=noise_aware, calibration=calibration if noise_aware else None,
-            )
-            measured_physical = [result.final_layout.physical(q) for q in measured_logical]
-            simulator = NoisySimulator(noise_model, realizations=128, seed=0)
-            rate = simulator.success_rate(
-                result.circuit, shots=4096, expected=expected, measured_qubits=measured_physical
-            )
-            print(
-                f"  {method:9s} added CNOTs {result.cx_count - original_cx:3d}   "
-                f"success rate {rate:.3f}"
-            )
+        for routing in ("sabre", "nassc"):
+            for noise_aware in (False, True):
+                options = TranspileOptions(routing=routing, seed=0, noise_aware=noise_aware)
+                result = transpile(circuit, target, options)
+                label = routing + ("+HA" if noise_aware else "")
+                measured_physical = [result.final_layout.physical(q) for q in measured_logical]
+                simulator = NoisySimulator(noise_model, realizations=realizations, seed=0)
+                rate = simulator.success_rate(
+                    result.circuit, shots=shots, expected=expected,
+                    measured_qubits=measured_physical,
+                )
+                print(
+                    f"  {label:9s} added CNOTs {result.cx_count - original_cx:3d}   "
+                    f"success rate {rate:.3f}"
+                )
 
     print("\nFewer added CNOTs generally means less accumulated error and a higher success rate.")
 

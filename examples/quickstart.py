@@ -1,9 +1,13 @@
 """Quickstart: compile a circuit for a real device topology with SABRE and NASSC routing.
 
+The compile API is target-centric: a ``Target`` describes the device once, a
+``TranspileOptions`` picks the routing method and preset optimization level, and
+``transpile(circuit, target, options)`` does the rest.
+
 Run with:  python examples/quickstart.py
 """
 
-from repro import QuantumCircuit, montreal_coupling_map, optimize_logical, transpile
+from repro import QuantumCircuit, Target, TranspileOptions, optimize_logical, transpile
 
 
 def build_circuit() -> QuantumCircuit:
@@ -22,7 +26,7 @@ def build_circuit() -> QuantumCircuit:
 
 def main() -> None:
     circuit = build_circuit()
-    coupling = montreal_coupling_map()
+    target = Target.from_topology("montreal")
 
     # Reference: the circuit optimized without any routing ("original circuit" in the paper).
     original = optimize_logical(circuit)
@@ -32,7 +36,10 @@ def main() -> None:
     # (routing uses a seeded random tie-break, exactly as in the paper's 10-run averages).
     seeds = (0, 1, 2)
     for routing in ("sabre", "nassc"):
-        results = [transpile(circuit, coupling, routing=routing, seed=seed) for seed in seeds]
+        results = [
+            transpile(circuit, target, TranspileOptions(routing=routing, seed=seed, level="O1"))
+            for seed in seeds
+        ]
         mean_cx = sum(r.cx_count for r in results) / len(results)
         mean_depth = sum(r.depth for r in results) / len(results)
         mean_swaps = sum(r.num_swaps for r in results) / len(results)

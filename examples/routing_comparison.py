@@ -4,28 +4,41 @@ Compares Qiskit+SABRE against Qiskit+NASSC on several benchmark circuits and all
 evaluation topologies (ibmq_montreal heavy-hex, 25-qubit line, 5x5 grid), reporting the
 added-CNOT reduction exactly as the paper does.
 
-Run with:  python examples/routing_comparison.py [--full]
+Run with:  python examples/routing_comparison.py [--full] [--routing METHOD]
+           REPRO_SMOKE=1 python examples/routing_comparison.py   (quick CI-sized run)
 """
 
 import argparse
+import os
 
 from repro.benchlib import table_benchmarks
 from repro.evaluation import format_cnot_table, run_table_experiment
+from repro.transpiler.registry import available_routings
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main() -> None:
+    routed = [name for name in available_routings() if name != "none"]
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="run every Table I benchmark (slow) instead of the quick subset")
     parser.add_argument("--seeds", type=int, default=1, help="number of routing seeds to average")
+    parser.add_argument("--routing", default="nassc", choices=routed,
+                        help="treatment method compared against the SABRE baseline")
     args = parser.parse_args()
 
     names = None if args.full else ["grover_n4", "grover_n6", "vqe_n8", "qpe_n9", "adder_n10"]
+    if SMOKE:
+        names = ["grover_n4", "adder_n10"]
     cases = table_benchmarks(names=names) if names else table_benchmarks()
     seeds = tuple(range(args.seeds))
+    topologies = ("linear",) if SMOKE else ("montreal", "linear", "grid")
 
-    for topology in ("montreal", "linear", "grid"):
-        result = run_table_experiment(topology, cases=cases, seeds=seeds, num_device_qubits=25)
+    for topology in topologies:
+        result = run_table_experiment(
+            topology, cases=cases, seeds=seeds, num_device_qubits=25, routing=args.routing
+        )
         print(format_cnot_table(result))
         print(
             f"  -> geometric-mean reduction: total CNOTs {result.geomean_delta_cx_total:.2f}%, "

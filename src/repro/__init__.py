@@ -11,9 +11,18 @@ Public API highlights
 """
 
 from .circuit import DAGCircuit, Gate, Instruction, QuantumCircuit, qasm, random_circuit
-from .core import NASSCConfig, TranspileResult, compare_routings, optimize_logical, transpile
+from .core import (
+    NASSCConfig,
+    OPTIMIZATION_LEVELS,
+    TranspileOptions,
+    TranspileResult,
+    compare_routings,
+    optimize_logical,
+    transpile,
+)
 from .hardware import (
     CouplingMap,
+    Target,
     fake_montreal_calibration,
     grid_coupling_map,
     linear_coupling_map,
@@ -23,16 +32,24 @@ from .hardware import (
 from .service import BatchTranspiler, ResultCache, TranspileJob
 from .simulator import NoiseModel, NoisySimulator, StatevectorSimulator
 from .synthesis import TwoQubitSynthesizer, cnot_count, weyl_coordinates
+from .transpiler import (
+    PipelineBuilder,
+    available_routings,
+    register_routing,
+    unregister_routing,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DAGCircuit", "Gate", "Instruction", "QuantumCircuit", "qasm", "random_circuit",
-    "NASSCConfig", "TranspileResult", "compare_routings", "optimize_logical", "transpile",
-    "CouplingMap", "fake_montreal_calibration", "grid_coupling_map", "linear_coupling_map",
-    "montreal_coupling_map", "synthetic_calibration",
+    "NASSCConfig", "OPTIMIZATION_LEVELS", "TranspileOptions", "TranspileResult",
+    "compare_routings", "optimize_logical", "transpile",
+    "CouplingMap", "Target", "fake_montreal_calibration", "grid_coupling_map",
+    "linear_coupling_map", "montreal_coupling_map", "synthetic_calibration",
     "BatchTranspiler", "ResultCache", "TranspileJob",
     "NoiseModel", "NoisySimulator", "StatevectorSimulator",
     "TwoQubitSynthesizer", "cnot_count", "weyl_coordinates",
+    "PipelineBuilder", "available_routings", "register_routing", "unregister_routing",
     "__version__",
 ]

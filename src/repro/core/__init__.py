@@ -2,7 +2,15 @@
 
 from .estimators import OptimizationEstimator, SwapEstimate
 from .nassc import NASSCConfig, NASSCRouting, NASSCSwapRouter
-from .pipeline import ROUTING_METHODS, TranspileResult, compare_routings, optimize_logical, transpile
+from .options import LEVEL_DESCRIPTIONS, OPTIMIZATION_LEVELS, TranspileOptions, normalize_level
+from .pipeline import (
+    PIPELINE_VERSION,
+    ROUTING_METHODS,
+    TranspileResult,
+    compare_routings,
+    optimize_logical,
+    transpile,
+)
 from .single_qubit_motion import CommuteSingleQubitsThroughSwap
 
 __all__ = [
@@ -11,6 +19,11 @@ __all__ = [
     "NASSCConfig",
     "NASSCRouting",
     "NASSCSwapRouter",
+    "LEVEL_DESCRIPTIONS",
+    "OPTIMIZATION_LEVELS",
+    "TranspileOptions",
+    "normalize_level",
+    "PIPELINE_VERSION",
     "ROUTING_METHODS",
     "TranspileResult",
     "compare_routings",

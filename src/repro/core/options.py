@@ -1,0 +1,113 @@
+"""Compilation options: the :class:`TranspileOptions` frozen dataclass.
+
+``transpile()`` historically took a flat kwarg list (``routing=``, ``seed=``,
+``extended_set_size=``, ...).  ``TranspileOptions`` replaces that explosion with one
+immutable value object that
+
+* selects the preset optimization level (``O0``-``O3``) and the routing method (by
+  registry name, so third-party routers plug in without touching this module),
+* carries every knob that influences compiled output, and
+* serialises canonically — its :meth:`content_dict` is the fingerprint input of the
+  batch service's content-addressed result cache.
+
+Device-side configuration (coupling map, calibration, output basis) lives on the
+:class:`~repro.hardware.target.Target`, not here: options say *how* to compile, the
+target says *for what*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..exceptions import TranspilerError
+from .nassc import NASSCConfig
+
+#: Preset optimization levels, lowest to highest effort.
+OPTIMIZATION_LEVELS: Tuple[str, ...] = ("O0", "O1", "O2", "O3")
+
+LEVEL_DESCRIPTIONS: Dict[str, str] = {
+    "O0": "decompose and route only — no optimization passes",
+    "O1": "the paper's Fig. 2 pipeline (pre-routing cleanup + post-routing re-synthesis loop)",
+    "O2": "O1 with a deeper post-routing fixed-point optimization loop",
+    "O3": "O2 plus noise-aware layout/routing whenever the target carries calibration data",
+}
+
+
+def normalize_level(level: Union[str, int]) -> str:
+    """Canonicalise a level spelling (``1``, ``"1"``, ``"o1"`` → ``"O1"``)."""
+    if isinstance(level, int):
+        candidate = f"O{level}"
+    else:
+        text = str(level).strip().upper()
+        candidate = text if text.startswith("O") else f"O{text}"
+    if candidate not in OPTIMIZATION_LEVELS:
+        raise TranspilerError(
+            f"unknown optimization level {level!r}; expected one of {OPTIMIZATION_LEVELS}"
+        )
+    return candidate
+
+
+@dataclass(frozen=True)
+class TranspileOptions:
+    """How to compile: routing method, preset level, seed and heuristic knobs.
+
+    All fields are immutable; derive variants with :meth:`replace`.  ``routing`` names a
+    method in :mod:`repro.transpiler.registry`; it is resolved when a pipeline is built,
+    so options may be created before a third-party method is registered.
+    """
+
+    routing: str = "sabre"
+    level: str = "O1"
+    seed: Optional[int] = None
+    nassc_config: Optional[NASSCConfig] = None
+    noise_aware: bool = False
+    extended_set_size: int = 20
+    extended_set_weight: float = 0.5
+    layout_iterations: int = 2
+    check: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "level", normalize_level(self.level))
+        if self.nassc_config is not None and not isinstance(self.nassc_config, NASSCConfig):
+            object.__setattr__(self, "nassc_config", NASSCConfig(*self.nassc_config))
+
+    def replace(self, **changes) -> "TranspileOptions":
+        """A copy with the given fields replaced (options are immutable)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialization and content addressing --------------------------------
+
+    def content_dict(self) -> Dict:
+        """Canonical JSON-safe content (the cache-fingerprint contribution of the options)."""
+        return {
+            "routing": self.routing,
+            "level": self.level,
+            "seed": self.seed,
+            "nassc_config": list(self.nassc_config.as_tuple()) if self.nassc_config else None,
+            "noise_aware": bool(self.noise_aware),
+            "extended_set_size": int(self.extended_set_size),
+            "extended_set_weight": float(self.extended_set_weight),
+            "layout_iterations": int(self.layout_iterations),
+            "check": bool(self.check),
+        }
+
+    def to_dict(self) -> Dict:
+        """JSON-safe representation; round-trips through :meth:`from_dict`."""
+        return self.content_dict()
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TranspileOptions":
+        nassc = data.get("nassc_config")
+        return cls(
+            routing=data.get("routing", "sabre"),
+            level=data.get("level", "O1"),
+            seed=data.get("seed"),
+            nassc_config=NASSCConfig(*nassc) if nassc else None,
+            noise_aware=data.get("noise_aware", False),
+            extended_set_size=data.get("extended_set_size", 20),
+            extended_set_weight=data.get("extended_set_weight", 0.5),
+            layout_iterations=data.get("layout_iterations", 2),
+            check=data.get("check", True),
+        )

@@ -1,57 +1,53 @@
-"""End-to-end compilation pipelines (paper Fig. 2 and Fig. 5).
+"""Target-centric compilation entry points (paper Fig. 2 and Fig. 5).
 
-``transpile`` reproduces the two pipelines compared throughout the evaluation:
+``transpile(circuit, target, options)`` is the public compile API: the
+:class:`~repro.hardware.target.Target` describes the device (coupling map, calibration,
+output basis), the :class:`~repro.core.options.TranspileOptions` select the routing
+method (by registry name) and the preset optimization level ``O0``-``O3``, and the
+staged :class:`~repro.transpiler.builder.PipelineBuilder` composes the pass manager from
+declared stages.  At level ``O1`` with ``routing="sabre"``/``"nassc"`` the composed
+pipeline is exactly the paper's evaluation pipeline, so differences in the reported
+metrics still isolate the paper's contribution.
 
-* ``routing="sabre"`` — Qiskit+SABRE: decomposition, pre-routing optimization, SABRE layout
-  and routing, fixed SWAP decomposition, then the standard post-routing optimizations.
-* ``routing="nassc"`` — Qiskit+NASSC: identical except that the routing pass uses the
-  optimization-aware cost function and SWAPs are decomposed with optimization-aware
-  orientation (plus single-qubit movement through SWAPs).
-
-Both pipelines share every other pass, so differences in the reported metrics isolate the
-paper's contribution.  ``routing="none"`` applies only the optimizations (used to compute the
-"original circuit optimized by Qiskit" baseline of Tables I-IV).
+The historical flat-kwarg signature ``transpile(circuit, coupling_map, routing=...,
+calibration=..., ...)`` keeps working as a thin deprecation shim that folds the kwargs
+into a target and options before entering the same engine.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..circuit.circuit import QuantumCircuit
 from ..exceptions import TranspilerError
 from ..hardware.calibration import DeviceCalibration
 from ..hardware.coupling import CouplingMap
-from ..hardware.noise_distance import noise_aware_distance_matrix
-from ..transpiler.passmanager import FixedPoint, PassManager, PropertySet
-from ..transpiler.passes.basis import CheckRoutable, Decompose
-from ..transpiler.passes.check_map import CheckMap
-from ..transpiler.passes.commutation import CommutativeCancellation
-from ..transpiler.passes.layout import ApplyLayout, Layout
-from ..transpiler.passes.optimize_1q import Optimize1qGates, RemoveIdentities
-from ..transpiler.passes.sabre import SabreLayoutSelection, SabreRouting, SabreSwapRouter
-from ..transpiler.passes.swap_lowering import SwapLowering
-from ..transpiler.passes.unitary_synthesis import UnitarySynthesis
-from .nassc import NASSCConfig, NASSCRouting, NASSCSwapRouter
-from .single_qubit_motion import CommuteSingleQubitsThroughSwap
+from ..hardware.target import Target
+from ..transpiler.builder import LEVEL_FIXED_POINT_ITERATIONS, PipelineBuilder
+from ..transpiler.passmanager import PropertySet
+from ..transpiler.passes.layout import Layout
+from ..transpiler.registry import available_routings
+from .nassc import NASSCConfig
+from .options import TranspileOptions
 
-ROUTING_METHODS = ("none", "sabre", "nassc")
+#: Registered routing-method names at import time (built-ins only: env plugin modules
+#: are deliberately not loaded here, since they import ``repro`` back while it is still
+#: initialising).  Deprecated snapshot kept for backward compatibility — consult
+#: :func:`repro.transpiler.registry.available_routings` for the live list.
+ROUTING_METHODS = tuple(available_routings(load_plugins=False))
 
 #: Version of the transpiler pipeline's structure/semantics.  Bumped whenever a refactor
 #: could change compiled output or the meaning of recorded metrics; the service layer folds
 #: it into job fingerprints so refactored pipelines never serve stale cached results.
-PIPELINE_VERSION = 2
+PIPELINE_VERSION = 3
 
-#: Iteration cap of the post-routing optimization loop.  Two matches the historical
-#: pipeline (which hard-coded the UnitarySynthesis/CommutativeCancellation pair twice), so
-#: compiled output stays bit-identical to it; unlike the historical pipeline the loop
-#: exits after a single iteration when that iteration already reached the fixed point.
-#: Iterations beyond two keep rewriting equivalent 1q expressions without reducing CNOTs,
-#: so a larger cap buys no quality — only wall time.
-MAX_OPT_LOOP_ITERATIONS = 2
+#: Iteration cap of the ``O1`` post-routing optimization loop (kept as a module constant
+#: for backward compatibility; per-level caps live in
+#: :data:`repro.transpiler.builder.LEVEL_FIXED_POINT_ITERATIONS`).
+MAX_OPT_LOOP_ITERATIONS = LEVEL_FIXED_POINT_ITERATIONS["O1"]
 
 
 @dataclass
@@ -70,6 +66,8 @@ class TranspileResult:
     #: Ordered per-invocation timing entries ``(pass name, elapsed seconds)`` — repeated
     #: instances (e.g. fixed-point loop iterations) stay distinguishable here.
     pass_timing_log: List[Tuple[str, float]] = field(default_factory=list)
+    #: Preset optimization level the circuit was compiled at.
+    level: str = "O1"
 
     @property
     def cx_count(self) -> int:
@@ -97,6 +95,7 @@ class TranspileResult:
             "qasm": qasm.dumps(self.circuit),
             "name": self.circuit.name,
             "routing": self.routing,
+            "level": self.level,
             "coupling_map": self.coupling_map.to_dict() if self.coupling_map else None,
             "initial_layout": self.initial_layout.to_pairs() if self.initial_layout else None,
             "final_layout": self.final_layout.to_pairs() if self.final_layout else None,
@@ -124,6 +123,7 @@ class TranspileResult:
         return cls(
             circuit=circuit,
             routing=data["routing"],
+            level=data.get("level", "O1"),
             coupling_map=CouplingMap.from_dict(coupling) if coupling else None,
             initial_layout=Layout.from_pairs(initial) if initial else None,
             final_layout=Layout.from_pairs(final) if final else None,
@@ -136,128 +136,111 @@ class TranspileResult:
         )
 
 
-def _pre_routing_passes() -> list:
-    """Optimizations applied to the logical circuit before layout/routing (both pipelines)."""
-    return [
-        Decompose(keep_swaps=True),
-        Optimize1qGates(output="u"),
-        UnitarySynthesis(),
-        CommutativeCancellation(),
-        Optimize1qGates(output="u"),
-        RemoveIdentities(),
-        CheckRoutable(),
-    ]
+# ---------------------------------------------------------------------------
+# Target/options resolution (the legacy-kwarg deprecation shim lives here)
+# ---------------------------------------------------------------------------
+
+def _resolve_target(
+    target: Union[Target, CouplingMap, None],
+    calibration: Optional[DeviceCalibration],
+    final_basis: Optional[str],
+) -> Target:
+    """Normalise the device argument to a :class:`Target`, warning on the legacy forms."""
+    if isinstance(target, Target):
+        if calibration is not None or final_basis is not None:
+            raise TranspilerError(
+                "pass device properties (calibration, final_basis) on the Target, "
+                "not as transpile() kwargs"
+            )
+        return target
+    if target is not None and not isinstance(target, CouplingMap):
+        raise TranspilerError(
+            f"expected a Target or CouplingMap, got {type(target).__name__}"
+        )
+    if isinstance(target, CouplingMap) or calibration is not None or final_basis is not None:
+        warnings.warn(
+            "passing a bare coupling map / device kwargs to transpile() is deprecated; "
+            "build a repro.Target instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return Target(
+        coupling_map=target,
+        calibration=calibration,
+        final_basis=final_basis if final_basis is not None else "zsx",
+    )
 
 
-def _post_routing_passes(final_basis: str) -> list:
-    """Optimizations applied to the routed physical circuit (both pipelines).
-
-    The re-synthesis/cancellation pair runs as a declared fixed-point loop (keyed on the
-    DAG fingerprint) instead of a hard-coded run-twice sequence: iterations repeat only
-    while they still change the circuit.
-    """
-    return [
-        FixedPoint(
-            [UnitarySynthesis(), CommutativeCancellation()],
-            max_iterations=MAX_OPT_LOOP_ITERATIONS,
-        ),
-        Optimize1qGates(output=final_basis),
-        RemoveIdentities(),
-    ]
-
-
-def optimize_logical(circuit: QuantumCircuit, final_basis: str = "zsx") -> QuantumCircuit:
-    """Optimize a circuit without any routing (the Tables' "Original Circuit" column)."""
-    manager = PassManager(_pre_routing_passes())
-    manager.extend([SwapLowering(), *_post_routing_passes(final_basis)])
-    return manager.run(circuit)
+def _resolve_options(options: Optional[TranspileOptions], overrides: Dict) -> TranspileOptions:
+    """Merge per-call kwargs over the options object (or the defaults)."""
+    provided = {key: value for key, value in overrides.items() if value is not None}
+    base = options if options is not None else TranspileOptions()
+    if not isinstance(base, TranspileOptions):
+        raise TranspilerError(f"options must be a TranspileOptions, got {type(base).__name__}")
+    return base.replace(**provided) if provided else base
 
 
 def transpile(
     circuit: QuantumCircuit,
-    coupling_map: Optional[CouplingMap] = None,
+    target: Union[Target, CouplingMap, None] = None,
+    options: Optional[TranspileOptions] = None,
     *,
-    routing: str = "sabre",
+    routing: Optional[str] = None,
+    level: Optional[Union[str, int]] = None,
     seed: Optional[int] = None,
     nassc_config: Optional[NASSCConfig] = None,
     calibration: Optional[DeviceCalibration] = None,
-    noise_aware: bool = False,
-    extended_set_size: int = 20,
-    extended_set_weight: float = 0.5,
-    layout_iterations: int = 2,
-    final_basis: str = "zsx",
-    check: bool = True,
+    noise_aware: Optional[bool] = None,
+    extended_set_size: Optional[int] = None,
+    extended_set_weight: Optional[float] = None,
+    layout_iterations: Optional[int] = None,
+    final_basis: Optional[str] = None,
+    check: Optional[bool] = None,
+    coupling_map: Optional[CouplingMap] = None,
 ) -> TranspileResult:
-    """Compile a logical circuit for a device coupling map.
+    """Compile a logical circuit for a device target.
 
-    Parameters mirror the paper's experimental configuration (Sec. V): extended layer size 20
-    with weight 0.5, SABRE-style reverse-traversal layout, and all NASSC optimizations
-    enabled.  ``noise_aware=True`` switches the routing distance matrix to the HA matrix
-    built from ``calibration`` (the SABRE+HA / NASSC+HA variants of Fig. 11).
+    The canonical call shape is ``transpile(circuit, target, options)``; individual
+    option fields may also be given as keyword overrides for one-off calls
+    (``transpile(circuit, target, level="O2")``).  Defaults mirror the paper's
+    experimental configuration (Sec. V): extended layer size 20 with weight 0.5,
+    SABRE-style reverse-traversal layout, all NASSC optimizations enabled, level ``O1``.
+
+    Passing a bare :class:`CouplingMap` — positionally or via the historical
+    ``coupling_map=`` keyword — plus ``calibration=``/``final_basis=`` is the deprecated
+    legacy form; it still works but emits a :class:`DeprecationWarning`.
     """
-    if routing not in ROUTING_METHODS:
-        raise TranspilerError(f"unknown routing method {routing!r}; expected one of {ROUTING_METHODS}")
-    if routing != "none" and coupling_map is None:
-        raise TranspilerError("a coupling map is required unless routing='none'")
-    if noise_aware and calibration is None:
-        raise TranspilerError("noise_aware=True requires calibration data")
+    if coupling_map is not None:
+        if target is not None:
+            raise TranspilerError("pass either target or the legacy coupling_map, not both")
+        target = coupling_map
+    resolved_target = _resolve_target(target, calibration, final_basis)
+    resolved_options = _resolve_options(
+        options,
+        {
+            "routing": routing,
+            "level": level,
+            "seed": seed,
+            "nassc_config": nassc_config,
+            "noise_aware": noise_aware,
+            "extended_set_size": extended_set_size,
+            "extended_set_weight": extended_set_weight,
+            "layout_iterations": layout_iterations,
+            "check": check,
+        },
+    )
 
     start = time.perf_counter()
-    manager = PassManager(_pre_routing_passes())
-
-    distance_matrix: Optional[np.ndarray] = None
-    if noise_aware and calibration is not None:
-        distance_matrix = noise_aware_distance_matrix(calibration)
-
-    if routing == "none":
-        manager.extend([SwapLowering(), *_post_routing_passes(final_basis)])
-    else:
-        if routing == "sabre":
-            router_cls = SabreSwapRouter
-            router_kwargs = {"distance_matrix": distance_matrix}
-            routing_pass = SabreRouting(
-                coupling_map,
-                extended_set_size=extended_set_size,
-                extended_set_weight=extended_set_weight,
-                seed=seed,
-                distance_matrix=distance_matrix,
-            )
-        else:
-            router_cls = NASSCSwapRouter
-            router_kwargs = {"distance_matrix": distance_matrix, "config": nassc_config}
-            routing_pass = NASSCRouting(
-                coupling_map,
-                config=nassc_config,
-                extended_set_size=extended_set_size,
-                extended_set_weight=extended_set_weight,
-                seed=seed,
-                distance_matrix=distance_matrix,
-            )
-        manager.append(
-            SabreLayoutSelection(
-                coupling_map,
-                iterations=layout_iterations,
-                seed=seed,
-                router_cls=router_cls,
-                router_kwargs=router_kwargs,
-            )
-        )
-        manager.append(routing_pass)
-        if routing == "nassc":
-            manager.append(CommuteSingleQubitsThroughSwap())
-        manager.append(SwapLowering(use_labels=(routing == "nassc")))
-        manager.extend(_post_routing_passes(final_basis))
-        if check:
-            manager.append(CheckMap(coupling_map))
-
+    manager = PipelineBuilder(resolved_target, resolved_options).build()
     compiled = manager.run(circuit)
     elapsed = time.perf_counter() - start
 
     props: PropertySet = manager.property_set
     return TranspileResult(
         circuit=compiled,
-        routing=routing,
-        coupling_map=coupling_map,
+        routing=resolved_options.routing,
+        level=resolved_options.level,
+        coupling_map=resolved_target.coupling_map,
         initial_layout=props.get("initial_layout", props.get("layout")),
         final_layout=props.get("final_layout"),
         num_swaps=props.get("num_swaps", 0),
@@ -267,17 +250,45 @@ def transpile(
     )
 
 
+def optimize_logical(circuit: QuantumCircuit, final_basis: str = "zsx") -> QuantumCircuit:
+    """Optimize a circuit without any routing (the Tables' "Original Circuit" column)."""
+    target = Target(final_basis=final_basis)
+    manager = PipelineBuilder(target, TranspileOptions(routing="none")).build()
+    return manager.run(circuit)
+
+
 def compare_routings(
     circuit: QuantumCircuit,
-    coupling_map: CouplingMap,
+    target: Union[Target, CouplingMap],
     *,
+    methods: Sequence[str] = ("sabre", "nassc"),
     seed: Optional[int] = None,
     nassc_config: Optional[NASSCConfig] = None,
+    calibration: Optional[DeviceCalibration] = None,
+    noise_aware: Optional[bool] = None,
+    level: Optional[Union[str, int]] = None,
+    options: Optional[TranspileOptions] = None,
 ) -> Dict[str, TranspileResult]:
-    """Run both pipelines on one circuit (convenience helper used by examples and tests)."""
+    """Run several routing methods on one circuit and return results keyed by method.
+
+    Every option — including ``calibration`` and ``noise_aware``, which earlier versions
+    silently dropped — is forwarded to each method, so Fig.-11 style noise-aware
+    comparisons work directly::
+
+        compare_routings(circuit, Target(coupling, calibration=calib), noise_aware=True)
+
+    As with :func:`transpile`, keyword arguments override the corresponding fields of an
+    ``options`` object when both are given.
+    """
+    if isinstance(target, CouplingMap):
+        target = Target(coupling_map=target, calibration=calibration)
+    elif calibration is not None:
+        raise TranspilerError("pass calibration on the Target, not as a kwarg")
+    base = _resolve_options(
+        options,
+        {"seed": seed, "nassc_config": nassc_config, "noise_aware": noise_aware, "level": level},
+    )
     return {
-        "sabre": transpile(circuit, coupling_map, routing="sabre", seed=seed),
-        "nassc": transpile(
-            circuit, coupling_map, routing="nassc", seed=seed, nassc_config=nassc_config
-        ),
+        method: transpile(circuit, target, base.replace(routing=method))
+        for method in methods
     }

@@ -103,10 +103,17 @@ class ComparisonRow:
 
 @dataclass
 class TableResult:
-    """All rows of one table plus the paper's geometric-mean aggregates."""
+    """All rows of one table plus the paper's geometric-mean aggregates.
+
+    ``baseline``/``routing`` name the two compared methods.  The row fields keep their
+    historical ``sabre_*``/``nassc_*`` names whatever the methods are: ``sabre_*`` holds
+    the baseline's numbers and ``nassc_*`` the treatment's.
+    """
 
     topology: str
     rows: List[ComparisonRow] = field(default_factory=list)
+    baseline: str = "sabre"
+    routing: str = "nassc"
 
     @property
     def geomean_delta_cx_total(self) -> float:
@@ -147,24 +154,28 @@ def _comparison_jobs(
     coupling_map: CouplingMap,
     seeds: Sequence[int],
     nassc_config: Optional[NASSCConfig],
+    *,
+    baseline: str = "sabre",
+    routing: str = "nassc",
+    level: str = "O1",
 ) -> List[TranspileJob]:
-    """The jobs of one table row: the no-routing baseline, then (sabre, nassc) per seed."""
+    """The jobs of one table row: the no-routing reference, then (baseline, routing) per seed."""
     # Serialise the circuit and device once per case; the per-seed jobs share the text.
     qasm_text = qasm.dumps(case.build())
     coupling = coupling_map.to_dict()
     config = nassc_config.as_tuple() if nassc_config else None
-    jobs = [TranspileJob(qasm=qasm_text, routing="none", name=f"{case.name}[orig]")]
+    jobs = [TranspileJob(qasm=qasm_text, routing="none", level=level, name=f"{case.name}[orig]")]
     for seed in seeds:
         jobs.append(
             TranspileJob(
-                qasm=qasm_text, routing="sabre", coupling_map=coupling, seed=seed,
-                name=f"{case.name}[sabre,s{seed}]",
+                qasm=qasm_text, routing=baseline, level=level, coupling_map=coupling,
+                seed=seed, name=f"{case.name}[{baseline},s{seed}]",
             )
         )
         jobs.append(
             TranspileJob(
-                qasm=qasm_text, routing="nassc", coupling_map=coupling, seed=seed,
-                nassc_config=config, name=f"{case.name}[nassc,s{seed}]",
+                qasm=qasm_text, routing=routing, level=level, coupling_map=coupling,
+                seed=seed, nassc_config=config, name=f"{case.name}[{routing},s{seed}]",
             )
         )
     return jobs
@@ -197,12 +208,17 @@ def compare_benchmark(
     *,
     seeds: Sequence[int] = (0,),
     nassc_config: Optional[NASSCConfig] = None,
+    baseline: str = "sabre",
+    routing: str = "nassc",
+    level: str = "O1",
     executor: Optional[BatchTranspiler] = None,
     workers: Optional[int] = None,
 ) -> ComparisonRow:
-    """Average SABRE-vs-NASSC comparison for one benchmark over the given seeds."""
+    """Average baseline-vs-treatment comparison for one benchmark over the given seeds."""
     executor = _resolve_executor(executor, workers)
-    jobs = _comparison_jobs(case, coupling_map, seeds, nassc_config)
+    jobs = _comparison_jobs(
+        case, coupling_map, seeds, nassc_config, baseline=baseline, routing=routing, level=level
+    )
     return _comparison_row(case, executor.results(jobs))
 
 
@@ -212,25 +228,35 @@ def run_table_experiment(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     seeds: Sequence[int] = (0,),
     num_device_qubits: int = 25,
+    baseline: str = "sabre",
+    routing: str = "nassc",
+    level: str = "O1",
     executor: Optional[BatchTranspiler] = None,
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> TableResult:
     """Regenerate one of Tables I-IV (the table is chosen by ``topology``).
 
-    All (benchmark, routing, seed) combinations are submitted as one job batch, so with
-    ``workers > 1`` the rows transpile concurrently and identical jobs are served from the
-    executor's content-addressed cache.
+    ``routing`` may name any registered routing method (the paper's tables compare the
+    default ``nassc`` against the ``sabre`` baseline).  All (benchmark, routing, seed)
+    combinations are submitted as one job batch, so with ``workers > 1`` the rows
+    transpile concurrently and identical jobs are served from the executor's
+    content-addressed cache.
     """
     coupling_map = get_topology(topology, num_device_qubits)
     if cases is None:
         cases = table_benchmarks(max_qubits=coupling_map.num_qubits)
     executor = _resolve_executor(executor, workers)
     eligible = [case for case in cases if case.num_qubits <= coupling_map.num_qubits]
-    job_lists = [_comparison_jobs(case, coupling_map, seeds, None) for case in eligible]
+    job_lists = [
+        _comparison_jobs(
+            case, coupling_map, seeds, None, baseline=baseline, routing=routing, level=level
+        )
+        for case in eligible
+    ]
     flat = [job for jobs in job_lists for job in jobs]
     outcomes = iter(executor.results(flat, progress=progress))
-    result = TableResult(topology=coupling_map.name)
+    result = TableResult(topology=coupling_map.name, baseline=baseline, routing=routing)
     for case, jobs in zip(eligible, job_lists):
         result.rows.append(_comparison_row(case, [next(outcomes) for _ in jobs]))
     return result
@@ -273,14 +299,15 @@ def run_optimization_ablation(
     cases: Optional[Sequence[BenchmarkCase]] = None,
     seeds: Sequence[int] = (0,),
     num_device_qubits: int = 25,
+    baseline: str = "sabre",
     executor: Optional[BatchTranspiler] = None,
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> List[AblationRow]:
     """Regenerate one panel of Figure 9 (best-of-8 combinations vs all-enabled).
 
-    Each benchmark contributes ``len(seeds) * 9`` jobs (SABRE plus the 8 NASSC
-    combinations), all submitted as one batch through the executor.
+    Each benchmark contributes ``len(seeds) * 9`` jobs (the baseline method plus the 8
+    NASSC combinations), all submitted as one batch through the executor.
     """
     coupling_map = get_topology(topology, num_device_qubits)
     if cases is None:
@@ -295,8 +322,8 @@ def run_optimization_ablation(
         qasm_text = qasm.dumps(case.build())
         jobs = [
             TranspileJob(
-                qasm=qasm_text, routing="sabre", coupling_map=coupling, seed=seed,
-                name=f"{case.name}[sabre,s{seed}]",
+                qasm=qasm_text, routing=baseline, coupling_map=coupling, seed=seed,
+                name=f"{case.name}[{baseline},s{seed}]",
             )
             for seed in seeds
         ]
@@ -341,7 +368,13 @@ class NoiseExperimentRow:
     success_rate: Dict[str, float] = field(default_factory=dict)
 
 
+#: Default Figure-11 variant keys: each base routing method plain and noise-aware (HA).
 NOISE_METHODS = ("sabre", "nassc", "sabre_ha", "nassc_ha")
+
+
+def noise_method_variants(methods: Sequence[str] = ("sabre", "nassc")) -> List[str]:
+    """Expand base routing-method names to the plain + ``_ha`` variant keys of Fig. 11."""
+    return [f"{base}{suffix}" for base in methods for suffix in ("", "_ha")]
 
 
 def run_noise_experiment(
@@ -351,6 +384,7 @@ def run_noise_experiment(
     seed: int = 0,
     calibration: Optional[DeviceCalibration] = None,
     realizations: int = 256,
+    methods: Sequence[str] = ("sabre", "nassc"),
     executor: Optional[BatchTranspiler] = None,
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
@@ -362,26 +396,30 @@ def run_noise_experiment(
     hold the logical qubits at the end of the routed circuit (the paper's definition of
     "correct output state").
 
-    The four routing variants of every benchmark are transpiled as one job batch through
-    the executor (the HA variants ship the calibration inside the job spec); the noisy
-    simulation itself stays in-process.
+    ``methods`` are base routing-method names from the registry; each is evaluated plain
+    and noise-aware (``<method>_ha``).  All routing variants of every benchmark are
+    transpiled as one job batch through the executor (the HA variants ship the
+    calibrated target inside the job spec); the noisy simulation itself stays
+    in-process.
     """
+    from ..hardware.target import Target
     from ..simulator.statevector import StatevectorSimulator
 
-    coupling_map = get_topology("montreal")
     calibration = calibration or fake_montreal_calibration()
+    target = Target(coupling_map=get_topology("montreal"), calibration=calibration)
     noise_model = NoiseModel.from_calibration(calibration)
     if cases is None:
         cases = noise_benchmarks()
     executor = _resolve_executor(executor, workers)
+    variant_keys = noise_method_variants(methods)
 
     circuits = [case.build() for case in cases]
-    coupling = coupling_map.to_dict()
+    coupling = target.coupling_map.to_dict()
     calibration_dict = calibration.to_dict()
     routing_jobs = [
         TranspileJob(
             qasm=qasm_text,
-            routing="sabre" if method.startswith("sabre") else "nassc",
+            routing=method[: -len("_ha")] if method.endswith("_ha") else method,
             coupling_map=coupling,
             seed=seed,
             calibration=calibration_dict if method.endswith("_ha") else None,
@@ -389,7 +427,7 @@ def run_noise_experiment(
             name=f"{case.name}[{method}]",
         )
         for case, qasm_text in zip(cases, (qasm.dumps(circuit) for circuit in circuits))
-        for method in NOISE_METHODS
+        for method in variant_keys
     ]
     routed_results = iter(executor.results(routing_jobs, progress=progress))
 
@@ -416,7 +454,7 @@ def run_noise_experiment(
         )
         expected = max(reference_counts, key=reference_counts.get)
 
-        for method in NOISE_METHODS:
+        for method in variant_keys:
             result = next(routed_results)
             # Measure the physical qubits holding each measured logical qubit at the end.
             measured_physical = [result.final_layout.physical(q) for q in logical_measured]

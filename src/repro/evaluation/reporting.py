@@ -19,7 +19,10 @@ def format_cnot_table(result: TableResult) -> str:
     header = ["benchmark", "qubits", "orig_cx", "sabre_cx", "sabre_add", "nassc_cx",
               "nassc_add", "dCX_total%", "dCX_add%", "t_ratio"]
     widths = [16, 6, 8, 9, 9, 9, 9, 10, 9, 8]
-    lines = [f"Added CNOT gates, Qiskit+SABRE vs Qiskit+NASSC on {result.topology}"]
+    lines = [
+        f"Added CNOT gates, Qiskit+{result.baseline.upper()} vs "
+        f"Qiskit+{result.routing.upper()} on {result.topology}"
+    ]
     lines.append(_format_row(header, widths))
     for row in result.rows:
         lines.append(_format_row([
@@ -41,7 +44,10 @@ def format_depth_table(result: TableResult) -> str:
     header = ["benchmark", "qubits", "orig_depth", "sabre_depth", "sabre_add",
               "nassc_depth", "nassc_add", "dD_total%", "dD_add%"]
     widths = [16, 6, 10, 11, 9, 11, 9, 9, 8]
-    lines = [f"Circuit depth, Qiskit+SABRE vs Qiskit+NASSC on {result.topology}"]
+    lines = [
+        f"Circuit depth, Qiskit+{result.baseline.upper()} vs "
+        f"Qiskit+{result.routing.upper()} on {result.topology}"
+    ]
     lines.append(_format_row(header, widths))
     for row in result.rows:
         lines.append(_format_row([
@@ -71,17 +77,22 @@ def format_ablation(rows: List[AblationRow], topology: str) -> str:
 
 
 def format_noise_experiment(rows: List[NoiseExperimentRow]) -> str:
-    """Render Figure 11: added CNOTs and success rate for the four routing variants."""
+    """Render Figure 11: added CNOTs and success rate per routing variant.
+
+    The variant columns are taken from the rows themselves, so experiments run with
+    non-default ``methods`` (e.g. a registered third-party router) render correctly.
+    """
+    methods = list(rows[0].added_cx) if rows else list(NOISE_METHODS)
     lines = ["Noise-model experiment (synthetic ibmq_montreal calibration)"]
-    header = ["benchmark", "orig_cx"] + [f"add_{m}" for m in NOISE_METHODS] + [
-        f"sr_{m}" for m in NOISE_METHODS
+    header = ["benchmark", "orig_cx"] + [f"add_{m}" for m in methods] + [
+        f"sr_{m}" for m in methods
     ]
-    widths = [16, 8] + [10] * len(NOISE_METHODS) + [9] * len(NOISE_METHODS)
+    widths = [16, 8] + [10] * len(methods) + [9] * len(methods)
     lines.append(_format_row(header, widths))
     for row in rows:
         values = [row.name, row.original_cx]
-        values += [f"{row.added_cx[m]:.0f}" for m in NOISE_METHODS]
-        values += [f"{row.success_rate[m]:.3f}" for m in NOISE_METHODS]
+        values += [f"{row.added_cx[m]:.0f}" for m in methods]
+        values += [f"{row.success_rate[m]:.3f}" for m in methods]
         lines.append(_format_row(values, widths))
     return "\n".join(lines)
 
@@ -90,6 +101,8 @@ def table_result_to_dict(result: TableResult) -> Dict:
     """JSON-safe form of a table experiment (rows plus the geometric-mean aggregates)."""
     return {
         "topology": result.topology,
+        "baseline": result.baseline,
+        "routing": result.routing,
         "rows": [
             {
                 "name": row.name,

@@ -16,6 +16,7 @@ from .noise_distance import (
     noise_aware_distance_matrix,
     swap_error_on_edge,
 )
+from .target import Target
 
 __all__ = [
     "CouplingMap",
@@ -32,4 +33,5 @@ __all__ = [
     "hop_distance_matrix",
     "noise_aware_distance_matrix",
     "swap_error_on_edge",
+    "Target",
 ]

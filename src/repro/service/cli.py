@@ -4,16 +4,20 @@ Subcommands
 -----------
 * ``transpile`` — compile one OpenQASM 2.0 file for a device; emits routed QASM and an
   optional metrics JSON.
-* ``table`` — regenerate a Tables I-IV style SABRE-vs-NASSC report through the batch
-  executor (text, CSV and JSON outputs).
+* ``table`` — regenerate a Tables I-IV style baseline-vs-treatment report through the
+  batch executor (text, CSV and JSON outputs).
 * ``ablation`` — regenerate a Figure 9 style optimization-combination panel.
 * ``noise`` — regenerate the Figure 11 noise/success-rate experiment.
+* ``methods`` — list the registered routing methods and preset optimization levels.
 * ``cache`` — inspect or clear an on-disk result cache directory.
 
-Every experiment subcommand accepts ``--workers N`` (process-pool fan-out) and
-``--cache-dir DIR`` (persistent content-addressed result cache); a warm rerun of the same
-command performs zero new transpile calls.  The default benchmark selection is the quick
-subset used by the benchmark harness; pass ``--full`` for the paper's complete lists.
+Routing choices everywhere are derived from the routing-method registry, so third-party
+methods registered via ``repro.transpiler.registry`` (or the ``REPRO_ROUTING_PLUGINS``
+environment variable) are selectable by name.  Every experiment subcommand accepts
+``--workers N`` (process-pool fan-out) and ``--cache-dir DIR`` (persistent
+content-addressed result cache); a warm rerun of the same command performs zero new
+transpile calls.  The default benchmark selection is the quick subset used by the
+benchmark harness; pass ``--full`` for the paper's complete lists.
 """
 
 from __future__ import annotations
@@ -27,9 +31,10 @@ from typing import List, Optional, Sequence
 from .. import __version__
 from ..benchlib.suite import benchmark_names, table_benchmarks
 from ..circuit import qasm
+from ..core.options import LEVEL_DESCRIPTIONS, OPTIMIZATION_LEVELS, TranspileOptions
 from ..exceptions import ReproError
-from ..hardware.calibration import synthetic_calibration
-from ..hardware.topologies import get_topology
+from ..hardware.target import Target
+from ..transpiler.registry import available_routings, registered_methods
 from .cache import ResultCache
 from .executor import BatchTranspiler
 from .jobs import JobOutcome, TranspileJob
@@ -67,10 +72,16 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--num-qubits", type=int, default=25,
                        help="device size for linear/grid/full topologies (default: 25)")
 
+    routings = available_routings()
+    routed = tuple(name for name in routings if name != "none")
+
     p = sub.add_parser("transpile", help="compile one OpenQASM 2.0 file for a device")
     p.add_argument("input", help="input OpenQASM 2.0 file ('-' for stdin)")
     add_device(p)
-    p.add_argument("--routing", "-r", default="nassc", choices=("none", "sabre", "nassc"))
+    p.add_argument("--routing", "-r", default="nassc", choices=routings,
+                   help="routing method (from the registry; default: nassc)")
+    p.add_argument("--level", "-O", default="O1", choices=OPTIMIZATION_LEVELS,
+                   help="preset optimization level (default: O1, the paper pipeline)")
     p.add_argument("--seed", type=int, default=0, help="routing seed (default: 0)")
     p.add_argument("--noise-aware", action="store_true",
                    help="use the HA distance matrix built from a synthetic calibration")
@@ -80,6 +91,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table", help="regenerate a Tables I-IV style report")
     add_device(p)
+    p.add_argument("--routing", "-r", default="nassc", choices=routed,
+                   help="treatment method compared against the baseline (default: nassc)")
+    p.add_argument("--baseline", default="sabre", choices=routed,
+                   help="baseline method (default: sabre)")
     p.add_argument("--seeds", type=int, nargs="+", default=[0],
                    help="routing seeds to average over (default: 0)")
     p.add_argument("--benchmarks", nargs="+", metavar="NAME",
@@ -93,6 +108,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("ablation", help="regenerate a Figure 9 style ablation panel")
     add_device(p)
+    p.add_argument("--baseline", default="sabre", choices=routed,
+                   help="baseline method the combinations are compared against (default: sabre)")
     p.add_argument("--seeds", type=int, nargs="+", default=[0])
     p.add_argument("--benchmarks", nargs="+", metavar="NAME")
     p.add_argument("--full", action="store_true")
@@ -100,12 +117,21 @@ def _build_parser() -> argparse.ArgumentParser:
     add_common(p)
 
     p = sub.add_parser("noise", help="regenerate the Figure 11 noise experiment")
+    p.add_argument("--methods", nargs="+", default=["sabre", "nassc"], choices=routed,
+                   metavar="METHOD",
+                   help="base routing methods, each run plain and noise-aware "
+                        f"(choices: {', '.join(routed)}; default: sabre nassc)")
     p.add_argument("--shots", type=int, default=2048)
     p.add_argument("--realizations", type=int, default=64)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--benchmarks", nargs="+", metavar="NAME")
     p.add_argument("--json", metavar="PATH")
     add_common(p)
+
+    sub.add_parser(
+        "methods",
+        help="list registered routing methods and preset optimization levels",
+    )
 
     p = sub.add_parser("cache", help="inspect or clear an on-disk result cache")
     p.add_argument("action", choices=("stats", "clear"))
@@ -177,16 +203,14 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
         circuit = qasm.load(args.input)
         circuit.name = os.path.splitext(os.path.basename(args.input))[0]
 
-    coupling = None if args.routing == "none" else get_topology(args.device, args.num_qubits)
-    calibration = synthetic_calibration(coupling) if args.noise_aware and coupling else None
-    job = TranspileJob.from_circuit(
-        circuit,
-        coupling,
-        routing=args.routing,
-        seed=args.seed,
-        calibration=calibration,
-        noise_aware=args.noise_aware,
+    if args.routing == "none":
+        target = Target()
+    else:
+        target = Target.from_topology(args.device, args.num_qubits, calibrated=args.noise_aware)
+    options = TranspileOptions(
+        routing=args.routing, level=args.level, seed=args.seed, noise_aware=args.noise_aware
     )
+    job = TranspileJob.from_circuit(circuit, target, options)
     executor = _make_executor(args)
     outcome = executor.run([job], progress=_progress_callback(args))[0]
     if not outcome.ok:
@@ -205,7 +229,8 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
             "fingerprint": outcome.fingerprint,
             "from_cache": outcome.from_cache,
             "routing": result.routing,
-            "device": coupling.name if coupling else None,
+            "level": result.level,
+            "device": target.coupling_map.name if target.coupling_map else None,
             "cx_count": result.cx_count,
             "depth": result.depth,
             "num_swaps": result.num_swaps,
@@ -236,6 +261,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
         cases=_selected_cases(args, DEFAULT_TABLE_NAMES),
         seeds=tuple(args.seeds),
         num_device_qubits=args.num_qubits,
+        baseline=args.baseline,
+        routing=args.routing,
         executor=executor,
         progress=_progress_callback(args),
     )
@@ -260,6 +287,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         cases=_selected_cases(args, DEFAULT_ABLATION_NAMES),
         seeds=tuple(args.seeds),
         num_device_qubits=args.num_qubits,
+        baseline=args.baseline,
         executor=executor,
         progress=_progress_callback(args),
     )
@@ -288,6 +316,7 @@ def _cmd_noise(args: argparse.Namespace) -> int:
         shots=args.shots,
         seed=args.seed,
         realizations=args.realizations,
+        methods=tuple(args.methods),
         executor=executor,
         progress=_progress_callback(args),
     )
@@ -295,6 +324,18 @@ def _cmd_noise(args: argparse.Namespace) -> int:
     if args.json:
         _write_text(args.json, json.dumps(noise_rows_to_dict(rows), indent=2))
     _print_stats(executor)
+    return 0
+
+
+def _cmd_methods(args: argparse.Namespace) -> int:
+    print("routing methods:")
+    for method in registered_methods():
+        origin = "builtin" if method.builtin else "plugin"
+        print(f"  {method.name:12s} [{origin}]  {method.description}")
+    print()
+    print("optimization levels:")
+    for level in OPTIMIZATION_LEVELS:
+        print(f"  {level:12s} {LEVEL_DESCRIPTIONS[level]}")
     return 0
 
 
@@ -319,6 +360,7 @@ _COMMANDS = {
     "table": _cmd_table,
     "ablation": _cmd_ablation,
     "noise": _cmd_noise,
+    "methods": _cmd_methods,
     "cache": _cmd_cache,
 }
 

@@ -1,12 +1,19 @@
 """Job specifications for the batch transpilation service.
 
 A :class:`TranspileJob` is a fully self-contained, JSON-serialisable description of one
-``transpile()`` call: the circuit (as OpenQASM 2.0 text), the device coupling map, the
-routing method and its configuration, and the seed.  Because the spec is pure data it can
-be shipped to worker processes, written to disk, and — crucially — content-addressed:
-:meth:`TranspileJob.fingerprint` hashes the canonical JSON form, so two jobs that would
-produce byte-identical results share one fingerprint regardless of where or when they were
-built.  The fingerprint is the key of the service's result cache.
+``transpile()`` call: the circuit (as OpenQASM 2.0 text), the device
+:class:`~repro.hardware.target.Target`, and the
+:class:`~repro.core.options.TranspileOptions`.  Because the spec is pure data it can be
+shipped to worker processes, written to disk, and — crucially — content-addressed:
+:meth:`TranspileJob.fingerprint` hashes the canonical JSON form built from the target's
+and the options' ``content_dict()``, so two jobs that would produce byte-identical
+results share one fingerprint regardless of where or when they were built.  The
+fingerprint is the key of the service's result cache.
+
+The job's routing method is validated against the routing registry at construction, so a
+typo'd or unregistered method fails before any work is scheduled; third-party methods
+registered via ``register_routing`` (or the ``REPRO_ROUTING_PLUGINS`` module path) pass
+the same validation and run through the same executor and cache.
 """
 
 from __future__ import annotations
@@ -14,32 +21,39 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..circuit import qasm
 from ..circuit.circuit import QuantumCircuit
 from ..core.nassc import NASSCConfig
+from ..core.options import TranspileOptions, normalize_level
 from ..core.pipeline import PIPELINE_VERSION, TranspileResult, transpile
 from ..hardware.calibration import DeviceCalibration
 from ..hardware.coupling import CouplingMap
+from ..hardware.target import Target
+from ..transpiler.registry import get_routing
 
-#: Bump when the job *schema* changes in a way that invalidates cached results.  The
-#: fingerprint additionally folds in :data:`repro.core.pipeline.PIPELINE_VERSION`, so
+#: Bump when the job *schema* changes in a way that invalidates cached results.  Version 3
+#: switched the canonical content to the Target/TranspileOptions ``content_dict()`` forms.
+#: The fingerprint additionally folds in :data:`repro.core.pipeline.PIPELINE_VERSION`, so
 #: pipeline refactors invalidate the cache without touching the service layer.
-FINGERPRINT_VERSION = 2
+FINGERPRINT_VERSION = 3
 
 
 @dataclass(frozen=True)
 class TranspileJob:
     """One unit of work for the batch transpiler (a single ``transpile()`` call).
 
-    All fields are plain JSON-compatible data; use :meth:`from_circuit` to build a job from
-    live objects.  ``name`` is a display label only and does not enter the fingerprint, so
-    identically-configured jobs share cache entries whatever they are called.
+    All fields are plain JSON-compatible data; use :meth:`from_circuit` to build a job
+    from live objects (it accepts a :class:`Target` + :class:`TranspileOptions` pair or
+    the legacy flat kwargs).  ``name`` is a display label only and does not enter the
+    fingerprint, so identically-configured jobs share cache entries whatever they are
+    called.
     """
 
     qasm: str
     routing: str = "sabre"
+    level: str = "O1"
     coupling_map: Optional[Dict] = None  # CouplingMap.to_dict() form
     seed: Optional[int] = None
     nassc_config: Optional[Tuple[bool, bool, bool]] = None
@@ -51,53 +65,122 @@ class TranspileJob:
     final_basis: str = "zsx"
     name: str = ""
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "level", normalize_level(self.level))
+        get_routing(self.routing)  # validate against the registry; raises TranspilerError
+
     # -- construction -------------------------------------------------------
 
     @classmethod
     def from_circuit(
         cls,
         circuit: QuantumCircuit,
-        coupling_map: Optional[CouplingMap] = None,
+        target: Union[Target, CouplingMap, None] = None,
+        options: Optional[TranspileOptions] = None,
         *,
-        routing: str = "sabre",
+        routing: Optional[str] = None,
+        level: Optional[str] = None,
         seed: Optional[int] = None,
         nassc_config: Optional[NASSCConfig] = None,
         calibration: Optional[DeviceCalibration] = None,
-        noise_aware: bool = False,
+        noise_aware: Optional[bool] = None,
         name: Optional[str] = None,
+        coupling_map: Optional[CouplingMap] = None,
         **kwargs,
     ) -> "TranspileJob":
-        """Build a job spec from live circuit/device objects (mirrors ``transpile()``)."""
+        """Build a job spec from live objects (mirrors ``transpile()``'s signature).
+
+        ``target`` may be a :class:`Target`, a bare :class:`CouplingMap` (legacy —
+        the historical ``coupling_map=`` keyword also still works), or ``None``;
+        keyword overrides win over the corresponding ``options`` fields.
+        """
+        if coupling_map is not None:
+            if target is not None:
+                raise TypeError("pass either target or the legacy coupling_map, not both")
+            target = coupling_map
+        if isinstance(target, Target):
+            if calibration is not None:
+                raise TypeError("pass calibration on the Target, not as a kwarg")
+            if "final_basis" in kwargs:
+                raise TypeError("pass final_basis on the Target, not as a kwarg")
+            device, device_calibration = target.coupling_map, target.calibration
+            final_basis = target.final_basis
+        else:
+            device, device_calibration = target, calibration
+            final_basis = kwargs.pop("final_basis", "zsx")
+
+        opts = options if options is not None else TranspileOptions()
+        overrides = {
+            key: value
+            for key, value in {
+                "routing": routing, "level": level, "seed": seed,
+                "nassc_config": nassc_config, "noise_aware": noise_aware,
+            }.items()
+            if value is not None
+        }
+        for knob in ("extended_set_size", "extended_set_weight", "layout_iterations"):
+            if knob in kwargs:
+                overrides[knob] = kwargs.pop(knob)
+        if overrides:
+            opts = opts.replace(**overrides)
+
         return cls(
             qasm=qasm.dumps(circuit),
-            routing=routing,
-            coupling_map=coupling_map.to_dict() if coupling_map else None,
-            seed=seed,
-            nassc_config=nassc_config.as_tuple() if nassc_config else None,
-            noise_aware=noise_aware,
-            calibration=calibration.to_dict() if calibration else None,
+            routing=opts.routing,
+            level=opts.level,
+            coupling_map=device.to_dict() if device else None,
+            seed=opts.seed,
+            nassc_config=opts.nassc_config.as_tuple() if opts.nassc_config else None,
+            noise_aware=opts.noise_aware,
+            calibration=device_calibration.to_dict() if device_calibration else None,
+            extended_set_size=opts.extended_set_size,
+            extended_set_weight=opts.extended_set_weight,
+            layout_iterations=opts.layout_iterations,
+            final_basis=final_basis,
             name=name if name is not None else (circuit.name or ""),
             **kwargs,
+        )
+
+    # -- live objects -------------------------------------------------------
+
+    def target(self) -> Target:
+        """The compilation target described by this job's device fields."""
+        return Target(
+            coupling_map=CouplingMap.from_dict(self.coupling_map) if self.coupling_map else None,
+            calibration=(
+                DeviceCalibration.from_dict(self.calibration) if self.calibration else None
+            ),
+            final_basis=self.final_basis,
+        )
+
+    def options(self) -> TranspileOptions:
+        """The compilation options described by this job's option fields."""
+        return TranspileOptions(
+            routing=self.routing,
+            level=self.level,
+            seed=self.seed,
+            nassc_config=NASSCConfig(*self.nassc_config) if self.nassc_config else None,
+            noise_aware=self.noise_aware,
+            extended_set_size=self.extended_set_size,
+            extended_set_weight=self.extended_set_weight,
+            layout_iterations=self.layout_iterations,
         )
 
     # -- content addressing -------------------------------------------------
 
     def content_dict(self) -> Dict:
-        """The canonical content of the job (everything that influences the result)."""
+        """The canonical content of the job (everything that influences the result).
+
+        The target's and the options' canonical dicts are the fingerprint input, so any
+        change to a device property (coupling map, calibration, output basis) or to a
+        compile option (method, level, seed, heuristic knobs) produces a new cache key.
+        """
         return {
             "version": FINGERPRINT_VERSION,
             "pipeline_version": PIPELINE_VERSION,
             "qasm": self.qasm,
-            "routing": self.routing,
-            "coupling_map": self.coupling_map,
-            "seed": self.seed,
-            "nassc_config": list(self.nassc_config) if self.nassc_config else None,
-            "noise_aware": self.noise_aware,
-            "calibration": self.calibration,
-            "extended_set_size": self.extended_set_size,
-            "extended_set_weight": self.extended_set_weight,
-            "layout_iterations": self.layout_iterations,
-            "final_basis": self.final_basis,
+            "target": self.target().content_dict(),
+            "options": self.options().content_dict(),
         }
 
     def fingerprint(self) -> str:
@@ -112,11 +195,22 @@ class TranspileJob:
     # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> Dict:
-        data = self.content_dict()
-        del data["version"]
-        del data["pipeline_version"]
-        data["name"] = self.name
-        return data
+        """Flat JSON form (kept schema-compatible with pre-Target job specs, plus ``level``)."""
+        return {
+            "qasm": self.qasm,
+            "routing": self.routing,
+            "level": self.level,
+            "coupling_map": self.coupling_map,
+            "seed": self.seed,
+            "nassc_config": list(self.nassc_config) if self.nassc_config else None,
+            "noise_aware": self.noise_aware,
+            "calibration": self.calibration,
+            "extended_set_size": self.extended_set_size,
+            "extended_set_weight": self.extended_set_weight,
+            "layout_iterations": self.layout_iterations,
+            "final_basis": self.final_basis,
+            "name": self.name,
+        }
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TranspileJob":
@@ -124,6 +218,7 @@ class TranspileJob:
         return cls(
             qasm=data["qasm"],
             routing=data.get("routing", "sabre"),
+            level=data.get("level", "O1"),
             coupling_map=data.get("coupling_map"),
             seed=data.get("seed"),
             nassc_config=tuple(nassc) if nassc else None,
@@ -149,24 +244,7 @@ class TranspileJob:
 
     def run(self) -> TranspileResult:
         """Execute the job in the current process and return the live result."""
-        coupling = CouplingMap.from_dict(self.coupling_map) if self.coupling_map else None
-        calibration = (
-            DeviceCalibration.from_dict(self.calibration) if self.calibration else None
-        )
-        config = NASSCConfig(*self.nassc_config) if self.nassc_config else None
-        return transpile(
-            self.build_circuit(),
-            coupling,
-            routing=self.routing,
-            seed=self.seed,
-            nassc_config=config,
-            calibration=calibration,
-            noise_aware=self.noise_aware,
-            extended_set_size=self.extended_set_size,
-            extended_set_weight=self.extended_set_weight,
-            layout_iterations=self.layout_iterations,
-            final_basis=self.final_basis,
-        )
+        return transpile(self.build_circuit(), self.target(), self.options())
 
 
 @dataclass(frozen=True)
@@ -227,12 +305,12 @@ class JobOutcome:
 
 def jobs_for_seeds(
     circuit: QuantumCircuit,
-    coupling_map: Optional[CouplingMap],
+    target: Union[Target, CouplingMap, None],
     seeds: Sequence[int],
     **kwargs,
 ) -> list:
     """Convenience fan-out: one job per seed (the paper averages over routing seeds)."""
     return [
-        TranspileJob.from_circuit(circuit, coupling_map, seed=seed, **kwargs)
+        TranspileJob.from_circuit(circuit, target, seed=seed, **kwargs)
         for seed in seeds
     ]

@@ -1,0 +1,119 @@
+"""Tests for the Target device description: immutability, round trips, lazy analysis."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.hardware import (
+    Target,
+    fake_montreal_calibration,
+    linear_coupling_map,
+    montreal_coupling_map,
+    noise_aware_distance_matrix,
+)
+
+
+class TestConstruction:
+    def test_name_and_qubits_derived_from_coupling(self):
+        target = Target(coupling_map=montreal_coupling_map())
+        assert target.name == "ibmq_montreal"
+        assert target.num_qubits == 27
+        assert target.has_coupling and not target.has_calibration
+
+    def test_abstract_target(self):
+        target = Target()
+        assert target.name == "abstract"
+        assert target.num_qubits is None
+        assert not target.has_coupling
+
+    def test_calibration_provides_coupling_map(self):
+        calibration = fake_montreal_calibration()
+        target = Target(calibration=calibration)
+        assert target.coupling_map is calibration.coupling_map
+        assert target.num_qubits == 27
+
+    def test_from_topology(self):
+        target = Target.from_topology("linear", 7, calibrated=True, final_basis="u")
+        assert target.num_qubits == 7
+        assert target.has_calibration
+        assert target.final_basis == "u"
+        # Deterministic synthetic calibration: same topology+seed, same data.
+        again = Target.from_topology("linear", 7, calibrated=True, final_basis="u")
+        assert target == again
+
+    def test_immutable(self):
+        target = Target(coupling_map=linear_coupling_map(5))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            target.final_basis = "u"
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            target.coupling_map = None
+
+
+class TestDerivedData:
+    def test_distance_matrix_requires_coupling(self):
+        with pytest.raises(ReproError):
+            Target().distance_matrix()
+
+    def test_noise_distance_requires_calibration(self):
+        with pytest.raises(ReproError):
+            Target(coupling_map=linear_coupling_map(5)).noise_distance_matrix()
+
+    def test_noise_distance_matches_standalone_builder(self):
+        calibration = fake_montreal_calibration()
+        target = Target(calibration=calibration)
+        np.testing.assert_allclose(
+            target.noise_distance_matrix(), noise_aware_distance_matrix(calibration)
+        )
+
+    def test_noise_distance_memoised(self):
+        target = Target(calibration=fake_montreal_calibration())
+        first = target.noise_distance_matrix()
+        assert target.noise_distance_matrix() is first
+
+
+class TestSerialization:
+    def test_round_trip_uncalibrated(self):
+        target = Target(coupling_map=linear_coupling_map(6), final_basis="u")
+        clone = Target.from_dict(json.loads(json.dumps(target.to_dict())))
+        assert clone == target
+        assert clone.fingerprint() == target.fingerprint()
+        assert clone.num_qubits == 6
+
+    def test_round_trip_calibrated(self):
+        target = Target.from_topology("montreal", calibrated=True)
+        clone = Target.from_dict(json.loads(json.dumps(target.to_dict())))
+        assert clone == target
+        assert clone.has_calibration
+        np.testing.assert_allclose(
+            clone.noise_distance_matrix(), target.noise_distance_matrix()
+        )
+
+    def test_fingerprint_sensitive_to_device_fields(self):
+        base = Target(coupling_map=linear_coupling_map(6))
+        assert base.fingerprint() != Target(coupling_map=linear_coupling_map(7)).fingerprint()
+        assert (
+            base.fingerprint()
+            != Target(coupling_map=linear_coupling_map(6), final_basis="u").fingerprint()
+        )
+        calibrated = Target.from_topology("linear", 6, calibrated=True)
+        assert base.fingerprint() != calibrated.fingerprint()
+
+    def test_display_name_not_part_of_content(self):
+        """`name` is display-only: it must not affect equality or the fingerprint."""
+        coupling = linear_coupling_map(6)
+        a = Target(coupling_map=coupling, name="devA")
+        b = Target(coupling_map=coupling, name="devB")
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+        assert "name" not in a.content_dict()
+        assert a.to_dict()["name"] == "devA"  # still serialised for display
+
+    def test_memoised_matrix_not_part_of_equality(self):
+        a = Target(calibration=fake_montreal_calibration())
+        b = Target(calibration=fake_montreal_calibration())
+        a.noise_distance_matrix()  # warm a's cache only
+        assert a == b
+        assert hash(a) == hash(b)

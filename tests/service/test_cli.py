@@ -96,6 +96,20 @@ class TestTableCommand:
         with pytest.raises(SystemExit):
             main(["table", "--benchmarks", "not_a_benchmark"])
 
+    def test_routing_choice_from_registry(self, capsys):
+        """--routing accepts any registered method; self-vs-self comparison yields 0%."""
+        code = main([
+            "table", "--device", "linear", "--num-qubits", "5",
+            "--benchmarks", "grover_n4", "--routing", "sabre", "--baseline", "sabre",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Qiskit+SABRE vs Qiskit+SABRE" in out
+
+    def test_unregistered_routing_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "--routing", "not_a_method"])
+
 
 class TestAblationCommand:
     def test_panel_regeneration(self, tmp_path, capsys):
@@ -119,6 +133,109 @@ class TestNoiseCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "sr_nassc" in out and "grover_n4" in out
+
+
+class TestMethodsCommand:
+    def test_lists_routings_and_levels(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("none", "sabre", "nassc"):
+            assert name in out
+        for level in ("O0", "O1", "O2", "O3"):
+            assert level in out
+        assert "builtin" in out
+
+    def test_lists_registered_plugin(self, capsys):
+        from repro.transpiler.registry import get_routing, register_routing, unregister_routing
+
+        def factory(target, options, distance_matrix=None):
+            return get_routing("sabre").factory(target, options, distance_matrix=distance_matrix)
+
+        register_routing("cli_listed_router", factory, description="cli plugin probe")
+        try:
+            assert main(["methods"]) == 0
+            out = capsys.readouterr().out
+            assert "cli_listed_router" in out and "plugin" in out
+        finally:
+            unregister_routing("cli_listed_router")
+
+
+class TestOptimizationLevelFlag:
+    def test_transpile_level_flag(self, tmp_path, capsys):
+        circuit = QuantumCircuit(3, name="lvl")
+        circuit.h(0)
+        circuit.ccx(0, 1, 2)
+        path = tmp_path / "lvl.qasm"
+        path.write_text(qasm.dumps(circuit))
+        metrics = tmp_path / "m.json"
+        code = main([
+            "transpile", str(path), "--device", "linear", "--num-qubits", "3",
+            "--routing", "sabre", "--level", "O0", "--out", "-", "--metrics", str(metrics),
+        ])
+        assert code == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["level"] == "O0"
+
+
+class TestCustomRouterThroughService:
+    """Acceptance: a router registered via register_routing works by name through the
+    CLI, the batch service, and the content-addressed cache."""
+
+    @staticmethod
+    def _register(name):
+        from repro.transpiler.registry import get_routing, register_routing
+
+        def factory(target, options, distance_matrix=None):
+            return get_routing("sabre").factory(target, options, distance_matrix=distance_matrix)
+
+        register_routing(name, factory, description="custom e2e router")
+
+    def test_cli_and_cache_roundtrip(self, tmp_path, capsys):
+        from repro.transpiler.registry import unregister_routing
+
+        self._register("custom_e2e")
+        try:
+            circuit = QuantumCircuit(3, name="custom")
+            circuit.h(0)
+            circuit.cx(0, 2)
+            path = tmp_path / "c.qasm"
+            path.write_text(qasm.dumps(circuit))
+            cache_dir = str(tmp_path / "cache")
+            argv = [
+                "transpile", str(path), "--device", "linear", "--num-qubits", "3",
+                "--routing", "custom_e2e", "--out", "-", "--cache-dir", cache_dir,
+            ]
+            assert main(argv) == 0
+            cold = capsys.readouterr()
+            assert "OPENQASM 2.0;" in cold.out
+            assert main(argv) == 0
+            warm = capsys.readouterr()
+            assert warm.out == cold.out
+            assert "0 misses" in warm.err
+        finally:
+            unregister_routing("custom_e2e")
+
+    def test_batch_executor_runs_custom_router(self):
+        from repro.service.jobs import TranspileJob
+        from repro.transpiler.registry import unregister_routing
+        from repro.hardware import linear_coupling_map
+
+        self._register("custom_batch")
+        try:
+            circuit = QuantumCircuit(3)
+            circuit.h(0)
+            circuit.cx(0, 2)
+            job = TranspileJob.from_circuit(
+                circuit, linear_coupling_map(3), routing="custom_batch", seed=0
+            )
+            executor = BatchTranspiler(max_workers=1)
+            first = executor.run([job])[0]
+            assert first.ok and not first.from_cache
+            second = executor.run([job])[0]
+            assert second.ok and second.from_cache
+            assert second.unwrap().cx_count == first.unwrap().cx_count
+        finally:
+            unregister_routing("custom_batch")
 
 
 class TestCacheCommand:

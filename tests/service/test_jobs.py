@@ -7,9 +7,10 @@ import sys
 
 import pytest
 
-from repro import QuantumCircuit, linear_coupling_map
+from repro import QuantumCircuit, Target, TranspileOptions, linear_coupling_map
 from repro.core.nassc import NASSCConfig
 from repro.core.pipeline import TranspileResult, transpile
+from repro.exceptions import TranspilerError
 from repro.hardware.calibration import fake_montreal_calibration
 from repro.hardware.topologies import montreal_coupling_map
 from repro.service.jobs import JobError, TranspileJob
@@ -122,6 +123,106 @@ class TestFingerprint:
         assert proc.stdout.strip() == job.fingerprint()
 
 
+class TestTargetOptionsFingerprint:
+    """The Target/TranspileOptions canonical dicts are the fingerprint input (v3 schema)."""
+
+    def test_target_options_equivalent_to_legacy_kwargs(self):
+        """A job built from a Target+options fingerprints like the flat legacy build."""
+        coupling = linear_coupling_map(5)
+        via_target = TranspileJob.from_circuit(
+            small_circuit(), Target(coupling_map=coupling),
+            TranspileOptions(routing="nassc", seed=3),
+        )
+        via_kwargs = TranspileJob.from_circuit(
+            small_circuit(), coupling, routing="nassc", seed=3
+        )
+        assert via_target.fingerprint() == via_kwargs.fingerprint()
+
+    def test_content_dict_nests_target_and_options(self):
+        job = TranspileJob.from_circuit(small_circuit(), linear_coupling_map(5), seed=0)
+        content = job.content_dict()
+        assert content["target"] == job.target().content_dict()
+        assert content["options"] == job.options().content_dict()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("level", "O2"),
+            ("final_basis", "u"),
+            ("extended_set_size", 10),
+            ("extended_set_weight", 0.75),
+            ("layout_iterations", 3),
+        ],
+    )
+    def test_option_and_target_field_changes_change_fingerprint(self, field, value):
+        coupling = linear_coupling_map(5)
+        base = TranspileJob.from_circuit(small_circuit(), coupling, seed=0)
+        import dataclasses
+
+        changed = dataclasses.replace(base, **{field: value})
+        assert base.fingerprint() != changed.fingerprint()
+
+    def test_adding_calibration_to_target_changes_fingerprint(self):
+        coupling = montreal_coupling_map()
+        plain = TranspileJob.from_circuit(small_circuit(), Target(coupling_map=coupling))
+        calibrated = TranspileJob.from_circuit(
+            small_circuit(),
+            Target(coupling_map=coupling, calibration=fake_montreal_calibration()),
+        )
+        assert plain.fingerprint() != calibrated.fingerprint()
+
+    def test_changed_options_miss_result_cache(self):
+        """End to end: an O1 cache entry is not served to an O2 job (and vice versa)."""
+        from repro.service.cache import ResultCache
+
+        coupling = linear_coupling_map(5)
+        o1 = TranspileJob.from_circuit(small_circuit(), coupling, routing="none", seed=0)
+        o2 = TranspileJob.from_circuit(
+            small_circuit(), coupling, routing="none", seed=0, level="O2"
+        )
+        cache = ResultCache()
+        cache.put(o1.fingerprint(), o1.run().to_dict())
+        assert cache.get(o1.fingerprint()) is not None
+        assert cache.get(o2.fingerprint()) is None
+
+    def test_legacy_coupling_map_keyword_still_accepted(self):
+        coupling = linear_coupling_map(5)
+        by_keyword = TranspileJob.from_circuit(
+            small_circuit(), coupling_map=coupling, routing="sabre", seed=0
+        )
+        positional = TranspileJob.from_circuit(small_circuit(), coupling, routing="sabre", seed=0)
+        assert by_keyword.fingerprint() == positional.fingerprint()
+        with pytest.raises(TypeError, match="not both"):
+            TranspileJob.from_circuit(
+                small_circuit(), Target(coupling_map=coupling), coupling_map=coupling
+            )
+
+    def test_final_basis_kwarg_with_target_rejected(self):
+        with pytest.raises(TypeError, match="on the Target"):
+            TranspileJob.from_circuit(
+                small_circuit(), Target(coupling_map=linear_coupling_map(5)), final_basis="u"
+            )
+
+    def test_unregistered_routing_rejected_at_construction(self):
+        with pytest.raises(TranspilerError, match="unknown routing method"):
+            TranspileJob(qasm="OPENQASM 2.0;", routing="not_registered")
+
+    def test_level_normalised_at_construction(self):
+        job = TranspileJob(qasm="OPENQASM 2.0;", routing="none", level=2)
+        assert job.level == "O2"
+
+    def test_job_run_honours_level(self):
+        coupling = linear_coupling_map(5)
+        o0 = TranspileJob.from_circuit(
+            small_circuit(), coupling, routing="sabre", seed=0, level="O0"
+        ).run()
+        o1 = TranspileJob.from_circuit(
+            small_circuit(), coupling, routing="sabre", seed=0, level="O1"
+        ).run()
+        assert o0.level == "O0" and o1.level == "O1"
+        assert o0.cx_count >= o1.cx_count
+
+
 class TestSerialization:
     def test_job_round_trip(self):
         coupling = montreal_coupling_map()
@@ -133,6 +234,24 @@ class TestSerialization:
         clone = TranspileJob.from_dict(json.loads(json.dumps(job.to_dict())))
         assert clone == job
         assert clone.fingerprint() == job.fingerprint()
+
+    def test_pre_target_flat_dict_still_loads(self):
+        """Job specs saved before the Target redesign (no ``level`` key) still load."""
+        coupling = linear_coupling_map(5)
+        legacy = TranspileJob.from_circuit(small_circuit(), coupling, routing="sabre", seed=1)
+        data = legacy.to_dict()
+        del data["level"]
+        clone = TranspileJob.from_dict(data)
+        assert clone.level == "O1"
+        assert clone.fingerprint() == legacy.fingerprint()
+
+    def test_target_built_from_job_round_trips(self):
+        target = Target(
+            coupling_map=montreal_coupling_map(), calibration=fake_montreal_calibration(),
+            final_basis="u",
+        )
+        job = TranspileJob.from_circuit(small_circuit(), target, noise_aware=True)
+        assert job.target() == target
 
     def test_job_error_round_trip(self):
         error = JobError("f" * 64, "job", "ValueError", "boom", "trace")
