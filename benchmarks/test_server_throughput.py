@@ -1,0 +1,123 @@
+"""Online server throughput: sustained jobs/sec over HTTP vs. the offline batch path.
+
+Boots a real :class:`repro.server.ReproServer` on an ephemeral port (thread pool — the
+comparison isolates the HTTP/queue/event-loop overhead, not fork cost), pushes the same
+job batch through (a) the offline :class:`BatchTranspiler` and (b) concurrent HTTP
+clients, and reports cold and warm-cache rates for both paths.  Results go to
+``benchmarks/results/server_throughput.{txt,json}``.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the batch to a few small jobs;
+``REPRO_BENCH_FULL=1`` scales it up.
+"""
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import ReproClient, Target, TranspileJob, TranspileOptions
+from repro.benchlib import table_benchmarks
+from repro.server import ReproServer
+from repro.service import BatchTranspiler, ResultCache
+
+from bench_config import FULL, RESULTS_DIR, save_report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("0", "", "false")
+BATCH_NAMES = (
+    ["grover_n4"] if SMOKE
+    else (["grover_n4", "grover_n6", "vqe_n8", "qpe_n9", "adder_n10"] if FULL
+          else ["grover_n4", "vqe_n8", "adder_n10"])
+)
+BATCH_SEEDS = (0,) if SMOKE else ((0, 1, 2) if FULL else (0, 1))
+WORKERS = 2 if SMOKE else 4
+CLIENT_THREADS = 2 if SMOKE else 4
+
+
+def build_jobs():
+    target = Target.from_topology("linear", 25)
+    jobs = []
+    for case in table_benchmarks(names=BATCH_NAMES):
+        circuit = case.build()
+        for routing in ("sabre", "nassc"):
+            for seed in BATCH_SEEDS:
+                jobs.append(
+                    TranspileJob.from_circuit(
+                        circuit, target, TranspileOptions(routing=routing, seed=seed),
+                        name=f"{case.name}[{routing},s{seed}]",
+                    )
+                )
+    return jobs
+
+
+def drive_server(url: str, jobs) -> float:
+    """Submit every job from concurrent client threads and wait for all results."""
+
+    def one(job):
+        client = ReproClient(url, timeout=600.0)
+        return client.submit_job(job).result(timeout=600.0)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        results = list(pool.map(one, jobs))
+    elapsed = time.perf_counter() - start
+    assert len(results) == len(jobs)
+    return len(jobs) / elapsed
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return build_jobs()
+
+
+@pytest.fixture(scope="module")
+def throughput_report(jobs):
+    lines = [f"Server vs offline throughput ({len(jobs)} jobs, linear_25, {WORKERS} workers)"]
+    rates = {}
+
+    executor = BatchTranspiler(max_workers=WORKERS, cache=ResultCache())
+    start = time.perf_counter()
+    outcomes = executor.run(jobs)
+    rates["offline_cold"] = len(jobs) / (time.perf_counter() - start)
+    assert all(outcome.ok for outcome in outcomes)
+    start = time.perf_counter()
+    executor.run(jobs)
+    rates["offline_warm"] = len(jobs) / (time.perf_counter() - start)
+
+    server = ReproServer(port=0, use_processes=False, max_workers=WORKERS)
+    with server.run_in_thread() as handle:
+        rates["server_cold"] = drive_server(handle.url, jobs)
+        rates["server_warm"] = drive_server(handle.url, jobs)
+        health = handle.client().healthz()
+        assert health["status"] == "ok"
+
+    for key in ("offline_cold", "server_cold", "offline_warm", "server_warm"):
+        lines.append(f"{key:13s}: {rates[key]:8.2f} jobs/sec")
+    lines.append(
+        f"HTTP overhead (cold): {rates['offline_cold'] / rates['server_cold']:.2f}x offline rate"
+    )
+    report = "\n".join(lines)
+    print("\n" + report)
+    save_report("server_throughput.txt", report)
+    payload = {"smoke": SMOKE, "full": FULL, "jobs": len(jobs), "workers": WORKERS,
+               "client_threads": CLIENT_THREADS, "rates": rates}
+    with open(os.path.join(RESULTS_DIR, "server_throughput.json"), "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2)
+    return rates
+
+
+def test_all_paths_complete(throughput_report):
+    assert set(throughput_report) == {
+        "offline_cold", "offline_warm", "server_cold", "server_warm"
+    }
+
+
+def test_warm_server_is_served_from_cache(throughput_report):
+    """A warm rerun through HTTP must beat the cold run (cache fast path end to end)."""
+    assert throughput_report["server_warm"] > throughput_report["server_cold"]
+
+
+def test_http_overhead_is_bounded(throughput_report):
+    """The online path must sustain at least a tenth of the offline cold rate."""
+    assert throughput_report["server_cold"] > 0.1 * throughput_report["offline_cold"]

@@ -8,6 +8,9 @@ Public API highlights
 * :mod:`repro.evaluation` — runners regenerating the paper's tables and figures.
 * :mod:`repro.service` — batch transpilation service (job specs, content-addressed
   result cache, parallel executor) and the ``python -m repro`` CLI.
+* :mod:`repro.server` / :mod:`repro.client` — online transpilation server
+  (``python -m repro serve``): asyncio HTTP job service with a priority queue, live
+  progress streaming and Prometheus metrics, plus the stdlib Python client.
 """
 
 from .circuit import DAGCircuit, Gate, Instruction, QuantumCircuit, qasm, random_circuit
@@ -29,6 +32,7 @@ from .hardware import (
     montreal_coupling_map,
     synthetic_calibration,
 )
+from .client import ReproClient, transpile_remote
 from .service import BatchTranspiler, ResultCache, TranspileJob
 from .simulator import NoiseModel, NoisySimulator, StatevectorSimulator
 from .synthesis import TwoQubitSynthesizer, cnot_count, weyl_coordinates
@@ -47,7 +51,7 @@ __all__ = [
     "compare_routings", "optimize_logical", "transpile",
     "CouplingMap", "Target", "fake_montreal_calibration", "grid_coupling_map",
     "linear_coupling_map", "montreal_coupling_map", "synthetic_calibration",
-    "BatchTranspiler", "ResultCache", "TranspileJob",
+    "BatchTranspiler", "ReproClient", "ResultCache", "TranspileJob", "transpile_remote",
     "NoiseModel", "NoisySimulator", "StatevectorSimulator",
     "TwoQubitSynthesizer", "cnot_count", "weyl_coordinates",
     "PipelineBuilder", "available_routings", "register_routing", "unregister_routing",

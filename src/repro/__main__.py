@@ -1,4 +1,10 @@
-"""``python -m repro`` — batch transpilation service CLI (see :mod:`repro.service.cli`)."""
+"""``python -m repro`` — transpilation service CLI (see :mod:`repro.service.cli`).
+
+Offline subcommands (``transpile``, ``table``, ``ablation``, ``noise``, ``cache``) run
+through the batch executor; ``serve`` starts the online HTTP job service
+(:mod:`repro.server`) and ``submit`` compiles through a running server via
+:mod:`repro.client`.
+"""
 
 import sys
 

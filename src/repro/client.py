@@ -1,0 +1,337 @@
+"""Python client of the online transpilation server (``python -m repro serve``).
+
+Stdlib-only (``http.client`` + ``json``): no requests, no aiohttp.  The client speaks
+the server's JSON API and converts payloads back into live objects, so a remote round
+trip is a drop-in for a local :func:`repro.transpile` call::
+
+    from repro.client import ReproClient
+
+    client = ReproClient("http://127.0.0.1:8000")
+    handle = client.submit(circuit, target, options)      # -> RemoteJob
+    result = handle.result(timeout=60)                    # -> TranspileResult
+
+Because submission builds the same :class:`~repro.service.TranspileJob` spec the batch
+layer uses, the *client-side* fingerprint equals the server-side (and offline) one —
+``handle.fingerprint`` can be compared against ``TranspileJob.fingerprint()`` to prove
+a remote result corresponds to a given local compile.
+
+``RemoteJob.events()`` iterates the server's chunked NDJSON stream of state
+transitions (queued → running → done, the terminal event carrying the pass-timing
+breakdown) as they happen.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+from urllib.parse import urlencode, urlsplit
+
+from .circuit.circuit import QuantumCircuit
+from .core.options import TranspileOptions
+from .core.pipeline import TranspileResult
+from .exceptions import ReproError
+from .hardware.coupling import CouplingMap
+from .hardware.target import Target
+from .service.jobs import TranspileJob
+
+
+class ServerError(ReproError):
+    """An error response from the transpilation server.
+
+    ``status`` is the HTTP code; for failed jobs, ``exc_type`` and ``traceback`` carry
+    the worker-side exception so remote failures are as debuggable as local ones.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 0,
+        exc_type: str = "",
+        traceback: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.exc_type = exc_type
+        self.traceback = traceback
+
+
+class JobFailed(ServerError):
+    """A job reached the ``failed`` state; carries the worker's traceback."""
+
+
+class JobCancelled(ServerError):
+    """A job was cancelled before producing a result."""
+
+
+class ReproClient:
+    """Synchronous HTTP client for the online transpilation service."""
+
+    def __init__(
+        self,
+        url: str = "http://127.0.0.1:8000",
+        *,
+        timeout: float = 60.0,
+        client_id: str = "",
+    ) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8000
+        self.timeout = timeout
+        self.client_id = client_id
+
+    # -- low-level transport --------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        status, body = self._raw_request(method, path, payload, timeout=timeout)
+        try:
+            data = json.loads(body.decode("utf-8")) if body else {}
+        except json.JSONDecodeError as exc:
+            raise ServerError(
+                f"server returned non-JSON body for {method} {path}", status=status
+            ) from exc
+        if status >= 400:
+            error = data.get("error", {}) if isinstance(data, dict) else {}
+            raise ServerError(
+                error.get("message", f"HTTP {status} for {method} {path}"), status=status
+            )
+        return data
+
+    def _raw_request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> "tuple[int, bytes]":
+        connection = HTTPConnection(
+            self.host, self.port, timeout=self.timeout if timeout is None else timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if self.client_id:
+                headers["X-Repro-Client"] = self.client_id
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        except (ConnectionError, OSError) as exc:
+            raise ServerError(
+                f"cannot reach transpilation server at http://{self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        circuit: Union[QuantumCircuit, str],
+        target: Union[Target, CouplingMap, None] = None,
+        options: Optional[TranspileOptions] = None,
+        *,
+        priority: int = 0,
+        name: Optional[str] = None,
+        **overrides,
+    ) -> "RemoteJob":
+        """Submit one compile (mirrors ``transpile()``'s signature); returns a handle.
+
+        ``circuit`` may be a live :class:`QuantumCircuit` or OpenQASM 2.0 text.  The
+        job spec — and therefore the fingerprint — is built locally, exactly as the
+        offline batch path would build it.
+        """
+        if isinstance(circuit, str):
+            from .circuit import qasm
+
+            circuit = qasm.loads(circuit)
+        job = TranspileJob.from_circuit(circuit, target, options, name=name, **overrides)
+        return self.submit_job(job, priority=priority)
+
+    def submit_job(self, job: TranspileJob, *, priority: int = 0) -> "RemoteJob":
+        """Submit a prepared :class:`TranspileJob` spec."""
+        payload: Dict = {"job": job.to_dict(), "priority": priority}
+        if self.client_id:
+            payload["client"] = self.client_id
+        data = self._request("POST", "/v1/jobs", payload)
+        return RemoteJob(self, data)
+
+    def submit_batch(
+        self, jobs: Sequence[TranspileJob], *, priority: int = 0
+    ) -> List["RemoteJob"]:
+        """Submit many jobs in one request (admitted atomically or rejected with 429)."""
+        payload: Dict = {"jobs": [{"job": job.to_dict()} for job in jobs], "priority": priority}
+        if self.client_id:
+            payload["client"] = self.client_id
+        data = self._request("POST", "/v1/batch", payload)
+        return [RemoteJob(self, entry) for entry in data.get("jobs", [])]
+
+    # -- job inspection -------------------------------------------------------
+
+    def job(self, job_id: str, *, wait: Optional[float] = None) -> Dict:
+        """The full status dict of a job; ``wait`` long-polls for a terminal state."""
+        path = f"/v1/jobs/{job_id}"
+        if wait is not None:
+            path += "?" + urlencode({"wait": wait})
+        timeout = None if wait is None else max(self.timeout, wait + 10.0)
+        return self._request("GET", path, timeout=timeout)
+
+    def jobs(self) -> List[Dict]:
+        """Summaries of every job the server currently remembers."""
+        return self._request("GET", "/v1/jobs").get("jobs", [])
+
+    def result(self, job_id: str, *, timeout: Optional[float] = 300.0) -> TranspileResult:
+        """Block until the job finishes and return its :class:`TranspileResult`.
+
+        Raises :class:`JobFailed` (with the worker traceback) or :class:`JobCancelled`
+        for unsuccessful terminal states, and :class:`ServerError` on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        status = self.job(job_id)
+        while status["state"] in ("queued", "running"):
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise ServerError(f"timed out waiting for job {job_id}")
+            step = 30.0 if remaining is None else max(0.1, min(30.0, remaining))
+            status = self.job(job_id, wait=step)
+        return self._result_from_status(status)
+
+    @staticmethod
+    def _result_from_status(status: Dict) -> TranspileResult:
+        state = status["state"]
+        if state == "failed":
+            error = status.get("error", {})
+            raise JobFailed(
+                f"job {status.get('id')} failed: "
+                f"{error.get('exc_type', 'Exception')}: {error.get('message', '')}",
+                exc_type=error.get("exc_type", ""),
+                traceback=error.get("traceback", ""),
+            )
+        if state == "cancelled":
+            raise JobCancelled(f"job {status.get('id')} was cancelled")
+        if state != "done":
+            raise ServerError(f"job {status.get('id')} is still {state}")
+        return TranspileResult.from_dict(status["result"])
+
+    def events(self, job_id: str) -> Iterator[Dict]:
+        """Stream the job's state transitions live (blocks until the terminal event).
+
+        Yields dicts of the form ``{"id", "state", "at", "detail"}``; the ``done``
+        event's detail includes the pass-timing breakdown.
+        """
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"X-Repro-Client": self.client_id} if self.client_id else {}
+            connection.request("GET", f"/v1/jobs/{job_id}/events", headers=headers)
+            response = connection.getresponse()
+            if response.status >= 400:
+                body = response.read()
+                try:
+                    message = json.loads(body)["error"]["message"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    message = f"HTTP {response.status}"
+                raise ServerError(message, status=response.status)
+            while True:
+                try:
+                    line = response.readline()
+                except (TimeoutError, OSError) as exc:
+                    # A long-running pass can leave the stream quiet past the socket
+                    # timeout; surface that as a ServerError, not a raw socket error.
+                    raise ServerError(
+                        f"event stream for job {job_id} stalled for more than "
+                        f"{self.timeout:.0f}s: {exc}"
+                    ) from exc
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; ``False`` when the job was already running/terminal."""
+        try:
+            data = self._request("POST", f"/v1/jobs/{job_id}/cancel")
+        except ServerError as exc:
+            if exc.status == 409:
+                return False
+            raise
+        return bool(data.get("cancelled", False))
+
+    # -- service metadata -----------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def targets(self) -> List[Dict]:
+        return self._request("GET", "/v1/targets").get("targets", [])
+
+    def methods(self) -> Dict:
+        return self._request("GET", "/v1/methods")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text page (parse with ``repro.server.parse_metric``)."""
+        status, body = self._raw_request("GET", "/metrics")
+        if status != 200:
+            raise ServerError(f"GET /metrics returned HTTP {status}", status=status)
+        return body.decode("utf-8")
+
+
+class RemoteJob:
+    """Handle to one submitted job: id, fingerprint, and result/event accessors."""
+
+    def __init__(self, client: ReproClient, summary: Dict) -> None:
+        self._client = client
+        self.id: str = summary["id"]
+        self.fingerprint: str = summary.get("fingerprint", "")
+        self.resubmitted: bool = bool(summary.get("resubmitted", False))
+        self._summary = summary
+
+    def status(self) -> Dict:
+        return self._client.job(self.id)
+
+    @property
+    def state(self) -> str:
+        return self.status()["state"]
+
+    def result(self, timeout: Optional[float] = 300.0) -> TranspileResult:
+        return self._client.result(self.id, timeout=timeout)
+
+    def events(self) -> Iterator[Dict]:
+        return self._client.events(self.id)
+
+    def cancel(self) -> bool:
+        return self._client.cancel(self.id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RemoteJob(id={self.id!r}, fingerprint={self.fingerprint[:12]!r}...)"
+
+
+def transpile_remote(
+    circuit: Union[QuantumCircuit, str],
+    target: Union[Target, CouplingMap, None] = None,
+    options: Optional[TranspileOptions] = None,
+    *,
+    url: str = "http://127.0.0.1:8000",
+    timeout: float = 300.0,
+    **overrides,
+) -> TranspileResult:
+    """One-shot convenience: submit, wait, and return the result (remote ``transpile``)."""
+    client = ReproClient(url)
+    handle = client.submit(circuit, target, options, **overrides)
+    return handle.result(timeout=timeout)

@@ -57,25 +57,43 @@ def heavy_hex_coupling_map(distance: int = 3) -> CouplingMap:
     raise NotImplementedError("only the 27-qubit heavy-hex (distance 3) lattice is provided")
 
 
-_TOPOLOGY_FACTORIES = {
-    "montreal": montreal_coupling_map,
-    "ibmq_montreal": montreal_coupling_map,
-    "linear": linear_coupling_map,
-    "grid": grid_coupling_map,
-    "full": None,  # needs an explicit qubit count
-}
+def _grid_for(num_qubits: int) -> CouplingMap:
+    side = max(2, int(round(num_qubits ** 0.5)))
+    return grid_coupling_map(side, side)
+
+
+#: The one table of named topologies: canonical name, aliases, build function, and the
+#: discovery metadata the server's ``GET /v1/targets`` endpoint serves.  Both
+#: :func:`get_topology` and :data:`TOPOLOGY_CATALOG` derive from it, so adding an entry
+#: here is the whole job of adding a topology.  ``sizable`` marks topologies that honour
+#: the ``num_qubits`` argument.
+_TOPOLOGIES: Tuple[dict, ...] = (
+    {"topology": "montreal", "aliases": ("ibmq_montreal",), "num_qubits": 27,
+     "sizable": False, "build": lambda n: montreal_coupling_map(),
+     "description": "IBMQ Montreal 27-qubit heavy-hex lattice"},
+    {"topology": "linear", "aliases": (), "num_qubits": 25,
+     "sizable": True, "build": linear_coupling_map,
+     "description": "linear nearest-neighbour chain"},
+    {"topology": "grid", "aliases": (), "num_qubits": 25,
+     "sizable": True, "build": _grid_for,
+     "description": "square 2D grid (side = round(sqrt(n)))"},
+    {"topology": "full", "aliases": ("fully_connected",), "num_qubits": 25,
+     "sizable": True, "build": fully_connected_coupling_map,
+     "description": "fully connected (no routing constraint)"},
+)
+
+#: JSON-safe discovery view of :data:`_TOPOLOGIES` (no build callables).
+TOPOLOGY_CATALOG: Tuple[dict, ...] = tuple(
+    {key: (list(value) if isinstance(value, tuple) else value)
+     for key, value in entry.items() if key != "build"}
+    for entry in _TOPOLOGIES
+)
 
 
 def get_topology(name: str, num_qubits: int = 25) -> CouplingMap:
     """Look up a topology by name: ``montreal``, ``linear``, ``grid`` or ``full``."""
     key = name.lower()
-    if key in ("montreal", "ibmq_montreal"):
-        return montreal_coupling_map()
-    if key == "linear":
-        return linear_coupling_map(num_qubits)
-    if key == "grid":
-        side = max(2, int(round(num_qubits ** 0.5)))
-        return grid_coupling_map(side, side)
-    if key in ("full", "fully_connected"):
-        return fully_connected_coupling_map(num_qubits)
+    for entry in _TOPOLOGIES:
+        if key == entry["topology"] or key in entry["aliases"]:
+            return entry["build"](num_qubits)
     raise ValueError(f"unknown topology {name!r}")

@@ -1,0 +1,700 @@
+"""The online transpilation server: asyncio HTTP front end over queue + runner.
+
+A deliberately dependency-free HTTP/1.1 implementation on ``asyncio.start_server``
+(the container ships no web framework), exposing the JSON API:
+
+===========================  ==========================================================
+``POST /v1/jobs``            submit one job (``{"job": {...}}`` flat dict, or
+                             ``{"qasm": ..., "target": ..., "options": ...}``); returns
+                             202 with the job id — or 200 immediately when the result
+                             cache already holds the fingerprint
+``POST /v1/batch``           submit many jobs atomically (all admitted or all 429)
+``GET /v1/jobs``             summary list of known jobs
+``GET /v1/jobs/{id}``        status/result; ``?wait=SECONDS`` long-polls for a terminal
+                             state
+``GET /v1/jobs/{id}/events`` chunked stream of state transitions (NDJSON), ending with
+                             the terminal event and its pass-timing breakdown
+``POST /v1/jobs/{id}/cancel`` cancel a queued job (``DELETE /v1/jobs/{id}`` is an alias)
+``GET /v1/targets``          named device topologies the server can build
+``GET /v1/methods``          routing methods (registry-derived) and optimization levels
+``GET /healthz``             liveness + queue/pool summary
+``GET /metrics``             Prometheus text format
+===========================  ==========================================================
+
+Admission control returns ``429 Too Many Requests`` with a ``Retry-After`` header once
+``queue_bound`` jobs are admitted and unfinished.  Failed jobs carry the worker's full
+traceback in their ``error`` object so a 500-class failure is actionable from the
+client.  ``stop()`` drains in-flight work before the loop exits (SIGTERM/SIGINT do the
+same under ``python -m repro serve``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .. import __version__
+from ..core.options import LEVEL_DESCRIPTIONS, OPTIMIZATION_LEVELS, TranspileOptions
+from ..exceptions import ReproError
+from ..hardware.target import Target
+from ..hardware.topologies import TOPOLOGY_CATALOG
+from ..service.cache import ResultCache
+from ..service.jobs import TranspileJob
+from ..transpiler.registry import registered_methods
+from .metrics import ServerMetrics
+from .queue import (
+    CANCELLED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobQueue,
+    JobRecord,
+    QueueFull,
+)
+from .runner import JobRunner
+
+#: Upper bound on request bodies (a batch of large QASM circuits fits comfortably).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+#: Cap on ``?wait=`` long-poll duration.
+MAX_WAIT_SECONDS = 120.0
+#: Blank-line keepalive cadence of the event stream — a transpile can sit silently
+#: between ``running`` and ``done`` for minutes, and idle clients time out otherwise.
+EVENTS_KEEPALIVE_SECONDS = 15.0
+
+_STATUS_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """Terminates request handling with a structured JSON error response."""
+
+    def __init__(self, status: int, message: str, **extra) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": {"status": status, "message": message, **extra}}
+        self.headers: Dict[str, str] = {}
+
+
+class Request:
+    """One parsed HTTP request (method, path, query, JSON body on demand)."""
+
+    def __init__(self, method: str, target: str, headers: Dict[str, str], body: bytes) -> None:
+        self.method = method
+        parts = urlsplit(target)
+        self.path = parts.path
+        self.query = {key: values[-1] for key, values in parse_qs(parts.query).items()}
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Dict:
+        if not self.body:
+            raise HTTPError(400, "request body must be a JSON object")
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, f"malformed JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise HTTPError(400, "request body must be a JSON object")
+        return data
+
+    @property
+    def client_id(self) -> str:
+        return self.headers.get("x-repro-client", "anonymous")
+
+
+class ReproServer:
+    """The HTTP job service: owns the queue, the runner, the cache, and the listener."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        *,
+        cache: Optional[ResultCache] = None,
+        cache_dir: Optional[str] = None,
+        queue_bound: int = 256,
+        history_limit: int = 1024,
+        concurrency: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        use_processes: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.cache = cache if cache is not None else ResultCache(directory=cache_dir)
+        self.queue = JobQueue(max_pending=queue_bound, history_limit=history_limit)
+        self.metrics = ServerMetrics()
+        self.runner = JobRunner(
+            self.queue,
+            self.cache,
+            concurrency=concurrency,
+            max_workers=max_workers,
+            use_processes=use_processes,
+            metrics=self.metrics,
+        )
+        self.started_at = time.time()
+        self.draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Created inside start(): on Python 3.9 an asyncio.Event built outside a
+        # running loop binds to the wrong loop.
+        self._stopped: Optional[asyncio.Event] = None
+        self._routes: List[Tuple[str, str, Callable[..., Awaitable[None]]]] = [
+            ("GET", "/healthz", self._handle_healthz),
+            ("GET", "/metrics", self._handle_metrics),
+            ("GET", "/v1/methods", self._handle_methods),
+            ("GET", "/v1/targets", self._handle_targets),
+            ("POST", "/v1/jobs", self._handle_submit),
+            ("POST", "/v1/batch", self._handle_batch),
+            ("GET", "/v1/jobs", self._handle_list_jobs),
+            ("GET", "/v1/jobs/{id}", self._handle_get_job),
+            ("GET", "/v1/jobs/{id}/events", self._handle_events),
+            ("POST", "/v1/jobs/{id}/cancel", self._handle_cancel),
+            ("DELETE", "/v1/jobs/{id}", self._handle_cancel),
+        ]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listener and start the runner; returns the bound (host, port)."""
+        if self._stopped is None:
+            self._stopped = asyncio.Event()
+        self.runner.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            family=socket.AF_INET, reuse_address=True,
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.port = bound[1]
+        return bound[0], bound[1]
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`stop` is called (used by ``python -m repro serve``)."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    async def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight jobs, stop the runner."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.runner.stop(drain=drain, timeout=timeout)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def run_in_thread(self) -> "ThreadedServer":
+        """Start this server in a dedicated background event-loop thread.
+
+        The one embedded-server harness shared by the test suite, the throughput
+        benchmark, and ``examples/remote_transpile.py`` — callers in a synchronous
+        world get a running server without owning an event loop::
+
+            with ReproServer(port=0, use_processes=False).run_in_thread() as handle:
+                result = handle.client().submit(circuit, target).result()
+        """
+        return ThreadedServer(self).start()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                await self._dispatch(request, writer)
+        except HTTPError as exc:
+            await self._write_json(writer, exc.status, exc.payload, headers=exc.headers)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - a broken handler must not kill the loop
+            try:
+                await self._write_json(
+                    writer, 500,
+                    {"error": {"status": 500, "message": f"{type(exc).__name__}: {exc}"}},
+                )
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[Request]:
+        try:
+            request_line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError) as exc:
+            raise HTTPError(400, f"request line too long: {exc}") from exc
+        if not request_line:
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split()
+        except ValueError as exc:
+            raise HTTPError(400, "malformed request line") from exc
+        headers: Dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError) as exc:
+                raise HTTPError(400, f"header line too long: {exc}") from exc
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError as exc:
+            raise HTTPError(400, f"invalid Content-Length {raw_length!r}") from exc
+        if length < 0:
+            raise HTTPError(400, f"invalid Content-Length {raw_length!r}")
+        if length > MAX_BODY_BYTES:
+            raise HTTPError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return Request(method.upper(), target, headers, body)
+
+    def _match(self, request: Request) -> Tuple[Callable, Dict[str, str], str]:
+        path_allowed: List[str] = []
+        for method, pattern, handler in self._routes:
+            params = _match_pattern(pattern, request.path)
+            if params is None:
+                continue
+            if method == request.method:
+                return handler, params, pattern
+            path_allowed.append(method)
+        if path_allowed:
+            error = HTTPError(405, f"method {request.method} not allowed for {request.path}")
+            error.headers["Allow"] = ", ".join(sorted(set(path_allowed)))
+            raise error
+        raise HTTPError(404, f"no route for {request.path}")
+
+    async def _dispatch(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        handler, params, pattern = self._match(request)
+        try:
+            await handler(request, writer, **params)
+            self.metrics.requests.inc(route=pattern, code="2xx")
+        except HTTPError as exc:
+            self.metrics.requests.inc(route=pattern, code=str(exc.status))
+            raise
+
+    # -- response writing -----------------------------------------------------
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        *,
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}; charset=utf-8",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+            f"Server: repro/{__version__}",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    async def _write_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict,
+        *,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        await self._write_response(writer, status, body, headers=headers)
+
+    # -- job construction -----------------------------------------------------
+
+    async def _job_from_payload(self, data: Dict) -> TranspileJob:
+        try:
+            if "job" in data:
+                if not isinstance(data["job"], dict):
+                    raise HTTPError(400, '"job" must be a flat TranspileJob dict')
+                return TranspileJob.from_dict(data["job"])
+            if "qasm" not in data:
+                raise HTTPError(400, 'submission needs either "job" or "qasm"')
+            qasm_text = data["qasm"]
+            if not isinstance(qasm_text, str) or "OPENQASM" not in qasm_text:
+                raise HTTPError(400, '"qasm" must be OpenQASM 2.0 source text')
+            target = _target_from_payload(data.get("target"))
+            options = (
+                TranspileOptions.from_dict(data["options"])
+                if isinstance(data.get("options"), dict)
+                else TranspileOptions()
+            )
+            return TranspileJob.from_spec(
+                qasm_text, target, options, name=str(data.get("name") or "")
+            )
+        except HTTPError:
+            raise
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            raise HTTPError(400, f"invalid job specification: {exc}") from exc
+
+    async def _admit(self, job: TranspileJob, *, client: str, priority: int) -> Tuple[JobRecord, str]:
+        """Admit one job; returns (record, disposition in {new, deduplicated, cached})."""
+        fingerprint = job.fingerprint()
+        payload = None
+        if self.queue.find_fingerprint(fingerprint) is None:
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(None, self.cache.get, fingerprint)
+        return self._admit_atomic(job, fingerprint, payload, client=client, priority=priority)
+
+    def _admit_atomic(
+        self,
+        job: TranspileJob,
+        fingerprint: str,
+        cached_payload,
+        *,
+        client: str,
+        priority: int,
+    ) -> Tuple[JobRecord, str]:
+        """The synchronous admission step — no awaits, so queue state cannot move
+        underneath it (callers may pre-check headroom for a whole batch)."""
+        if self.draining:
+            raise HTTPError(503, "server is draining; not accepting new jobs")
+        # Coalescing onto an in-flight twin takes precedence over the cache; the queue
+        # owns that check (and its dedup counter) inside submit().
+        if cached_payload is not None and self.queue.find_fingerprint(fingerprint) is None:
+            record = self.queue.admit_completed(
+                job, cached_payload, client=client, priority=priority, fingerprint=fingerprint
+            )
+            self.metrics.jobs_submitted.inc()
+            self.metrics.jobs_finished.inc(outcome="cached")
+            self.metrics.total_seconds.observe(record.finished_at - record.submitted_at)
+            return record, "cached"
+        try:
+            record, resubmitted = self.queue.submit(
+                job, client=client, priority=priority, fingerprint=fingerprint
+            )
+        except QueueFull as exc:
+            self.metrics.jobs_rejected.inc()
+            error = HTTPError(
+                429, str(exc), queue_depth=exc.depth, queue_bound=exc.bound,
+            )
+            error.headers["Retry-After"] = "1"
+            raise error from exc
+        if resubmitted:
+            self.metrics.jobs_deduplicated.inc()
+            return record, "deduplicated"
+        self.metrics.jobs_submitted.inc()
+        return record, "new"
+
+    @staticmethod
+    def _submit_summary(record: JobRecord, disposition: str) -> Dict:
+        return {
+            "id": record.id,
+            "fingerprint": record.fingerprint,
+            "state": record.state,
+            "from_cache": record.from_cache,
+            "resubmitted": disposition == "deduplicated",
+            "url": f"/v1/jobs/{record.id}",
+        }
+
+    # -- handlers -------------------------------------------------------------
+
+    async def _handle_submit(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        data = request.json()
+        job = await self._job_from_payload(data)
+        client = str(data.get("client") or request.client_id)
+        priority = _int_field(data, "priority", default=0)
+        record, disposition = await self._admit(job, client=client, priority=priority)
+        status = 200 if record.state not in (QUEUED, RUNNING) else 202
+        await self._write_json(writer, status, self._submit_summary(record, disposition))
+
+    async def _handle_batch(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        data = request.json()
+        specs = data.get("jobs")
+        if not isinstance(specs, list) or not specs:
+            raise HTTPError(400, '"jobs" must be a non-empty list of job specifications')
+        client = str(data.get("client") or request.client_id)
+        priority = _int_field(data, "priority", default=0)
+        jobs = []
+        for index, spec in enumerate(specs):
+            if not isinstance(spec, dict):
+                raise HTTPError(400, f"jobs[{index}] must be a JSON object")
+            jobs.append(await self._job_from_payload(spec))
+        # Phase 1 (awaits allowed): read the cache for every distinct fingerprint
+        # without touching queue state.
+        loop = asyncio.get_running_loop()
+        fingerprints = [job.fingerprint() for job in jobs]
+        cached: Dict[str, Dict] = {}
+        for fingerprint in dict.fromkeys(fingerprints):
+            payload = await loop.run_in_executor(None, self.cache.get, fingerprint)
+            if payload is not None:
+                cached[fingerprint] = payload
+        # Phase 2 (no awaits — atomic on the event loop): admit everything or nothing.
+        # Cache hits and jobs coalescing onto in-flight records consume no queue slot.
+        needed = len({
+            fingerprint
+            for fingerprint in fingerprints
+            if fingerprint not in cached and self.queue.find_fingerprint(fingerprint) is None
+        })
+        headroom = self.queue.max_pending - self.queue.admitted_depth()
+        if needed > headroom:
+            self.metrics.jobs_rejected.inc(amount=needed)
+            error = HTTPError(
+                429,
+                f"batch needs {needed} queue slots but only {headroom} remain",
+                queue_depth=self.queue.admitted_depth(),
+                queue_bound=self.queue.max_pending,
+            )
+            error.headers["Retry-After"] = "1"
+            raise error
+        submissions = []
+        for job, fingerprint in zip(jobs, fingerprints):
+            record, disposition = self._admit_atomic(
+                job, fingerprint, cached.get(fingerprint), client=client, priority=priority
+            )
+            submissions.append(self._submit_summary(record, disposition))
+        await self._write_json(writer, 202, {"jobs": submissions})
+
+    async def _handle_get_job(
+        self, request: Request, writer: asyncio.StreamWriter, id: str
+    ) -> None:
+        record = self._record_or_404(id)
+        wait = request.query.get("wait")
+        if wait is not None:
+            try:
+                timeout = min(float(wait), MAX_WAIT_SECONDS)
+            except ValueError as exc:
+                raise HTTPError(400, f"invalid wait value {wait!r}") from exc
+            await record.wait_terminal(timeout=timeout)
+        await self._write_json(writer, 200, record.to_dict())
+
+    async def _handle_list_jobs(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        records = [record.to_dict(include_result=False) for record in self.queue.records()]
+        await self._write_json(writer, 200, {"jobs": records, "count": len(records)})
+
+    async def _handle_events(
+        self, request: Request, writer: asyncio.StreamWriter, id: str
+    ) -> None:
+        record = self._record_or_404(id)
+        head = (
+            f"HTTP/1.1 200 OK\r\n"
+            f"Content-Type: application/x-ndjson; charset=utf-8\r\n"
+            f"Transfer-Encoding: chunked\r\nConnection: close\r\n"
+            f"Server: repro/{__version__}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+
+        async def send_chunk(data: bytes) -> None:
+            writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+            await writer.drain()
+
+        index = 0
+        terminal_sent = False
+        while not terminal_sent:
+            changed = record.change_event()  # capture BEFORE scanning the event list
+            while index < len(record.events):
+                event = record.events[index]
+                index += 1
+                await send_chunk(
+                    (json.dumps({"id": record.id, **event}) + "\n").encode("utf-8")
+                )
+                if event["state"] in TERMINAL_STATES:
+                    terminal_sent = True
+                    break
+            if terminal_sent:
+                break
+            try:
+                await asyncio.wait_for(changed.wait(), timeout=EVENTS_KEEPALIVE_SECONDS)
+            except asyncio.TimeoutError:
+                # Blank-line keepalive: clients skip empty lines; the traffic keeps
+                # their socket (and any intermediary) from timing out a healthy job.
+                await send_chunk(b"\n")
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    async def _handle_cancel(
+        self, request: Request, writer: asyncio.StreamWriter, id: str
+    ) -> None:
+        record = self._record_or_404(id)
+        was_queued = record.state == QUEUED
+        record = self.queue.cancel(record.id)
+        if record.state != CANCELLED:
+            # Raising keeps the request metrics honest (a returned 409 would be
+            # counted as a 2xx by _dispatch).
+            raise HTTPError(
+                409,
+                f"job {record.id} is {record.state} and cannot be cancelled",
+                state=record.state,
+                cancel_requested=record.cancel_requested,
+            )
+        if was_queued:
+            self.metrics.jobs_finished.inc(outcome="cancelled")
+            self.metrics.total_seconds.observe(record.finished_at - record.submitted_at)
+        payload = record.to_dict(include_result=False)
+        payload["cancelled"] = True
+        await self._write_json(writer, 200, payload)
+
+    async def _handle_healthz(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        payload = {
+            "status": "draining" if self.draining else "ok",
+            "version": __version__,
+            "uptime_seconds": time.time() - self.started_at,
+            "queue_depth": self.queue.pending_count(),
+            "in_flight": self.queue.in_flight,
+            "queue_bound": self.queue.max_pending,
+            "concurrency": self.runner.concurrency,
+            "pool": self.runner.pool_kind,
+            "cache": self.cache.stats.to_dict(),
+        }
+        await self._write_json(writer, 200, payload)
+
+    async def _handle_metrics(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        text = self.metrics.render(
+            queue_depth=self.queue.pending_count(),
+            in_flight=self.queue.in_flight,
+            cache_stats=self.cache.stats.to_dict(),
+        )
+        await self._write_response(
+            writer, 200, text.encode("utf-8"), content_type="text/plain; version=0.0.4"
+        )
+
+    async def _handle_methods(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        payload = {
+            "routing_methods": [
+                {
+                    "name": method.name,
+                    "description": method.description,
+                    "builtin": method.builtin,
+                    "requires_coupling": method.requires_coupling,
+                }
+                for method in registered_methods()
+            ],
+            "optimization_levels": [
+                {"name": level, "description": LEVEL_DESCRIPTIONS[level]}
+                for level in OPTIMIZATION_LEVELS
+            ],
+        }
+        await self._write_json(writer, 200, payload)
+
+    async def _handle_targets(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        await self._write_json(writer, 200, {"targets": list(TOPOLOGY_CATALOG)})
+
+    # -- helpers --------------------------------------------------------------
+
+    def _record_or_404(self, job_id: str) -> JobRecord:
+        record = self.queue.get(job_id)
+        if record is None:
+            raise HTTPError(404, f"unknown job id {job_id!r}")
+        return record
+
+
+class ThreadedServer:
+    """A :class:`ReproServer` running in its own thread + event loop (see
+    :meth:`ReproServer.run_in_thread`).  ``stop()`` performs the full graceful
+    shutdown, stops the loop, and joins the thread; usable as a context manager."""
+
+    def __init__(self, server: ReproServer) -> None:
+        self.server = server
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True, name="repro-server")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_forever()
+
+    def start(self) -> "ThreadedServer":
+        self._thread.start()
+        if not self._ready.wait(timeout=15):
+            raise RuntimeError("server thread failed to start within 15s")
+        return self
+
+    def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain=drain, timeout=timeout), self.loop
+        ).result(timeout=timeout + 15)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=15)
+        self.loop.close()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.server.port}"
+
+    def client(self, **kwargs):
+        """A :class:`repro.client.ReproClient` pointed at this server."""
+        from ..client import ReproClient  # lazy: keeps server importable without client
+
+        return ReproClient(self.url, **kwargs)
+
+    def __enter__(self) -> "ThreadedServer":
+        return self if self._ready.is_set() else self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def _match_pattern(pattern: str, path: str) -> Optional[Dict[str, str]]:
+    """Match ``/v1/jobs/{id}/events``-style patterns; returns captured params."""
+    pattern_parts = pattern.strip("/").split("/")
+    path_parts = path.strip("/").split("/")
+    if len(pattern_parts) != len(path_parts):
+        return None
+    params: Dict[str, str] = {}
+    for expected, actual in zip(pattern_parts, path_parts):
+        if expected.startswith("{") and expected.endswith("}"):
+            if not actual:
+                return None
+            params[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return params
+
+
+def _int_field(data: Dict, key: str, *, default: int) -> int:
+    value = data.get(key, default)
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise HTTPError(400, f'"{key}" must be an integer, got {value!r}') from exc
+
+
+def _target_from_payload(spec) -> Target:
+    """Build a Target from a submission's ``target`` field.
+
+    Accepts ``None`` (abstract all-to-all target), a ``Target.to_dict()`` form, or the
+    shorthand ``{"topology": "linear", "num_qubits": 25, "calibrated": false}``.
+    """
+    if spec is None:
+        return Target()
+    if not isinstance(spec, dict):
+        raise HTTPError(400, '"target" must be a JSON object or null')
+    if "topology" in spec:
+        return Target.from_topology(
+            str(spec["topology"]),
+            int(spec.get("num_qubits", 25)),
+            calibrated=bool(spec.get("calibrated", False)),
+            final_basis=str(spec.get("final_basis", "zsx")),
+        )
+    return Target.from_dict(spec)

@@ -1,0 +1,195 @@
+"""Prometheus-format metrics for the online transpilation server.
+
+A deliberately tiny instrumentation layer (the container has no ``prometheus_client``):
+counters, gauges and cumulative histograms that render themselves in the Prometheus text
+exposition format (version 0.0.4).  The server exposes one :class:`ServerMetrics`
+instance at ``GET /metrics``; gauges that mirror live queue state (depth, in-flight) are
+read from the queue at render time rather than being kept in sync event by event.
+
+Everything here runs on the event loop thread, so no locking is needed; the cache stats
+it re-exports (:class:`repro.service.cache.CacheStats`) carry their own lock inside
+:class:`~repro.service.cache.ResultCache`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds) — spans cache hits (~ms) to heavy circuits (minutes).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly number formatting (integers without the trailing ``.0``)."""
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(float(value))
+
+
+def _labels(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Histogram:
+    """A cumulative histogram in the Prometheus style (``_bucket``/``_sum``/``_count``)."""
+
+    def __init__(
+        self, name: str, help_text: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} histogram",
+        ]
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            cumulative = bucket_count  # counts are already cumulative per observe()
+            lines.append(f'{self.name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
+        lines.append(f"{self.name}_sum {_fmt(self.total)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+class Counter:
+    """A monotonically increasing counter, optionally with one label dimension."""
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = tuple(sorted(labels.items()))
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(tuple(sorted(labels.items())), 0.0)
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} counter",
+        ]
+        if not self._values:
+            lines.append(f"{self.name} 0")
+            return lines
+        for key in sorted(self._values):
+            lines.append(f"{self.name}{_labels(dict(key))} {_fmt(self._values[key])}")
+        return lines
+
+
+def gauge_lines(name: str, help_text: str, value: float) -> List[str]:
+    """Render one unlabelled gauge sample."""
+    return [
+        f"# HELP {name} {help_text}",
+        f"# TYPE {name} gauge",
+        f"{name} {_fmt(value)}",
+    ]
+
+
+class ServerMetrics:
+    """All server instrumentation, rendered as one Prometheus text page.
+
+    ``jobs_total`` counts terminal transitions by outcome label (``done`` / ``failed`` /
+    ``cancelled`` plus ``cached`` for cache-served completions); the latency histograms
+    split per stage: admission→start (queue wait), start→finish (run), and the
+    end-to-end submit→terminal wall time.
+    """
+
+    def __init__(self) -> None:
+        self.jobs_submitted = Counter(
+            "repro_jobs_submitted_total", "Jobs accepted for execution"
+        )
+        self.jobs_rejected = Counter(
+            "repro_jobs_rejected_total", "Submissions rejected by admission control (HTTP 429)"
+        )
+        self.jobs_deduplicated = Counter(
+            "repro_jobs_deduplicated_total",
+            "Submissions answered by an existing record with the same fingerprint",
+        )
+        self.jobs_finished = Counter(
+            "repro_jobs_finished_total", "Jobs that reached a terminal state, by outcome"
+        )
+        self.requests = Counter(
+            "repro_http_requests_total", "HTTP requests served, by route and status code"
+        )
+        self.queue_wait = Histogram(
+            "repro_job_queue_wait_seconds", "Time from admission to execution start"
+        )
+        self.run_seconds = Histogram(
+            "repro_job_run_seconds", "Execution time of jobs that ran (cache misses)"
+        )
+        self.total_seconds = Histogram(
+            "repro_job_total_seconds", "End-to-end time from submission to terminal state"
+        )
+
+    def render(self, *, queue_depth: int, in_flight: int, cache_stats: Dict) -> str:
+        lines: List[str] = []
+        lines += gauge_lines(
+            "repro_queue_depth", "Jobs admitted and waiting to start", queue_depth
+        )
+        lines += gauge_lines("repro_jobs_in_flight", "Jobs currently executing", in_flight)
+        for collector in (
+            self.jobs_submitted,
+            self.jobs_rejected,
+            self.jobs_deduplicated,
+            self.jobs_finished,
+            self.requests,
+        ):
+            lines += collector.render()
+        lines += gauge_lines(
+            "repro_cache_hit_rate",
+            "Result-cache hit rate since server start",
+            float(cache_stats.get("hit_rate", 0.0)),
+        )
+        for stat in ("hits", "disk_hits", "misses", "stores", "evictions"):
+            lines += gauge_lines(
+                f"repro_cache_{stat}",
+                f"Result-cache cumulative {stat.replace('_', ' ')}",
+                float(cache_stats.get(stat, 0)),
+            )
+        for histogram in (self.queue_wait, self.run_seconds, self.total_seconds):
+            lines += histogram.render()
+        return "\n".join(lines) + "\n"
+
+
+def parse_metric(text: str, name: str, labels: Optional[Dict[str, str]] = None) -> float:
+    """Read one sample back out of a Prometheus text page (used by tests and the CLI)."""
+    want = f"{name}{_labels(labels)}"
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) == 2 and parts[0] == want:
+            return float(parts[1])
+    raise KeyError(f"metric {want!r} not found")
+
+
+def iter_samples(text: str) -> Iterable[Tuple[str, float]]:
+    """Yield ``(sample_name, value)`` pairs from a Prometheus text page."""
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        sample, value = line.rsplit(" ", 1)
+        yield sample, float(value)

@@ -1,0 +1,179 @@
+"""Bridge between the server's asyncio queue and the batch transpiler's worker pool.
+
+:class:`JobRunner` owns N concurrent dispatcher tasks on the event loop.  Each one pops
+a :class:`~repro.server.queue.JobRecord`, re-checks the shared
+:class:`~repro.service.cache.ResultCache` (a duplicate submitted while its twin was
+running finishes here without recomputing), and otherwise ships the job's dict payload
+to :func:`repro.service.executor._execute_one` — the *same* worker entry point the
+offline :class:`~repro.service.BatchTranspiler` uses — inside a
+``concurrent.futures`` pool via ``loop.run_in_executor``, so transpilation never blocks
+the event loop and server results are bit-identical to the batch path for the same
+fingerprint.
+
+The pool is processes by default (CPU-bound passes), falling back to threads when
+process pools are unavailable (the same degradation the batch executor implements);
+``use_processes=False`` forces threads, which tests and the in-process example use to
+avoid fork costs.  Shutdown is graceful: ``stop()`` lets in-flight jobs finish (bounded
+by ``timeout``), cancels the dispatcher tasks, and tears the pool down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from ..service.cache import ResultCache
+from ..service.executor import _execute_one, default_worker_count
+from ..service.jobs import JobError
+from .metrics import ServerMetrics
+from .queue import JobQueue, JobRecord
+
+
+class JobRunner:
+    """Drains the job queue onto a worker pool, settling records as jobs finish."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        cache: ResultCache,
+        *,
+        concurrency: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        use_processes: bool = True,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        self.queue = queue
+        self.cache = cache
+        self.max_workers = default_worker_count() if max_workers is None else max(1, max_workers)
+        #: Dispatcher-task count — how many jobs may be in flight at once.  ``0`` accepts
+        #: submissions without ever running them (tests use this to pin jobs in QUEUED).
+        self.concurrency = self.max_workers if concurrency is None else max(0, concurrency)
+        self.use_processes = use_processes
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self._pool: Optional[Executor] = None
+        self._pool_kind = "none"
+        self._tasks: List[asyncio.Task] = []
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Create the pool and spawn the dispatcher tasks (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        if self.concurrency > 0:
+            self._pool = self._make_pool()
+        loop = asyncio.get_running_loop()
+        for index in range(self.concurrency):
+            self._tasks.append(loop.create_task(self._dispatch_loop(), name=f"repro-worker-{index}"))
+
+    def _make_pool(self) -> Executor:
+        if self.use_processes:
+            try:
+                pool = ProcessPoolExecutor(max_workers=self.max_workers)
+                self._pool_kind = "process"
+                return pool
+            except (OSError, PermissionError, RuntimeError):
+                pass  # fork disallowed in this environment — degrade to threads
+        self._pool_kind = "thread"
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-transpile"
+        )
+
+    async def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop dispatching: optionally wait for in-flight jobs, then tear down."""
+        if drain and self.queue.in_flight:
+            deadline = asyncio.get_running_loop().time() + timeout
+            while self.queue.in_flight and asyncio.get_running_loop().time() < deadline:
+                await asyncio.sleep(0.05)
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks.clear()
+        # No dispatcher will ever pop the backlog now — settle it so waiters wake up.
+        self.queue.fail_pending("server shut down before the job started")
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._started = False
+
+    @property
+    def pool_kind(self) -> str:
+        """``"process"``, ``"thread"``, or ``"none"`` — what executes the jobs."""
+        return self._pool_kind
+
+    # -- dispatch -------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            record = await self.queue.pop()
+            try:
+                await self._run_record(record)
+            except asyncio.CancelledError:
+                # Non-draining shutdown cancelled us mid-job: settle the record so
+                # long-pollers wake up instead of waiting on RUNNING forever.
+                if not record.is_terminal:
+                    record.fail(
+                        JobError(
+                            fingerprint=record.fingerprint,
+                            job_name=record.job.name,
+                            exc_type="ServerShutdown",
+                            message="server shut down before the job finished",
+                        )
+                    )
+                raise
+            except Exception as exc:  # noqa: BLE001 - a dispatcher must never die
+                if not record.is_terminal:
+                    record.fail(
+                        JobError(
+                            fingerprint=record.fingerprint,
+                            job_name=record.job.name,
+                            exc_type=type(exc).__name__,
+                            message=str(exc),
+                        )
+                    )
+            finally:
+                self.queue.task_done(record)
+                if record.is_terminal:
+                    self._observe_terminal(record)
+
+    async def _run_record(self, record: JobRecord) -> None:
+        loop = asyncio.get_running_loop()
+        # Re-check the shared cache off-loop: a twin job may have finished (or the batch
+        # CLI may have written this fingerprint) since this record was admitted.
+        payload = await loop.run_in_executor(None, self.cache.get, record.fingerprint)
+        if payload is not None:
+            record.finish(payload, from_cache=True)
+            return
+        raw = await loop.run_in_executor(self._pool, _execute_one, record.job.to_dict())
+        # Publish to the cache BEFORE settling the record: a client released by its
+        # long-poll may resubmit the same fingerprint immediately, and that submission
+        # must find the cache entry already in place.
+        if raw.get("ok", False):
+            await loop.run_in_executor(
+                None, self.cache.put, record.fingerprint, raw["result"]
+            )
+        self._settle(record, raw)
+
+    def _settle(self, record: JobRecord, raw: Dict) -> None:
+        if raw.get("ok", False):
+            record.finish(raw["result"], from_cache=False)
+        else:
+            record.fail(JobError.from_dict(raw["error"]))
+
+    def _observe_terminal(self, record: JobRecord) -> None:
+        metrics = self.metrics
+        outcome = record.state if not record.from_cache else "cached"
+        metrics.jobs_finished.inc(outcome=outcome)
+        if record.started_at is not None:
+            metrics.queue_wait.observe(record.started_at - record.submitted_at)
+            if record.finished_at is not None and not record.from_cache:
+                metrics.run_seconds.observe(record.finished_at - record.started_at)
+        if record.finished_at is not None:
+            metrics.total_seconds.observe(record.finished_at - record.submitted_at)

@@ -19,6 +19,7 @@ import json
 import os
 import sys
 import threading
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -161,7 +162,11 @@ class ResultCache:
         path = self._disk_path(fingerprint)
         if path is None:
             return
-        tmp_path = f"{path}.tmp.{os.getpid()}"
+        # The temp name must be unique per *writer*, not just per process: the server,
+        # the batch CLI, and multiple cache instances inside one process may all write
+        # the same fingerprint concurrently.  uuid4 makes collisions impossible, and
+        # os.replace keeps the publish atomic, so readers only ever see complete JSON.
+        tmp_path = f"{path}.tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}"
         try:
             os.makedirs(self.directory, exist_ok=True)
             with open(tmp_path, "w", encoding="utf-8") as handle:

@@ -9,7 +9,9 @@ Subcommands
 * ``ablation`` — regenerate a Figure 9 style optimization-combination panel.
 * ``noise`` — regenerate the Figure 11 noise/success-rate experiment.
 * ``methods`` — list the registered routing methods and preset optimization levels.
-* ``cache`` — inspect or clear an on-disk result cache directory.
+* ``cache`` — inspect or clear an on-disk result cache directory (``stats`` emits JSON).
+* ``serve`` — run the online transpilation server (:mod:`repro.server`).
+* ``submit`` — compile a circuit remotely through a running server (:mod:`repro.client`).
 
 Routing choices everywhere are derived from the routing-method registry, so third-party
 methods registered via ``repro.transpiler.registry`` (or the ``REPRO_ROUTING_PLUGINS``
@@ -137,6 +139,42 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=("stats", "clear"))
     p.add_argument("--cache-dir", default=os.environ.get(CACHE_DIR_ENV), required=False)
 
+    p = sub.add_parser("serve", help="run the online transpilation server")
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8000,
+                   help="bind port, 0 picks an ephemeral one (default: 8000)")
+    p.add_argument("--workers", "-w", type=int, default=None,
+                   help="worker pool size (default: all cores, capped at 8)")
+    p.add_argument("--concurrency", type=int, default=None,
+                   help="jobs in flight at once (default: the worker count)")
+    p.add_argument("--queue-bound", type=int, default=256,
+                   help="admission-control bound on queued+running jobs (default: 256)")
+    p.add_argument("--cache-dir", default=os.environ.get(CACHE_DIR_ENV),
+                   help="shared on-disk result cache directory (env: REPRO_CACHE_DIR)")
+    p.add_argument("--threads", action="store_true",
+                   help="execute jobs on threads instead of a process pool")
+
+    p = sub.add_parser("submit", help="compile a circuit through a running server")
+    p.add_argument("input", help="input OpenQASM 2.0 file ('-' for stdin)")
+    p.add_argument("--url", default=os.environ.get("REPRO_SERVER_URL", "http://127.0.0.1:8000"),
+                   help="server base URL (env: REPRO_SERVER_URL; default: http://127.0.0.1:8000)")
+    add_device(p)
+    p.add_argument("--routing", "-r", default="nassc", choices=routings,
+                   help="routing method (default: nassc)")
+    p.add_argument("--level", "-O", default="O1", choices=OPTIMIZATION_LEVELS,
+                   help="preset optimization level (default: O1)")
+    p.add_argument("--seed", type=int, default=0, help="routing seed (default: 0)")
+    p.add_argument("--noise-aware", action="store_true",
+                   help="use the HA distance matrix built from a synthetic calibration")
+    p.add_argument("--priority", type=int, default=0,
+                   help="scheduling priority, higher runs first (default: 0)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for the result (default: 300)")
+    p.add_argument("--events", action="store_true",
+                   help="stream job state transitions to stderr while waiting")
+    p.add_argument("--out", "-o", default="-", help="routed QASM output path (default: stdout)")
+    p.add_argument("--metrics", help="write a metrics JSON to this path ('-' for stdout)")
+
     return parser
 
 
@@ -192,17 +230,17 @@ def _write_text(path: Optional[str], text: str) -> None:
         handle.write(text if text.endswith("\n") else text + "\n")
 
 
-# ---------------------------------------------------------------------------
-# Subcommand implementations
-# ---------------------------------------------------------------------------
-
-def _cmd_transpile(args: argparse.Namespace) -> int:
+def _load_input_circuit(args: argparse.Namespace):
+    """Read the QASM input of `transpile`/`submit` ('-' = stdin, else a file path)."""
     if args.input == "-":
-        circuit = qasm.loads(sys.stdin.read())
-    else:
-        circuit = qasm.load(args.input)
-        circuit.name = os.path.splitext(os.path.basename(args.input))[0]
+        return qasm.loads(sys.stdin.read())
+    circuit = qasm.load(args.input)
+    circuit.name = os.path.splitext(os.path.basename(args.input))[0]
+    return circuit
 
+
+def _target_and_options(args: argparse.Namespace):
+    """Build the Target/Options pair shared by the local and remote compile commands."""
     if args.routing == "none":
         target = Target()
     else:
@@ -210,6 +248,44 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
     options = TranspileOptions(
         routing=args.routing, level=args.level, seed=args.seed, noise_aware=args.noise_aware
     )
+    return target, options
+
+
+def _emit_routed_qasm(args: argparse.Namespace, result) -> None:
+    routed_qasm = qasm.dumps(result.circuit)
+    if args.out == "-":
+        sys.stdout.write(routed_qasm)
+    else:
+        _write_text(args.out, routed_qasm)
+
+
+def _emit_metrics_json(args: argparse.Namespace, result, extra: dict) -> None:
+    if not args.metrics:
+        return
+    payload = dict(extra)
+    payload.update({
+        "routing": result.routing,
+        "level": result.level,
+        "cx_count": result.cx_count,
+        "depth": result.depth,
+        "num_swaps": result.num_swaps,
+        "transpile_time": result.transpile_time,
+        "count_ops": result.count_ops(),
+    })
+    text = json.dumps(payload, indent=2)
+    if args.metrics == "-":
+        print(text)
+    else:
+        _write_text(args.metrics, text)
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_transpile(args: argparse.Namespace) -> int:
+    circuit = _load_input_circuit(args)
+    target, options = _target_and_options(args)
     job = TranspileJob.from_circuit(circuit, target, options)
     executor = _make_executor(args)
     outcome = executor.run([job], progress=_progress_callback(args))[0]
@@ -218,30 +294,12 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
         return 1
 
     result = outcome.result
-    routed_qasm = qasm.dumps(result.circuit)
-    if args.out == "-":
-        sys.stdout.write(routed_qasm)
-    else:
-        _write_text(args.out, routed_qasm)
-
-    if args.metrics:
-        payload = {
-            "fingerprint": outcome.fingerprint,
-            "from_cache": outcome.from_cache,
-            "routing": result.routing,
-            "level": result.level,
-            "device": target.coupling_map.name if target.coupling_map else None,
-            "cx_count": result.cx_count,
-            "depth": result.depth,
-            "num_swaps": result.num_swaps,
-            "transpile_time": result.transpile_time,
-            "count_ops": result.count_ops(),
-        }
-        text = json.dumps(payload, indent=2)
-        if args.metrics == "-":
-            print(text)
-        else:
-            _write_text(args.metrics, text)
+    _emit_routed_qasm(args, result)
+    _emit_metrics_json(args, result, {
+        "fingerprint": outcome.fingerprint,
+        "from_cache": outcome.from_cache,
+        "device": target.coupling_map.name if target.coupling_map else None,
+    })
     _print_stats(executor)
     return 0
 
@@ -345,13 +403,104 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 1
     cache = ResultCache(directory=args.cache_dir)
     if args.action == "stats":
-        print(f"cache directory: {args.cache_dir}")
-        if not os.path.isdir(args.cache_dir):
-            print("(directory does not exist yet -- it is created on first use)")
-        print(f"entries on disk: {cache.disk_entries()}")
+        payload = {
+            "directory": args.cache_dir,
+            "exists": os.path.isdir(args.cache_dir),
+            "disk_entries": cache.disk_entries(),
+            "stats": cache.stats.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
         return 0
     removed = cache.clear()
     print(f"removed {removed} cached results from {args.cache_dir}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from ..server import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        queue_bound=args.queue_bound,
+        concurrency=args.concurrency,
+        max_workers=args.workers,
+        use_processes=not args.threads,
+    )
+
+    async def _main() -> None:
+        host, port = await server.start()
+        print(
+            f"repro server listening on http://{host}:{port} "
+            f"(pool={server.runner.pool_kind} x{server.runner.max_workers}, "
+            f"concurrency={server.runner.concurrency}, queue bound={args.queue_bound}, "
+            f"cache dir={args.cache_dir or 'memory only'})",
+            file=sys.stderr,
+        )
+        loop = asyncio.get_running_loop()
+
+        def _shutdown() -> None:
+            print("shutting down (draining in-flight jobs)...", file=sys.stderr)
+            loop.create_task(server.stop())
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - non-Unix
+                pass
+        await server.serve_forever()
+
+    asyncio.run(_main())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import threading
+
+    from ..client import JobCancelled, JobFailed, ReproClient, ServerError
+
+    circuit = _load_input_circuit(args)
+    target, options = _target_and_options(args)
+    client = ReproClient(args.url, timeout=max(60.0, args.timeout))
+    try:
+        handle = client.submit(circuit, target, options, priority=args.priority)
+        if args.events:
+            def _stream() -> None:
+                try:
+                    for event in handle.events():
+                        print(f"[{handle.id}] {event['state']}", file=sys.stderr)
+                except ServerError:  # pragma: no cover - stream is best-effort
+                    pass
+
+            watcher = threading.Thread(target=_stream, daemon=True)
+            watcher.start()
+        result = handle.result(timeout=args.timeout)
+    except (JobFailed, JobCancelled) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if getattr(exc, "traceback", ""):
+            print(exc.traceback, file=sys.stderr)
+        return 1
+    except ServerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    _emit_routed_qasm(args, result)
+    if args.metrics:
+        try:
+            from_cache = handle.status().get("from_cache", False)
+        except ServerError:
+            # The record may have been evicted (or the server restarted) after the
+            # result arrived; the metrics are still worth emitting.
+            from_cache = None
+        _emit_metrics_json(args, result, {
+            "job_id": handle.id,
+            "fingerprint": handle.fingerprint,
+            "from_cache": from_cache,
+        })
     return 0
 
 
@@ -362,6 +511,8 @@ _COMMANDS = {
     "noise": _cmd_noise,
     "methods": _cmd_methods,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -123,22 +123,54 @@ class TranspileJob:
                 overrides[knob] = kwargs.pop(knob)
         if overrides:
             opts = opts.replace(**overrides)
+        if kwargs:
+            raise TypeError(
+                f"from_circuit() got unexpected keyword arguments: {sorted(kwargs)}"
+            )
 
+        return cls.from_spec(
+            qasm.dumps(circuit),
+            Target(
+                coupling_map=device,
+                calibration=device_calibration,
+                final_basis=final_basis,
+            ),
+            opts,
+            name=name if name is not None else (circuit.name or ""),
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        qasm_text: str,
+        target: Optional[Target] = None,
+        options: Optional[TranspileOptions] = None,
+        *,
+        name: str = "",
+    ) -> "TranspileJob":
+        """Build a job from OpenQASM text plus a Target/Options pair (no circuit parse).
+
+        The one place that flattens ``Target`` + ``TranspileOptions`` into the job's
+        fields — the HTTP server's JSON submissions and any other text-first caller go
+        through here so they cannot drift from :meth:`from_circuit` (which delegates to
+        this after serialising the circuit).
+        """
+        target = target if target is not None else Target()
+        opts = options if options is not None else TranspileOptions()
         return cls(
-            qasm=qasm.dumps(circuit),
+            qasm=qasm_text,
             routing=opts.routing,
             level=opts.level,
-            coupling_map=device.to_dict() if device else None,
+            coupling_map=target.coupling_map.to_dict() if target.coupling_map else None,
             seed=opts.seed,
             nassc_config=opts.nassc_config.as_tuple() if opts.nassc_config else None,
             noise_aware=opts.noise_aware,
-            calibration=device_calibration.to_dict() if device_calibration else None,
+            calibration=target.calibration.to_dict() if target.calibration else None,
             extended_set_size=opts.extended_set_size,
             extended_set_weight=opts.extended_set_weight,
             layout_iterations=opts.layout_iterations,
-            final_basis=final_basis,
-            name=name if name is not None else (circuit.name or ""),
-            **kwargs,
+            final_basis=target.final_basis,
+            name=name,
         )
 
     # -- live objects -------------------------------------------------------
@@ -187,7 +219,9 @@ class TranspileJob:
         """Deterministic content hash of the job (sha256 over canonical JSON).
 
         Stable across processes and machines: the hash covers only the canonical JSON
-        serialisation, never object identities, and ``name`` is excluded.
+        serialisation, never object identities, and ``name`` is excluded.  Recomputed on
+        every call (it folds in the module-level pipeline version); hot paths such as
+        the server's admission flow compute it once and pass it along explicitly.
         """
         canonical = json.dumps(self.content_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

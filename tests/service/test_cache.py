@@ -102,6 +102,64 @@ class TestDiskCache:
             assert json.load(handle) == payload("json")
 
 
+class TestConcurrentWriters:
+    """The server and the batch CLI share one cache directory; writers must not corrupt
+    each other and readers must never observe partial JSON."""
+
+    def test_parallel_writers_to_same_directory(self, tmp_path):
+        import threading
+
+        directory = str(tmp_path / "cache")
+        caches = [ResultCache(directory=directory) for _ in range(4)]
+        errors = []
+
+        def writer(cache, worker):
+            try:
+                for round_index in range(25):
+                    # Half the keys are shared across every writer (maximum contention).
+                    key = f"shared-{round_index % 5}" if round_index % 2 else f"w{worker}-{round_index}"
+                    cache.put(key, payload(f"{worker}-{round_index}"))
+                    cache.get(key)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(cache, index))
+            for index, cache in enumerate(caches)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # No temp litter left behind, and every published file is complete JSON.
+        leftovers = [name for name in os.listdir(directory) if ".tmp." in name]
+        assert leftovers == []
+        for name in os.listdir(directory):
+            with open(os.path.join(directory, name), encoding="utf-8") as handle:
+                json.load(handle)  # raises on a partial write
+
+    def test_partial_json_on_disk_is_treated_as_miss(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        cache.put("whole", payload("whole"))
+        # Simulate a torn write from a non-atomic writer crashing mid-file.
+        with open(os.path.join(directory, "torn.json"), "w", encoding="utf-8") as handle:
+            handle.write('{"qasm": "// tru')
+        fresh = ResultCache(directory=directory)
+        assert fresh.get("torn") is None
+        assert fresh.stats.misses == 1
+        assert fresh.get("whole") == payload("whole")
+
+    def test_concurrent_instances_see_each_others_writes(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        writer = ResultCache(directory=directory)
+        reader = ResultCache(directory=directory)
+        writer.put("k", payload("shared"))
+        assert reader.get("k") == payload("shared")
+        assert reader.stats.disk_hits == 1
+
+
 class TestCacheStats:
     def test_to_dict_and_reset(self):
         stats = CacheStats(hits=2, disk_hits=1, misses=1, stores=3, evictions=1)

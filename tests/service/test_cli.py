@@ -240,13 +240,21 @@ class TestCustomRouterThroughService:
 
 class TestCacheCommand:
     def test_stats_and_clear(self, tmp_path, capsys):
+        import json as json_module
+
         cache_dir = str(tmp_path / "cache")
         ResultCache(directory=cache_dir).put("a" * 64, {"qasm": "//"})
         assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
-        assert "entries on disk: 1" in capsys.readouterr().out
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["directory"] == cache_dir
+        assert payload["exists"] is True
+        assert payload["disk_entries"] == 1
+        assert payload["stats"]["hit_rate"] == 0.0
         assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
         assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
-        assert "entries on disk: 0" in capsys.readouterr().out
+        out = capsys.readouterr().out  # "removed ..." line from clear, then the JSON
+        payload = json_module.loads(out[out.index("{"):])
+        assert payload["disk_entries"] == 0
 
     def test_cache_requires_directory(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)

@@ -107,6 +107,27 @@ class TestErrorIsolation:
         with pytest.raises(RuntimeError, match="too_big"):
             outcome.unwrap()
 
+    def test_worker_traceback_propagates_into_outcome(self):
+        """The full worker-side traceback must cross the process boundary so the online
+        server can return actionable error bodies, not bare exception class names."""
+        coupling = linear_coupling_map(5)
+        too_big = QuantumCircuit(6, name="too_big")
+        too_big.cx(0, 5)
+        bad = TranspileJob.from_circuit(too_big, coupling, routing="sabre", seed=0)
+        for workers in (1, 2):
+            # workers=2 with a multi-job batch forces the real process-pool path, so the
+            # traceback demonstrably crosses the process boundary.
+            outcome = BatchTranspiler(max_workers=workers).run(
+                [bad] + batch_jobs(seeds=(workers,))
+            )[0]
+            assert outcome.error is not None
+            assert "Traceback (most recent call last)" in outcome.error.traceback
+            assert "TranspilerError" in outcome.error.traceback
+            # and it survives the JSON round trip the server/cache layers use
+            from repro.service.jobs import JobError
+
+            assert JobError.from_dict(outcome.error.to_dict()).traceback == outcome.error.traceback
+
     def test_errors_are_not_cached(self):
         coupling = linear_coupling_map(5)
         too_big = QuantumCircuit(6)
