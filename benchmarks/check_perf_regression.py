@@ -1,0 +1,86 @@
+"""Perf smoke gate: fail when mean transpile wall-time regresses past a threshold.
+
+Compares a freshly generated pipeline-benchmark report against the committed
+``BENCH_transpile.json`` trajectory.  Only rows present in *both* reports — matched on
+``(device, benchmark, routing)`` — are compared, so the ``REPRO_BENCH_SMOKE=1`` subset CI
+runs is gated against the corresponding rows of the committed full grid.
+
+Exit code 1 on regression.  Usage (what the CI perf-smoke job runs)::
+
+    REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/test_pass_pipeline.py -q --benchmark-disable
+    python benchmarks/check_perf_regression.py \
+        --report benchmarks/results/bench_transpile_smoke.json \
+        --baseline BENCH_transpile.json --max-ratio 1.25
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_block(path, block):
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if block not in data:
+        raise SystemExit(f"{path} has no '{block}' block")
+    rows = {
+        (row["device"], row["benchmark"], row["routing"]): row
+        for row in data[block]["rows"]
+    }
+    return rows, data[block].get("calibration_seconds")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", required=True,
+                        help="freshly generated report JSON (uses its 'current' block)")
+    parser.add_argument("--baseline", default="BENCH_transpile.json",
+                        help="committed trajectory JSON (uses its 'current' block, i.e. "
+                             "the numbers recorded when the trajectory was last updated)")
+    parser.add_argument("--baseline-block", default="current", choices=["current", "baseline"],
+                        help="which block of the committed trajectory to gate against")
+    parser.add_argument("--max-ratio", type=float, default=1.25,
+                        help="fail when fresh mean exceeds committed mean by this factor")
+    parser.add_argument("--metric", default="wall_time_median",
+                        choices=["wall_time_median", "wall_time_mean"],
+                        help="per-row statistic to aggregate (median is robust to the "
+                             "cold-cache first repeat; run with REPRO_BENCH_REPEATS>=3)")
+    args = parser.parse_args(argv)
+
+    fresh, fresh_cal = load_block(args.report, "current")
+    committed, committed_cal = load_block(args.baseline, args.baseline_block)
+    shared = sorted(set(fresh) & set(committed))
+    if not shared:
+        raise SystemExit("no comparable (device, benchmark, routing) rows between reports")
+
+    # Rescale the committed numbers by relative machine speed: both reports embed the
+    # same deterministic CPU probe, so committed * (fresh_cal / committed_cal) is what
+    # the committed run would have measured on THIS machine.  Without calibration data
+    # the comparison falls back to raw wall-times (same-machine assumption).
+    scale = 1.0
+    if fresh_cal and committed_cal:
+        scale = fresh_cal / committed_cal
+        print(f"machine calibration: committed {committed_cal:.4f}s, fresh {fresh_cal:.4f}s "
+              f"-> scaling committed wall-times by {scale:.3f}")
+
+    fresh_mean = sum(fresh[key][args.metric] for key in shared) / len(shared)
+    committed_mean = scale * sum(committed[key][args.metric] for key in shared) / len(shared)
+    ratio = fresh_mean / committed_mean if committed_mean > 0 else float("inf")
+
+    print(f"compared {len(shared)} case(s):")
+    for key in shared:
+        print(f"  {'|'.join(key):40s} {scale * committed[key][args.metric]:.4f}s -> "
+              f"{fresh[key][args.metric]:.4f}s")
+    print(f"mean of per-case {args.metric}: committed {committed_mean:.4f}s, "
+          f"fresh {fresh_mean:.4f}s, ratio {ratio:.3f} (max allowed {args.max_ratio})")
+
+    if ratio > args.max_ratio:
+        print("PERF REGRESSION: mean transpile wall-time exceeded the allowed ratio",
+              file=sys.stderr)
+        return 1
+    print("perf smoke gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

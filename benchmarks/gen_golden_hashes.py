@@ -1,0 +1,87 @@
+"""Regenerate the pinned golden O1 output hashes used by the determinism regression test.
+
+Runs every registered built-in routing method over the quick table suite on the linear-25
+and Montreal devices at level O1 / seed 0, and pins the sha256 of the emitted OpenQASM
+text (plus the headline metrics) in ``tests/transpiler/golden_o1_hashes.json``.
+
+The pinned hashes are the mechanical bit-identity check for hot-path refactors: any
+change that alters compiled output — gate order, SWAP choice, rotation angles, labels —
+changes a hash.  Only regenerate (``python benchmarks/gen_golden_hashes.py``) when an
+output change is *intended*, and say so in the commit message.
+"""
+
+import hashlib
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Target, TranspileOptions, transpile  # noqa: E402
+from repro.benchlib import table_benchmarks  # noqa: E402
+from repro.circuit import qasm  # noqa: E402
+from repro.hardware import evaluation_devices  # noqa: E402
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "transpiler", "golden_o1_hashes.json"
+)
+
+BENCHMARK_NAMES = [
+    "grover_n4", "grover_n6", "vqe_n8", "bv_n19", "qft_n15", "qpe_n9", "adder_n10",
+]
+METHODS = ("none", "sabre", "nassc")
+SEED = 0
+
+
+def devices():
+    return evaluation_devices()
+
+
+def golden_cases():
+    """(case key, circuit factory, target, options) for every pinned case."""
+    cases = []
+    benches = {case.name: case for case in table_benchmarks(names=BENCHMARK_NAMES)}
+    for device_name, coupling in devices().items():
+        target = Target(coupling_map=coupling, name=device_name)
+        for bench_name in BENCHMARK_NAMES:
+            for method in METHODS:
+                key = f"{device_name}|{bench_name}|{method}"
+                options = TranspileOptions(routing=method, seed=SEED, level="O1")
+                cases.append((key, benches[bench_name], target, options))
+    return cases
+
+
+def compute_entry(case, target, options):
+    result = transpile(case.build(), target, options)
+    text = qasm.dumps(result.circuit)
+    return {
+        "qasm_sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+        "cx_count": result.cx_count,
+        "depth": result.depth,
+        "num_swaps": result.num_swaps,
+    }
+
+
+def main():
+    entries = {}
+    for key, case, target, options in golden_cases():
+        entries[key] = compute_entry(case, target, options)
+        print(f"{key:40s} {entries[key]['qasm_sha256'][:16]}  cx={entries[key]['cx_count']}")
+    payload = {
+        "description": "sha256 of qasm.dumps for O1 output; regenerate only when output "
+                       "changes are intended (benchmarks/gen_golden_hashes.py)",
+        "seed": SEED,
+        "level": "O1",
+        "benchmarks": BENCHMARK_NAMES,
+        "methods": list(METHODS),
+        "devices": list(devices()),
+        "cases": entries,
+    }
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(entries)} cases to {os.path.normpath(GOLDEN_PATH)}")
+
+
+if __name__ == "__main__":
+    main()

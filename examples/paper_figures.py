@@ -65,8 +65,7 @@ def figure4() -> None:
         circuit = QuantumCircuit(3)
         circuit.cx(1, 2)
         circuit.cx(0, 2)
-        swap_inst = circuit.swap(1, 2)
-        swap_inst.gate.label = f"ctrl:{orientation}"
+        circuit.swap(1, 2, label=f"ctrl:{orientation}")
         optimized = PassManager([SwapLowering(), CommutativeCancellation()]).run(circuit)
         print(f"  {label:28s}: {optimized.cx_count()} CNOTs after cancellation")
     print("  -> choosing the right control qubit for the SWAP's first CNOT saves two CNOTs.\n")

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,6 +38,22 @@ class Instruction:
                     f"gate '{self.gate.name}' acts on {self.gate.num_qubits} qubits, "
                     f"got {len(self.qubits)}"
                 )
+
+    @classmethod
+    def trusted(
+        cls, gate_obj: Gate, qubits: Tuple[int, ...], clbits: Tuple[int, ...] = ()
+    ) -> "Instruction":
+        """Validation-free constructor for already-checked operations.
+
+        Used on conversion hot paths (e.g. :meth:`DAGCircuit.to_circuit`) where the
+        operation was validated when it first entered the IR; ``qubits``/``clbits`` must
+        already be int tuples.
+        """
+        inst = object.__new__(cls)
+        object.__setattr__(inst, "gate", gate_obj)
+        object.__setattr__(inst, "qubits", qubits)
+        object.__setattr__(inst, "clbits", clbits)
+        return inst
 
     @property
     def name(self) -> str:
@@ -177,7 +194,9 @@ class QuantumCircuit:
     def rzz(self, theta: float, q0: int, q1: int) -> Instruction:
         return self._std("rzz", [q0, q1], theta)
 
-    def swap(self, q0: int, q1: int) -> Instruction:
+    def swap(self, q0: int, q1: int, label: Optional[str] = None) -> Instruction:
+        if label is not None:
+            return self.append(make_gate("swap").with_label(label), [q0, q1])
         return self._std("swap", [q0, q1])
 
     def iswap(self, q0: int, q1: int) -> Instruction:
@@ -385,8 +404,7 @@ class QuantumCircuit:
                 continue
             if not inst.gate.is_unitary:
                 raise CircuitError("circuit contains non-unitary operations")
-            expanded = expand_gate_matrix(inst.gate.matrix(), inst.qubits, self.num_qubits)
-            total = expanded @ total
+            total = expanded_gate_matrix(inst.gate, inst.qubits, self.num_qubits) @ total
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -425,3 +443,38 @@ def expand_gate_matrix(
         idx = np.array(indices)
         full[np.ix_(idx, idx)] = gate_matrix
     return full
+
+
+@lru_cache(maxsize=8192)
+def _expanded_named_matrix(
+    token: Tuple[str, Tuple[float, ...]], qubits: Tuple[int, ...], num_qubits: int
+) -> np.ndarray:
+    from .gates import _shared_matrix
+
+    expanded = expand_gate_matrix(_shared_matrix(*token), qubits, num_qubits)
+    expanded.flags.writeable = False
+    return expanded
+
+
+#: Largest Hilbert space whose embeddings are worth retaining: the commutation fallback
+#: works on joint supports of at most 4 qubits and block matrices live on 2.  Larger
+#: expansions (one-off ``to_matrix`` calls on big circuits) are megabytes each and would
+#: pin gigabytes in a long-lived process, so they stay transient.
+_EXPANDED_CACHE_MAX_QUBITS = 4
+
+
+def expanded_gate_matrix(gate_obj: Gate, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Embedded full-space matrix of a gate application, cached for small spaces.
+
+    Keyed on the gate's interned :attr:`~repro.circuit.gates.Gate.cache_token` plus the
+    wire pattern, so repeated expansions of identical applications (commutation checks,
+    block-matrix products) are served as shared **read-only** arrays.  Explicit-matrix
+    ``unitary`` gates have no content token, and embeddings beyond
+    ``_EXPANDED_CACHE_MAX_QUBITS`` qubits are too large to retain; both are expanded
+    uncached.
+    """
+    if gate_obj.name == "unitary" or num_qubits > _EXPANDED_CACHE_MAX_QUBITS:
+        return expand_gate_matrix(gate_obj.matrix(), qubits, num_qubits)
+    return _expanded_named_matrix(
+        gate_obj.cache_token, tuple(int(q) for q in qubits), num_qubits
+    )

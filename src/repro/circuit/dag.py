@@ -116,6 +116,10 @@ class DAGCircuit:
         for q in qubits:
             if not 0 <= q < self.num_qubits:
                 raise CircuitError(f"qubit {q} out of range")
+        if gate.is_unitary and gate.name != "barrier" and len(qubits) != gate.num_qubits:
+            raise CircuitError(
+                f"gate '{gate.name}' acts on {gate.num_qubits} qubits, got {len(qubits)}"
+            )
         node = DAGNode(self._next_id, gate, qubits, clbits)
         self._next_id += 1
         self.nodes[node.node_id] = node
@@ -367,11 +371,13 @@ class DAGCircuit:
         """
         circuit = QuantumCircuit(self.num_qubits, self.num_clbits, self.name)
         circuit.metadata = dict(self.metadata)
+        data = circuit.data
         for node in self.op_nodes():
             if node.name == "barrier":
                 circuit.barrier(*node.qubits)
             else:
-                circuit.append(node.gate.copy(), node.qubits, node.clbits)
+                # Every node was validated when it entered the DAG; skip re-validation.
+                data.append(Instruction.trusted(node.gate.copy(), node.qubits, node.clbits))
         return circuit
 
     def count_ops(self) -> Dict[str, int]:
@@ -406,6 +412,29 @@ class ExecutionFrontier:
             if nid in dag.nodes and self._remaining_pred[nid] == 0
         ]
         self._resolved: Set[int] = set()
+        self._version = 0
+        # The input DAG is never mutated while a frontier walks it, so the sorted
+        # successor lists (consulted once per resolve and per lookahead visit) are
+        # computed at most once per node.
+        self._sorted_successors: Dict[int, List[int]] = {}
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every :meth:`resolve`.
+
+        The lookahead result is a pure function of the resolved/front state, so callers
+        issuing several queries between resolutions (e.g. a router inserting a run of
+        SWAPs without executing a gate) can reuse the previous answer while the version
+        is unchanged.
+        """
+        return self._version
+
+    def _successors_sorted(self, node_id: int) -> List[int]:
+        cached = self._sorted_successors.get(node_id)
+        if cached is None:
+            cached = sorted(self.dag._successors[node_id])
+            self._sorted_successors[node_id] = cached
+        return cached
 
     @property
     def front(self) -> List[DAGNode]:
@@ -423,8 +452,9 @@ class ExecutionFrontier:
             raise CircuitError(f"node {node.node_id} is not currently executable")
         self._front.remove(node)
         self._resolved.add(node.node_id)
+        self._version += 1
         newly: List[DAGNode] = []
-        for succ_id in sorted(self.dag._successors[node.node_id]):
+        for succ_id in self._successors_sorted(node.node_id):
             if succ_id not in self._remaining_pred:
                 continue
             self._remaining_pred[succ_id] -= 1
@@ -443,7 +473,7 @@ class ExecutionFrontier:
         visited: Set[int] = {n.node_id for n in self._front}
         queue: List[int] = []
         for node in self._front:
-            queue.extend(sorted(self.dag._successors[node.node_id]))
+            queue.extend(self._successors_sorted(node.node_id))
         idx = 0
         while idx < len(queue) and len(result) < size:
             nid = queue[idx]
@@ -454,5 +484,5 @@ class ExecutionFrontier:
             node = self.dag.nodes[nid]
             if not two_qubit_only or node.is_two_qubit():
                 result.append(node)
-            queue.extend(sorted(self.dag._successors[nid]))
+            queue.extend(self._successors_sorted(nid))
         return result

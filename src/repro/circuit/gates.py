@@ -16,6 +16,7 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,7 +27,11 @@ from ..exceptions import CircuitError
 HARDWARE_BASIS: Tuple[str, ...] = ("id", "rz", "sx", "x", "cx")
 
 #: Self-inverse gates recognised by commutative cancellation (paper Sec. III).
-SELF_INVERSE_GATES: Tuple[str, ...] = ("h", "x", "y", "z", "cx", "cy", "cz", "swap", "ccx", "id")
+#: ``ch``/``cswap`` are self-inverse too (controls of self-inverse bases) and are listed
+#: so :meth:`Gate.inverse` covers every named gate.
+SELF_INVERSE_GATES: Tuple[str, ...] = (
+    "h", "x", "y", "z", "cx", "cy", "cz", "ch", "swap", "cswap", "ccx", "id",
+)
 
 _SQ2 = 1.0 / math.sqrt(2.0)
 
@@ -225,6 +230,12 @@ GATE_SPECS: Dict[str, GateSpec] = {
     "unitary": GateSpec("unitary", 0, 0, None),
 }
 
+#: Names of the non-unitary directive pseudo-gates (hot-path set lookup for
+#: :attr:`Gate.is_unitary`, which the routers and estimators query per gate per step).
+_DIRECTIVE_NAMES = frozenset(
+    name for name, spec in GATE_SPECS.items() if spec.is_directive
+)
+
 _INVERSE_NAME: Dict[str, str] = {
     "s": "sdg",
     "sdg": "s",
@@ -239,18 +250,47 @@ _NEGATE_PARAM_INVERSE = {
 }
 
 
+@lru_cache(maxsize=4096)
+def _shared_matrix(name: str, params: Tuple[float, ...]) -> np.ndarray:
+    """Shared per-``(name, params)`` matrix cache (read-only arrays).
+
+    Every :meth:`Gate.matrix` call for a named gate is served from here, so synthesis,
+    commutation checks and the simulator stop re-allocating identical 2x2/4x4 arrays.
+    The arrays are marked non-writeable: callers that need a private mutable copy must
+    take one explicitly.
+    """
+    matrix = GATE_SPECS[name].matrix(params)
+    matrix.flags.writeable = False
+    return matrix
+
+
 @dataclass
 class Gate:
     """A concrete gate: a named operation with bound parameters.
 
     ``matrix`` is available for every unitary gate.  Gates named ``unitary`` carry an
     explicit matrix (produced by the synthesis passes) instead of a formula.
+
+    Parameterless standard gates built through :func:`gate` are *interned flyweights*:
+    ``gate("x") is gate("x")``.  Interned instances are immutable (attribute assignment
+    raises) and :meth:`copy` returns the instance itself.
     """
 
     name: str
     params: Tuple[float, ...] = ()
     _matrix: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
     label: Optional[str] = None
+
+    #: Class-level defaults so instances stay mutable during ``__init__``; interned
+    #: singletons flip ``_interned`` (via ``object.__setattr__``) after construction.
+    _interned = False
+
+    def __setattr__(self, key: str, value) -> None:
+        if self._interned:
+            raise CircuitError(
+                f"interned gate '{self.name}' is immutable; build a fresh Gate instead"
+            )
+        object.__setattr__(self, key, value)
 
     def __post_init__(self) -> None:
         if self.name not in GATE_SPECS:
@@ -285,23 +325,43 @@ class Gate:
 
     @property
     def is_directive(self) -> bool:
-        return self.spec.is_directive
+        return self.name in _DIRECTIVE_NAMES
 
     @property
     def is_unitary(self) -> bool:
-        return not self.spec.is_directive
+        return self.name not in _DIRECTIVE_NAMES
 
     @property
     def is_self_inverse(self) -> bool:
         return self.name in SELF_INVERSE_GATES
 
+    @property
+    def cache_token(self) -> Tuple[str, Tuple[float, ...]]:
+        """Stable identity key for memoisation tables keyed on gate content.
+
+        Computed once per instance (and once *ever* for interned flyweights); callers
+        that used to rebuild ``(name, rounded params)`` tuples per lookup should key on
+        this instead.  Explicit-matrix ``unitary`` gates have no content token and raise.
+        """
+        token = self.__dict__.get("_token")
+        if token is None:
+            if self.name == "unitary":
+                raise CircuitError("explicit-matrix 'unitary' gates have no cache token")
+            token = (self.name, self.params)
+            object.__setattr__(self, "_token", token)
+        return token
+
     # -- matrices and inverses ----------------------------------------------
 
     def matrix(self) -> np.ndarray:
-        """Unitary matrix of the gate (little-endian qubit ordering)."""
+        """Unitary matrix of the gate (little-endian qubit ordering).
+
+        Named gates are served from the shared per-``(name, params)`` cache and are
+        **read-only**; take ``.copy()`` for a private mutable array.
+        """
         if self.name == "unitary":
             return self._matrix.copy()
-        return self.spec.matrix(self.params)
+        return _shared_matrix(self.name, self.params)
 
     def inverse(self) -> "Gate":
         """Return a gate implementing the inverse unitary."""
@@ -310,9 +370,9 @@ class Gate:
         if self.name == "unitary":
             return Gate("unitary", (), self._matrix.conj().T)
         if self.name in SELF_INVERSE_GATES:
-            return Gate(self.name, self.params)
+            return gate(self.name, *self.params)
         if self.name in _INVERSE_NAME:
-            return Gate(_INVERSE_NAME[self.name], ())
+            return gate(_INVERSE_NAME[self.name])
         if self.name in _NEGATE_PARAM_INVERSE:
             return Gate(self.name, tuple(-p for p in self.params))
         if self.name in ("u", "u3"):
@@ -326,8 +386,20 @@ class Gate:
         raise CircuitError(f"no inverse rule for gate '{self.name}'")
 
     def copy(self) -> "Gate":
+        if self._interned:
+            # Flyweights are immutable, so sharing the instance is always safe.
+            return self
         mat = None if self._matrix is None else self._matrix.copy()
         return Gate(self.name, self.params, mat, self.label)
+
+    def with_label(self, label: Optional[str]) -> "Gate":
+        """A fresh (non-interned) instance of this gate carrying ``label``.
+
+        The replacement for mutating ``gate.label`` in place, which interned flyweights
+        forbid.
+        """
+        mat = None if self._matrix is None else self._matrix.copy()
+        return Gate(self.name, self.params, mat, label)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         if self.params:
@@ -338,8 +410,29 @@ class Gate:
 
 # Convenience constructors -----------------------------------------------------------------
 
+#: Interned flyweight instances of the parameterless standard gates, keyed by name.
+_INTERNED_GATES: Dict[str, Gate] = {}
+
+
+def _intern(name: str) -> Gate:
+    instance = _INTERNED_GATES.get(name)
+    if instance is None:
+        instance = Gate(name, ())
+        instance.cache_token  # materialise the memo key while still mutable
+        object.__setattr__(instance, "_interned", True)
+        _INTERNED_GATES[name] = instance
+    return instance
+
+
 def gate(name: str, *params: float) -> Gate:
-    """Build a standard gate by name, e.g. ``gate('rz', 0.5)``."""
+    """Build a standard gate by name, e.g. ``gate('rz', 0.5)``.
+
+    Parameterless gates are interned: ``gate('x') is gate('x')``.  The returned flyweight
+    is immutable; construct ``Gate(name, (), None, label)`` directly when a labelled
+    (mutable) instance is needed.
+    """
+    if not params and name != "unitary" and name in GATE_SPECS:
+        return _intern(name)
     return Gate(name, tuple(params))
 
 

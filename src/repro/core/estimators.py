@@ -65,6 +65,15 @@ class OptimizationEstimator:
 
     def __init__(self) -> None:
         self._count_cache: Dict[Tuple, int] = {}
+        self._probe_cache: Dict[Tuple[int, int], Instruction] = {}
+
+    def _probe_cx(self, control: int, target: int) -> Instruction:
+        """Shared ``cx(control, target)`` probe instruction (one allocation per pair)."""
+        probe = self._probe_cache.get((control, target))
+        if probe is None:
+            probe = Instruction(make_gate("cx"), (control, target))
+            self._probe_cache[(control, target)] = probe
+        return probe
 
     # ------------------------------------------------------------------
     # Helpers over the routed prefix
@@ -115,14 +124,17 @@ class OptimizationEstimator:
 
     def _block_signature(self, out: QuantumCircuit, positions: Sequence[int], p0: int, p1: int) -> Tuple:
         mapping = {p0: 0, p1: 1}
-        return tuple(
-            (
-                out.data[pos].name,
-                tuple(round(p, 10) for p in out.data[pos].gate.params),
-                tuple(mapping[q] for q in out.data[pos].qubits),
-            )
-            for pos in positions
-        )
+        signature = []
+        for pos in positions:
+            op = out.data[pos]
+            if op.name == "unitary":
+                # Explicit-matrix gates have no content token; key on the matrix itself
+                # so two different unitaries never share a memoised CNOT count.
+                token = ("unitary", op.gate.matrix().tobytes())
+            else:
+                token = op.gate.cache_token
+            signature.append((token, tuple(mapping[q] for q in op.qubits)))
+        return tuple(signature)
 
     def _block_matrix(self, out: QuantumCircuit, positions: Sequence[int], p0: int, p1: int) -> np.ndarray:
         local = QuantumCircuit(2)
@@ -180,7 +192,7 @@ class OptimizationEstimator:
         single-qubit gates (they are moved through the SWAP, Sec. IV-E) and gates that commute
         with ``cx(control, target)``.
         """
-        probe = Instruction(make_gate("cx"), (control, target))
+        probe = self._probe_cx(control, target)
         scanned = 0
         for _, inst in self._merged_backward(out, wire_history, p0, p1):
             if scanned >= MAX_COMMUTE_SCAN:

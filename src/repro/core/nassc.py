@@ -106,29 +106,45 @@ class NASSCSwapRouter(SabreSwapRouter):
             self._estimates[swap] = estimate
         return estimate
 
-    def _score_swap(
+    def _score_candidates(
         self,
-        swap: Tuple[int, int],
+        candidates,
         front_gates: List[DAGNode],
         extended: List[DAGNode],
         layout: Layout,
-    ) -> float:
-        front_size = max(len(front_gates), 1)
-        distance_term = 3.0 * sum(
-            self._mapped_distance(node, layout, swap) for node in front_gates
+    ) -> np.ndarray:
+        """Eq. 2 cost of every candidate in one vectorized evaluation.
+
+        The distance terms are the same fancy-indexed kernel the SABRE base class uses;
+        only the per-candidate optimization estimates (``C2q``/``Ccommute``) remain a
+        Python loop, because each one inspects the routed prefix through the estimator.
+        Elementwise identical to the historical per-swap scalar scoring.
+        """
+        c0, c1 = self._candidate_arrays(candidates)
+        num_front = len(front_gates)
+        front_size = max(num_front, 1)
+        table = self._mapped_distance_table(c0, c1, front_gates + extended, layout)
+        distance_term = 3.0 * self._sequential_column_sums(table, 0, num_front)
+        reductions = np.fromiter(
+            (
+                float(
+                    self._estimate_for(swap).total(
+                        self.config.enable_2q_resynthesis,
+                        self.config.enable_commutation1,
+                        self.config.enable_commutation2,
+                    )
+                )
+                for swap in candidates
+            ),
+            dtype=float,
+            count=len(candidates),
         )
-        estimate = self._estimate_for(swap)
-        reduction = estimate.total(
-            self.config.enable_2q_resynthesis,
-            self.config.enable_commutation1,
-            self.config.enable_commutation2,
-        )
-        cost = (distance_term - float(reduction)) / front_size
+        cost = (distance_term - reductions) / front_size
         if extended:
-            ext_cost = sum(self._mapped_distance(node, layout, swap) for node in extended)
+            ext_cost = self._sequential_column_sums(table, num_front, table.shape[1])
             cost += self.extended_set_weight * ext_cost / len(extended)
-        decay = max(self._decay[swap[0]], self._decay[swap[1]])
-        return float(decay * cost)
+        decay = np.maximum(self._decay[c0], self._decay[c1])
+        return decay * cost
 
     def _select_swap(self, candidates, front_gates, extended, layout, rng):
         # Estimates depend only on the already-routed prefix, which changes between SWAP

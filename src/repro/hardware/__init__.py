@@ -4,6 +4,7 @@ from .coupling import CouplingMap
 from .topologies import (
     MONTREAL_EDGES,
     fully_connected_coupling_map,
+    evaluation_devices,
     get_topology,
     grid_coupling_map,
     heavy_hex_coupling_map,
@@ -22,6 +23,7 @@ __all__ = [
     "CouplingMap",
     "MONTREAL_EDGES",
     "fully_connected_coupling_map",
+    "evaluation_devices",
     "get_topology",
     "grid_coupling_map",
     "heavy_hex_coupling_map",

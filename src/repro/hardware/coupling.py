@@ -37,6 +37,8 @@ class CouplingMap:
             self._adjacency[a].add(b)
             self._adjacency[b].add(a)
         self._distance: Optional[np.ndarray] = None
+        self._flat_adjacency: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._adjacency_matrix: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
 
@@ -57,6 +59,36 @@ class CouplingMap:
         self._check_qubit(a)
         self._check_qubit(b)
         return b in self._adjacency[a]
+
+    def adjacency_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR-style flat adjacency ``(indptr, indices)`` (cached).
+
+        The neighbours of qubit ``q`` are ``indices[indptr[q]:indptr[q + 1]]``, sorted
+        ascending — the array form of :meth:`neighbors` the routing hot loop iterates
+        without building per-call lists.
+        """
+        if self._flat_adjacency is None:
+            indptr = np.zeros(self.num_qubits + 1, dtype=np.intp)
+            chunks = []
+            for q in range(self.num_qubits):
+                neighbors = sorted(self._adjacency[q])
+                indptr[q + 1] = indptr[q] + len(neighbors)
+                chunks.extend(neighbors)
+            indices = np.asarray(chunks, dtype=np.intp)
+            indptr.flags.writeable = False
+            indices.flags.writeable = False
+            self._flat_adjacency = (indptr, indices)
+        return self._flat_adjacency
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense boolean adjacency matrix (cached, read-only)."""
+        if self._adjacency_matrix is None:
+            matrix = np.zeros((self.num_qubits, self.num_qubits), dtype=bool)
+            for a, b in self._edges:
+                matrix[a, b] = matrix[b, a] = True
+            matrix.flags.writeable = False
+            self._adjacency_matrix = matrix
+        return self._adjacency_matrix
 
     def _check_qubit(self, qubit: int) -> None:
         if not 0 <= qubit < self.num_qubits:

@@ -97,3 +97,17 @@ def get_topology(name: str, num_qubits: int = 25) -> CouplingMap:
         if key == entry["topology"] or key in entry["aliases"]:
             return entry["build"](num_qubits)
     raise ValueError(f"unknown topology {name!r}")
+
+
+def evaluation_devices() -> dict:
+    """Name -> coupling map of the tracked evaluation grid (one definition).
+
+    This is the device axis of both the perf trajectory (``BENCH_transpile.json``,
+    emitted by ``benchmarks/test_pass_pipeline.py``) and the golden O1 bit-identity
+    harness (``benchmarks/gen_golden_hashes.py`` / ``tests/transpiler/test_golden_o1.py``);
+    all three consume this helper so the grids can never drift apart.
+    """
+    return {
+        "linear_25": linear_coupling_map(25),
+        "montreal": montreal_coupling_map(),
+    }

@@ -8,6 +8,7 @@ only the active qubits.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -18,19 +19,50 @@ from ..exceptions import SimulatorError
 _MAX_QUBITS = 22
 
 
+@lru_cache(maxsize=4096)
+def _gate_tensor(token: Tuple[str, Tuple[float, ...]], k: int) -> np.ndarray:
+    """Reshaped ``(2,) * 2k`` tensor of a named gate's matrix (shared, read-only)."""
+    from ..circuit.gates import _shared_matrix
+
+    # A reshaped view of the shared read-only matrix; inherits non-writeability.
+    return _shared_matrix(*token).reshape((2,) * (2 * k))
+
+
+@lru_cache(maxsize=4096)
+def _tensordot_axes(num_qubits: int, qubits: Tuple[int, ...]) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Precomputed ``(gate axes, state axes)`` pairs for :func:`np.tensordot`."""
+    k = len(qubits)
+    state_axes = tuple(num_qubits - 1 - q for q in reversed(qubits))
+    return tuple(range(k, 2 * k)), state_axes
+
+
 def _apply_gate(state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
     """Apply a k-qubit gate to a statevector (little-endian)."""
     k = len(qubits)
     # Reshape into a tensor with axis j <-> qubit (num_qubits - 1 - j).
     tensor = state.reshape([2] * num_qubits)
-    axes = [num_qubits - 1 - q for q in reversed(qubits)]
+    gate_axes, axes = _tensordot_axes(num_qubits, tuple(qubits))
     gate_tensor = matrix.reshape([2] * (2 * k))
-    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    moved = np.tensordot(gate_tensor, tensor, axes=(gate_axes, axes))
     # tensordot puts the gate's output axes first; move them back to their original positions.
     # Output axis j corresponds to original state axis axes[j].
-    order = list(range(k, num_qubits))
     result = np.moveaxis(moved, list(range(k)), axes)
-    del order
+    return result.reshape(-1)
+
+
+def _apply_instruction(state: np.ndarray, inst, num_qubits: int) -> np.ndarray:
+    """Apply one instruction, serving named gates from the shared tensor cache."""
+    gate_obj = inst.gate
+    qubits = tuple(inst.qubits)
+    k = len(qubits)
+    if gate_obj.name == "unitary":
+        gate_tensor = gate_obj.matrix().reshape((2,) * (2 * k))
+    else:
+        gate_tensor = _gate_tensor(gate_obj.cache_token, k)
+    tensor = state.reshape([2] * num_qubits)
+    gate_axes, axes = _tensordot_axes(num_qubits, qubits)
+    moved = np.tensordot(gate_tensor, tensor, axes=(gate_axes, axes))
+    result = np.moveaxis(moved, list(range(k)), axes)
     return result.reshape(-1)
 
 
@@ -57,7 +89,7 @@ class StatevectorSimulator:
                 continue
             if inst.name == "reset":
                 raise SimulatorError("reset is not supported by the statevector simulator")
-            state = _apply_gate(state, inst.gate.matrix(), inst.qubits, n)
+            state = _apply_instruction(state, inst, n)
         return state
 
     def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:

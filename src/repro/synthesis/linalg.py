@@ -27,11 +27,33 @@ PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
 PAULI_I = np.eye(2, dtype=complex)
 
 
+#: Default relative tolerance of :func:`numpy.allclose`.  Every scalar fast path that
+#: replicates an ``allclose`` predicate (here, ``optimize_1q``, ``commutation``) imports
+#: this single constant so the tolerance contract cannot silently diverge.
+ALLCLOSE_RTOL = 1.0e-5
+
+
 def is_unitary(matrix: np.ndarray, tol: float = 1e-9) -> bool:
     """True if the matrix is unitary within tolerance."""
     matrix = np.asarray(matrix, dtype=complex)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         return False
+    if matrix.shape == (2, 2):
+        # Scalar 2x2 path (the single-qubit synthesis hot loop): same product, same
+        # ``allclose`` predicate (|x - y| <= atol + rtol*|y| against the identity),
+        # without the ~50us ufunc dispatch of the array route.
+        a, b = complex(matrix[0, 0]), complex(matrix[0, 1])
+        c, d = complex(matrix[1, 0]), complex(matrix[1, 1])
+        p00 = a * a.conjugate() + b * b.conjugate()
+        p01 = a * c.conjugate() + b * d.conjugate()
+        p11 = c * c.conjugate() + d * d.conjugate()
+        diag_tol = tol + ALLCLOSE_RTOL
+        # The (1, 0) product entry is exactly conj(p01), so |p01| covers both.
+        return (
+            abs(p00 - 1.0) <= diag_tol
+            and abs(p11 - 1.0) <= diag_tol
+            and abs(p01) <= tol
+        )
     ident = np.eye(matrix.shape[0])
     return bool(np.allclose(matrix @ matrix.conj().T, ident, atol=tol))
 

@@ -49,11 +49,29 @@ def _ry_matrix(theta: float) -> np.ndarray:
     return np.array([[c, -s], [s, c]], dtype=complex)
 
 
+#: Memoised decompositions keyed on the exact matrix bytes.  Runs of identical
+#: single-qubit products recur heavily across optimization-loop iterations and circuits;
+#: ``EulerAngles`` is frozen, so sharing the result is safe and bit-identical.
+_ZYZ_CACHE: dict = {}
+_ZYZ_CACHE_LIMIT = 100000
+
+
 def zyz_decompose(matrix: np.ndarray) -> EulerAngles:
     """ZYZ Euler angles of an arbitrary 2x2 unitary."""
     matrix = np.asarray(matrix, dtype=complex)
     if matrix.shape != (2, 2) or not is_unitary(matrix, tol=1e-7):
         raise SynthesisError("zyz_decompose expects a 2x2 unitary matrix")
+    key = matrix.tobytes()
+    cached = _ZYZ_CACHE.get(key)
+    if cached is not None:
+        return cached
+    angles = _zyz_decompose_uncached(matrix)
+    if len(_ZYZ_CACHE) < _ZYZ_CACHE_LIMIT:
+        _ZYZ_CACHE[key] = angles
+    return angles
+
+
+def _zyz_decompose_uncached(matrix: np.ndarray) -> EulerAngles:
     det = np.linalg.det(matrix)
     phase = 0.5 * cmath.phase(det)
     su2 = matrix * cmath.exp(-1j * phase)

@@ -19,9 +19,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ...circuit.circuit import Instruction, QuantumCircuit, expand_gate_matrix
+from ...circuit.circuit import Instruction, QuantumCircuit, expanded_gate_matrix
 from ...circuit.dag import DAGCircuit, DAGNode
 from ...circuit.gates import Gate, gate as make_gate
+from ...synthesis.linalg import ALLCLOSE_RTOL
 from ..passmanager import AnalysisPass, PropertySet, TransformationPass
 
 _COMMUTE_CACHE: Dict[Tuple, bool] = {}
@@ -30,17 +31,15 @@ _COMMUTE_CACHE: Dict[Tuple, bool] = {}
 _DIAGONAL_GATES = {"z", "s", "sdg", "t", "tdg", "rz", "p", "u1", "cz", "cp", "cu1", "crz", "rzz"}
 
 
-def _cache_key(inst_a, inst_b) -> Tuple:
-    def describe(inst, qubit_map: Dict[int, int]) -> Tuple:
-        return (
-            inst.name,
-            tuple(round(p, 12) for p in inst.gate.params),
-            tuple(qubit_map[q] for q in inst.qubits),
-        )
-
-    qubits = sorted(set(inst_a.qubits) | set(inst_b.qubits))
-    qubit_map = {q: i for i, q in enumerate(qubits)}
-    return describe(inst_a, qubit_map), describe(inst_b, qubit_map)
+def _cache_key(inst_a, inst_b, qubit_map: Dict[int, int]) -> Tuple:
+    # Keyed on the gates' interned identity tokens (exact name + params, computed once
+    # per Gate instance) plus the local wire pattern — no per-lookup param rounding.
+    return (
+        inst_a.gate.cache_token,
+        tuple(qubit_map[q] for q in inst_a.qubits),
+        inst_b.gate.cache_token,
+        tuple(qubit_map[q] for q in inst_b.qubits),
+    )
 
 
 def gates_commute(inst_a, inst_b) -> bool:
@@ -50,14 +49,16 @@ def gates_commute(inst_a, inst_b) -> bool:
     :class:`~repro.circuit.circuit.Instruction` and :class:`~repro.circuit.dag.DAGNode`
     qualify).  Fast rule-based checks cover the common cases (disjoint supports, diagonal
     gates, CNOTs sharing a control or a target); everything else falls back to an explicit
-    matrix check on the joint support (at most four qubits here), with memoisation.
+    matrix check on the joint support (at most four qubits here), memoised on the gates'
+    identity tokens (explicit-matrix ``unitary`` gates have no token and are always
+    checked directly).
     """
     if not inst_a.gate.is_unitary or not inst_b.gate.is_unitary:
         return False
     if inst_a.name == "barrier" or inst_b.name == "barrier":
         return False
-    shared = set(inst_a.qubits) & set(inst_b.qubits)
-    if not shared:
+    qubits_b = inst_b.qubits
+    if not any(q in qubits_b for q in inst_a.qubits):
         return True
     if inst_a.name in _DIAGONAL_GATES and inst_b.name in _DIAGONAL_GATES:
         return True
@@ -72,16 +73,23 @@ def gates_commute(inst_a, inst_b) -> bool:
             return True
         return False
 
-    key = _cache_key(inst_a, inst_b)
-    if key in _COMMUTE_CACHE:
-        return _COMMUTE_CACHE[key]
     qubits = sorted(set(inst_a.qubits) | set(inst_b.qubits))
     index = {q: i for i, q in enumerate(qubits)}
+    cacheable = inst_a.name != "unitary" and inst_b.name != "unitary"
+    if cacheable:
+        key = _cache_key(inst_a, inst_b, index)
+        cached = _COMMUTE_CACHE.get(key)
+        if cached is not None:
+            return cached
     n = len(qubits)
-    mat_a = expand_gate_matrix(inst_a.gate.matrix(), [index[q] for q in inst_a.qubits], n)
-    mat_b = expand_gate_matrix(inst_b.gate.matrix(), [index[q] for q in inst_b.qubits], n)
-    result = bool(np.allclose(mat_a @ mat_b, mat_b @ mat_a, atol=1e-9))
-    if len(_COMMUTE_CACHE) < 100000:
+    mat_a = expanded_gate_matrix(inst_a.gate, [index[q] for q in inst_a.qubits], n)
+    mat_b = expanded_gate_matrix(inst_b.gate, [index[q] for q in inst_b.qubits], n)
+    ab = mat_a @ mat_b
+    ba = mat_b @ mat_a
+    # The exact np.allclose(ab, ba, atol=1e-9) predicate without the ufunc dispatch
+    # overhead of isclose (finite unitary products only ever reach this path).
+    result = bool((np.abs(ab - ba) <= 1e-9 + ALLCLOSE_RTOL * np.abs(ba)).all())
+    if cacheable and len(_COMMUTE_CACHE) < 100000:
         _COMMUTE_CACHE[key] = result
     return result
 

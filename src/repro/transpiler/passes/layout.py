@@ -14,19 +14,55 @@ from ..passmanager import AnalysisPass, PropertySet, TransformationPass
 
 
 class Layout:
-    """A bijective mapping between logical (virtual) qubits and physical qubits."""
+    """A bijective mapping between logical (virtual) qubits and physical qubits.
+
+    Backed by a pair of flat numpy index arrays — ``_l2p[logical] -> physical`` and
+    ``_p2l[physical] -> logical`` (``-1`` for unoccupied physical qubits) — so the
+    routers' inner loop gets O(1) SWAP updates and vectorized fancy-indexed lookups
+    instead of per-call dict traffic.  Logical qubits are always the contiguous range
+    ``0..n-1`` (which every constructor in the codebase produces).
+    """
+
+    __slots__ = ("_l2p", "_p2l")
 
     def __init__(self, logical_to_physical: Dict[int, int]) -> None:
-        self._l2p = dict(logical_to_physical)
-        self._p2l = {p: l for l, p in self._l2p.items()}
-        if len(self._p2l) != len(self._l2p):
+        n = len(logical_to_physical)
+        l2p = np.empty(n, dtype=np.intp)
+        for logical, physical in logical_to_physical.items():
+            logical = int(logical)
+            if not 0 <= logical < n:
+                raise TranspilerError(
+                    "layout logical qubits must be the contiguous range 0..n-1"
+                )
+            l2p[logical] = int(physical)
+        self._l2p = l2p
+        self._p2l = self._invert(l2p)
+
+    @staticmethod
+    def _invert(l2p: np.ndarray) -> np.ndarray:
+        size = int(l2p.max()) + 1 if len(l2p) else 0
+        if len(l2p) and int(l2p.min()) < 0:
+            raise TranspilerError("physical qubit indices must be non-negative")
+        p2l = np.full(size, -1, dtype=np.intp)
+        p2l[l2p] = np.arange(len(l2p), dtype=np.intp)
+        if len(l2p) and np.count_nonzero(p2l >= 0) != len(l2p):
             raise TranspilerError("layout is not injective")
+        return p2l
+
+    @classmethod
+    def _from_arrays(cls, l2p: np.ndarray, p2l: np.ndarray) -> "Layout":
+        """Internal unchecked constructor used by :meth:`copy` (hot path)."""
+        out = cls.__new__(cls)
+        out._l2p = l2p
+        out._p2l = p2l
+        return out
 
     # -- constructors -------------------------------------------------------
 
     @classmethod
     def trivial(cls, num_logical: int) -> "Layout":
-        return cls({q: q for q in range(num_logical)})
+        l2p = np.arange(num_logical, dtype=np.intp)
+        return cls._from_arrays(l2p, l2p.copy())
 
     @classmethod
     def random(cls, num_logical: int, num_physical: int, seed: Optional[int] = None) -> "Layout":
@@ -43,23 +79,34 @@ class Layout:
     # -- queries ------------------------------------------------------------
 
     def physical(self, logical: int) -> int:
-        return self._l2p[logical]
+        # Match the old dict behaviour: unknown (including negative) logical qubits are
+        # a loud KeyError, never a silent numpy wraparound.
+        if not 0 <= logical < len(self._l2p):
+            raise KeyError(logical)
+        return int(self._l2p[logical])
 
     def logical(self, physical: int) -> Optional[int]:
-        return self._p2l.get(physical)
+        if not 0 <= physical < len(self._p2l):
+            return None
+        value = self._p2l[physical]
+        return None if value < 0 else int(value)
+
+    def physical_array(self) -> np.ndarray:
+        """Flat ``logical -> physical`` index array (do not mutate; used for fancy indexing)."""
+        return self._l2p
 
     def logical_to_physical(self) -> Dict[int, int]:
-        return dict(self._l2p)
+        return {l: int(p) for l, p in enumerate(self._l2p)}
 
     def num_logical(self) -> int:
         return len(self._l2p)
 
     def copy(self) -> "Layout":
-        return Layout(self._l2p)
+        return Layout._from_arrays(self._l2p.copy(), self._p2l.copy())
 
     def to_pairs(self) -> List[List[int]]:
         """JSON-safe ``[[logical, physical], ...]`` representation, sorted by logical qubit."""
-        return [[l, p] for l, p in sorted(self._l2p.items())]
+        return [[l, int(p)] for l, p in enumerate(self._l2p)]
 
     @classmethod
     def from_pairs(cls, pairs: Sequence[Sequence[int]]) -> "Layout":
@@ -68,21 +115,30 @@ class Layout:
 
     # -- mutation -----------------------------------------------------------
 
+    def _ensure_physical(self, physical: int) -> None:
+        if physical >= len(self._p2l):
+            grown = np.full(physical + 1, -1, dtype=np.intp)
+            grown[: len(self._p2l)] = self._p2l
+            self._p2l = grown
+
     def swap_physical(self, p0: int, p1: int) -> None:
         """Exchange the logical qubits sitting on two physical qubits (SWAP insertion)."""
-        l0 = self._p2l.get(p0)
-        l1 = self._p2l.get(p1)
-        if l0 is not None:
+        self._ensure_physical(max(p0, p1))
+        p2l = self._p2l
+        l0 = p2l[p0]
+        l1 = p2l[p1]
+        if l0 >= 0:
             self._l2p[l0] = p1
-        if l1 is not None:
+        if l1 >= 0:
             self._l2p[l1] = p0
-        self._p2l = {p: l for l, p in self._l2p.items()}
+        p2l[p0] = l1
+        p2l[p1] = l0
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Layout) and other._l2p == self._l2p
+        return isinstance(other, Layout) and np.array_equal(other._l2p, self._l2p)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Layout({self._l2p})"
+        return f"Layout({self.logical_to_physical()})"
 
 
 class SetLayout(AnalysisPass):

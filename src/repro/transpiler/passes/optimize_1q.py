@@ -14,11 +14,22 @@ from ...circuit.circuit import Instruction, QuantumCircuit
 from ...circuit.dag import DAGCircuit
 from ...circuit.gates import Gate, gate as make_gate
 from ...exceptions import TranspilerError
+from ...synthesis.linalg import ALLCLOSE_RTOL
 from ...synthesis.one_qubit import synthesize_zsx, u_params_from_matrix
 from ..passmanager import PropertySet, TransformationPass
 from .commutation import refresh_commutation_wires
 
 _IDENTITY_TOL = 1e-9
+
+
+def _is_scalar_identity(matrix: np.ndarray) -> bool:
+    """Exact scalar form of ``np.allclose(matrix, eye(2) * matrix[0, 0], atol=_IDENTITY_TOL)``."""
+    m00 = complex(matrix[0, 0])
+    return (
+        abs(complex(matrix[0, 1])) <= _IDENTITY_TOL
+        and abs(complex(matrix[1, 0])) <= _IDENTITY_TOL
+        and abs(complex(matrix[1, 1]) - m00) <= _IDENTITY_TOL + ALLCLOSE_RTOL * abs(m00)
+    )
 
 
 class Optimize1qGates(TransformationPass):
@@ -47,7 +58,7 @@ class Optimize1qGates(TransformationPass):
             pending[qubit] = None
             if matrix is None:
                 return
-            if np.allclose(matrix, np.eye(2) * matrix[0, 0], atol=_IDENTITY_TOL):
+            if _is_scalar_identity(matrix):
                 return
             for inst in self._emit(matrix, qubit):
                 out.add_node(inst.gate, inst.qubits)

@@ -14,12 +14,13 @@ history the NASSC estimators inspect.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ...circuit.circuit import Instruction, QuantumCircuit
+from ...circuit.circuit import QuantumCircuit
 from ...circuit.dag import DAGCircuit, DAGNode, ExecutionFrontier
 from ...circuit.gates import Gate, gate as make_gate
 from ...exceptions import TranspilerError
@@ -27,24 +28,34 @@ from ...hardware.coupling import CouplingMap
 from ..passmanager import AnalysisPass, PropertySet, TransformationPass
 from .layout import Layout
 
+#: Per-wire bound on the router's position history.  The NASSC estimators scan the
+#: routed prefix backward through :meth:`repro.core.estimators.OptimizationEstimator`
+#: and consume at most ``MAX_COMMUTE_SCAN + 1`` merged positions (trailing-block
+#: reconstruction stops even earlier at ``MAX_BLOCK_GATES + 1``), so keeping a few more
+#: than that per wire is exactly equivalent to unbounded history — without the unbounded
+#: memory growth on long circuits.  ``tests/transpiler/test_sabre.py`` asserts this
+#: constant dominates the estimator scan depths.
+WIRE_HISTORY_BOUND = 24
+
 
 class RoutedOutput:
     """Append-only routed circuit under construction.
 
-    Keeps three synchronized views the router and the NASSC estimators need: the output
-    :class:`DAGCircuit` (node id == append position), the positional instruction list
-    ``data`` (what the estimators' backward scans index), and nothing else — per-wire
-    history is tracked by the router itself.
+    Keeps two synchronized views the router and the NASSC estimators need: the output
+    :class:`DAGCircuit` (node id == append position) and the positional operation list
+    ``data`` (what the estimators' backward scans index; entries are the DAG's own
+    :class:`DAGNode` records, which expose the same ``gate``/``name``/``qubits`` shape
+    as :class:`~repro.circuit.circuit.Instruction`).  Per-wire history is tracked by the
+    router itself.
     """
 
     def __init__(self, num_qubits: int, num_clbits: int, name: str, metadata: Dict) -> None:
         self.dag = DAGCircuit(num_qubits, num_clbits, name)
         self.dag.metadata = dict(metadata)
-        self.data: List[Instruction] = []
+        self.data: List[DAGNode] = []
 
     def append(self, gate: Gate, qubits: Sequence[int], clbits: Sequence[int] = ()) -> None:
-        self.dag.add_node(gate, qubits, clbits)
-        self.data.append(Instruction(gate, tuple(qubits), tuple(clbits)))
+        self.data.append(self.dag.add_node(gate, qubits, clbits))
 
     def __len__(self) -> int:
         return len(self.data)
@@ -94,11 +105,15 @@ class SabreSwapRouter:
         self.extended_set_weight = extended_set_weight
         self.decay_delta = decay_delta
         self.seed = seed
-        self.distance = (
+        self.distance = np.ascontiguousarray(
             np.asarray(distance_matrix, dtype=float)
             if distance_matrix is not None
             else coupling_map.distance_matrix()
         )
+        # Flat device structure consumed by the vectorized inner loop: CSR adjacency for
+        # candidate generation and a dense boolean matrix for executability checks.
+        self._adj_indptr, self._adj_indices = coupling_map.adjacency_arrays()
+        self._adj_matrix = coupling_map.adjacency_matrix()
 
     # ------------------------------------------------------------------
     # Main loop
@@ -126,13 +141,17 @@ class SabreSwapRouter:
             self.coupling_map.num_qubits, dag.num_clbits, dag.name, dag.metadata
         )
 
-        self._wire_history: Dict[int, List[int]] = {q: [] for q in range(self.coupling_map.num_qubits)}
+        self._wire_history: Dict[int, Deque[int]] = {
+            q: deque(maxlen=WIRE_HISTORY_BOUND) for q in range(self.coupling_map.num_qubits)
+        }
         self._decay = np.ones(self.coupling_map.num_qubits)
         swap_labels: Dict[int, str] = {}
         num_swaps = 0
         stall_counter = 0
         stall_limit = self._STALL_LIMIT_FACTOR * (self.coupling_map.diameter() + 1)
         last_swap: Optional[Tuple[int, int]] = None
+        cached_extended: Optional[List[DAGNode]] = None
+        cached_frontier_version = -1
 
         while not frontier.is_done():
             executed_any = self._execute_ready_gates(frontier, layout, out)
@@ -147,7 +166,12 @@ class SabreSwapRouter:
             front_gates = [n for n in frontier.front if n.is_two_qubit()]
             if not front_gates:
                 raise TranspilerError("routing stalled with no two-qubit gate in the front layer")
-            extended = frontier.lookahead(self.extended_set_size)
+            # The extended layer depends only on the frontier state, which is unchanged
+            # between consecutive SWAP insertions that execute no gate — reuse it then.
+            if frontier.version != cached_frontier_version:
+                cached_extended = frontier.lookahead(self.extended_set_size)
+                cached_frontier_version = frontier.version
+            extended = cached_extended
 
             if stall_counter >= stall_limit:
                 # Safety valve: march the first blocked gate together along a shortest path.
@@ -160,8 +184,8 @@ class SabreSwapRouter:
 
             label = self._swap_label(swap, front_gates, layout, out)
             position = len(out)
-            gate_obj = make_gate("swap")
-            gate_obj.label = label
+            # The bare swap flyweight is immutable; labelled swaps get a fresh instance.
+            gate_obj = make_gate("swap") if label is None else Gate("swap", (), None, label)
             out.append(gate_obj, swap)
             self._record_wire(position, swap)
             if label:
@@ -204,10 +228,12 @@ class SabreSwapRouter:
         if node.name == "barrier" or not node.gate.is_unitary or len(node.qubits) == 1:
             return True
         a, b = node.qubits
-        return self.coupling_map.is_connected(layout.physical(a), layout.physical(b))
+        l2p = layout.physical_array()
+        return bool(self._adj_matrix[l2p[a], l2p[b]])
 
     def _emit(self, node: DAGNode, layout: Layout, out: RoutedOutput) -> None:
-        physical = tuple(layout.physical(q) for q in node.qubits)
+        l2p = layout.physical_array()
+        physical = tuple(int(l2p[q]) for q in node.qubits)
         position = len(out)
         if node.name == "barrier":
             out.append(node.gate, physical)
@@ -224,12 +250,18 @@ class SabreSwapRouter:
     # ------------------------------------------------------------------
 
     def _swap_candidates(self, front_gates: List[DAGNode], layout: Layout) -> List[Tuple[int, int]]:
+        l2p = layout.physical_array()
+        indptr, indices = self._adj_indptr, self._adj_indices
         candidates: Set[Tuple[int, int]] = set()
         for node in front_gates:
             for logical in node.qubits:
-                physical = layout.physical(logical)
-                for neighbor in self.coupling_map.neighbors(physical):
-                    candidates.add((min(physical, neighbor), max(physical, neighbor)))
+                physical = int(l2p[logical])
+                for neighbor in indices[indptr[physical]:indptr[physical + 1]]:
+                    neighbor = int(neighbor)
+                    if physical < neighbor:
+                        candidates.add((physical, neighbor))
+                    else:
+                        candidates.add((neighbor, physical))
         return sorted(candidates)
 
     def _select_swap(
@@ -242,29 +274,86 @@ class SabreSwapRouter:
     ) -> Tuple[int, int]:
         if not candidates:
             raise TranspilerError("no SWAP candidates available (disconnected coupling map?)")
-        scores = np.array(
-            [self._score_swap(swap, front_gates, extended, layout) for swap in candidates]
-        )
+        if type(self)._score_swap in _VECTOR_SAFE_SCORE_SWAPS:
+            scores = np.asarray(
+                self._score_candidates(candidates, front_gates, extended, layout), dtype=float
+            )
+        else:
+            # A subclass supplied its own per-swap cost function: honour it scalar-wise.
+            scores = np.array(
+                [self._score_swap(swap, front_gates, extended, layout) for swap in candidates]
+            )
         best = scores.min()
-        best_indices = [i for i, s in enumerate(scores) if s <= best + 1e-12]
+        best_indices = np.flatnonzero(scores <= best + 1e-12)
         choice = int(rng.integers(len(best_indices)))
-        return candidates[best_indices[choice]]
+        return candidates[int(best_indices[choice])]
 
-    def _mapped_distance(
-        self, node: DAGNode, layout: Layout, swap: Tuple[int, int]
-    ) -> float:
-        a, b = node.qubits
-        pa, pb = layout.physical(a), layout.physical(b)
-        p0, p1 = swap
-        if pa == p0:
-            pa = p1
-        elif pa == p1:
-            pa = p0
-        if pb == p0:
-            pb = p1
-        elif pb == p1:
-            pb = p0
-        return float(self.distance[pa, pb])
+    @staticmethod
+    def _candidate_arrays(candidates: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:
+        pairs = np.asarray(candidates, dtype=np.intp).reshape(len(candidates), 2)
+        return pairs[:, 0], pairs[:, 1]
+
+    def _mapped_distance_table(
+        self,
+        c0: np.ndarray,
+        c1: np.ndarray,
+        nodes: List[DAGNode],
+        layout: Layout,
+    ) -> np.ndarray:
+        """(candidates x gates) table of post-swap distances for two-qubit ``nodes``.
+
+        One fancy-indexed lookup over the whole table; entry ``[s, g]`` is the device
+        distance of gate ``g``'s qubit pair after virtually applying candidate swap
+        ``s`` to the current layout.
+        """
+        l2p = layout.physical_array()
+        qubit_pairs = np.asarray([node.qubits for node in nodes], dtype=np.intp)
+        pa = l2p[qubit_pairs[:, 0]]  # (G,)
+        pb = l2p[qubit_pairs[:, 1]]
+        c0 = c0[:, None]  # (S, 1)
+        c1 = c1[:, None]
+        mapped_a = np.where(pa == c0, c1, np.where(pa == c1, c0, pa))  # (S, G)
+        mapped_b = np.where(pb == c0, c1, np.where(pb == c1, c0, pb))
+        return self.distance[mapped_a, mapped_b]
+
+    @staticmethod
+    def _sequential_column_sums(table: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """Per-row sums of ``table[:, start:stop]`` accumulated column by column.
+
+        Sequential (not pairwise) accumulation keeps the float result bit-identical to
+        the historical per-gate scalar loop even for non-integer (noise-aware) distance
+        matrices, where pairwise summation could differ in the last ulp and flip a
+        1e-12 tie-break.
+        """
+        totals = np.zeros(table.shape[0])
+        for column in range(start, stop):
+            totals += table[:, column]
+        return totals
+
+    def _score_candidates(
+        self,
+        candidates: Sequence[Tuple[int, int]],
+        front_gates: List[DAGNode],
+        extended: List[DAGNode],
+        layout: Layout,
+    ) -> np.ndarray:
+        """SABRE lookahead cost of every candidate in one vectorized evaluation.
+
+        Elementwise identical to scoring each candidate through :meth:`_score_swap`:
+        normalised front-layer distance plus weighted lookahead, scaled by the decay of
+        the candidate's hotter qubit.
+        """
+        c0, c1 = self._candidate_arrays(candidates)
+        num_front = len(front_gates)
+        table = self._mapped_distance_table(c0, c1, front_gates + extended, layout)
+        front_cost = self._sequential_column_sums(table, 0, num_front)
+        front_cost /= max(num_front, 1)
+        cost = front_cost
+        if extended:
+            ext_cost = self._sequential_column_sums(table, num_front, table.shape[1])
+            cost += self.extended_set_weight * ext_cost / len(extended)
+        decay = np.maximum(self._decay[c0], self._decay[c1])
+        return decay * cost
 
     def _score_swap(
         self,
@@ -273,15 +362,8 @@ class SabreSwapRouter:
         extended: List[DAGNode],
         layout: Layout,
     ) -> float:
-        """SABRE lookahead cost: normalised front-layer distance plus weighted lookahead."""
-        front_cost = sum(self._mapped_distance(node, layout, swap) for node in front_gates)
-        front_cost /= max(len(front_gates), 1)
-        cost = front_cost
-        if extended:
-            ext_cost = sum(self._mapped_distance(node, layout, swap) for node in extended)
-            cost += self.extended_set_weight * ext_cost / len(extended)
-        decay = max(self._decay[swap[0]], self._decay[swap[1]])
-        return float(decay * cost)
+        """Cost of a single candidate (the scalar view of :meth:`_score_candidates`)."""
+        return float(self._score_candidates([swap], front_gates, extended, layout)[0])
 
     def _swap_label(
         self,
@@ -299,6 +381,13 @@ class SabreSwapRouter:
         pa, pb = layout.physical(a), layout.physical(b)
         path = self.coupling_map.shortest_path(pa, pb)
         return (min(path[0], path[1]), max(path[0], path[1]))
+
+
+#: ``_score_swap`` implementations known to be exact scalar views of the vectorized
+#: ``_score_candidates`` path.  ``_select_swap`` takes the vectorized route only when the
+#: instance's ``_score_swap`` is one of these, so a third-party subclass overriding
+#: ``_score_swap`` alone is still honoured candidate-by-candidate.
+_VECTOR_SAFE_SCORE_SWAPS = {SabreSwapRouter._score_swap}
 
 
 class SabreRouting(TransformationPass):

@@ -77,9 +77,8 @@ def _block_signature(nodes: List[DAGNode], pair: Tuple[int, int]) -> Optional[Tu
     for node in nodes:
         if node.name == "unitary":
             return None
-        signature.append(
-            (node.name, node.gate.params, tuple(mapping[q] for q in node.qubits))
-        )
+        # The interned cache token carries (name, exact params) precomputed per gate.
+        signature.append((node.gate.cache_token, tuple(mapping[q] for q in node.qubits)))
     return tuple(signature)
 
 

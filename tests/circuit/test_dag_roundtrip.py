@@ -96,10 +96,10 @@ class TestFingerprint:
 
     def test_label_enters_fingerprint(self):
         def swap_with_label(label):
+            from repro.circuit.gates import Gate
+
             dag = DAGCircuit(2)
-            g = make_gate("swap")
-            g.label = label
-            dag.add_node(g, (0, 1))
+            dag.add_node(Gate("swap", (), None, label), (0, 1))
             return dag.fingerprint()
 
         assert swap_with_label("ctrl:0") != swap_with_label("ctrl:1")

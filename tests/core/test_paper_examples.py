@@ -112,8 +112,7 @@ class TestFigure4:
         circuit = QuantumCircuit(3)
         circuit.cx(1, 2)
         circuit.cx(0, 2)
-        swap_inst = circuit.swap(1, 2)
-        swap_inst.gate.label = "ctrl:1"
+        circuit.swap(1, 2, label="ctrl:1")
         optimized = PassManager([SwapLowering(), CommutativeCancellation()]).run(circuit)
         assert optimized.cx_count() == 3  # 2 original + 3 swap - 2 cancelled
         assert_unitary_equiv(circuit, optimized)
@@ -122,8 +121,7 @@ class TestFigure4:
         circuit = QuantumCircuit(3)
         circuit.cx(1, 2)
         circuit.cx(0, 2)
-        swap_inst = circuit.swap(1, 2)
-        swap_inst.gate.label = "ctrl:2"
+        circuit.swap(1, 2, label="ctrl:2")
         optimized = PassManager([SwapLowering(), CommutativeCancellation()]).run(circuit)
         assert optimized.cx_count() >= 4
         assert_unitary_equiv(circuit, optimized)

@@ -97,16 +97,14 @@ class TestSwapLowering:
 
     def test_labelled_orientation(self):
         circuit = QuantumCircuit(2)
-        inst = circuit.swap(0, 1)
-        inst.gate.label = "ctrl:1"
+        circuit.swap(0, 1, label="ctrl:1")
         lowered = PassManager([SwapLowering()]).run(circuit)
         assert [inst.qubits for inst in lowered.data] == [(1, 0), (0, 1), (1, 0)]
         assert_unitary_equiv(circuit, lowered)
 
     def test_labels_ignored_when_disabled(self):
         circuit = QuantumCircuit(2)
-        inst = circuit.swap(0, 1)
-        inst.gate.label = "ctrl:1"
+        circuit.swap(0, 1, label="ctrl:1")
         lowered = PassManager([SwapLowering(use_labels=False)]).run(circuit)
         assert lowered.data[0].qubits == (0, 1)
 

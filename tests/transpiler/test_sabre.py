@@ -135,3 +135,39 @@ class TestRoutingPasses:
         props = PropertySet()
         SabreLayoutSelection(linear5, seed=1).run_circuit(circuit, props)
         assert props["layout"].num_logical() == 3
+
+
+class TestWireHistoryBound:
+    """The router's per-wire position history is bounded (no growth on long circuits)."""
+
+    def test_bound_dominates_estimator_scan_depths(self):
+        """Bounding is exactly equivalent to unbounded history as long as the bound
+        covers the deepest backward scan any estimator performs (one merged position is
+        consumed per yield, at most one per wire)."""
+        from repro.core.estimators import MAX_BLOCK_GATES, MAX_COMMUTE_SCAN
+        from repro.transpiler.passes.sabre import WIRE_HISTORY_BOUND
+
+        assert WIRE_HISTORY_BOUND >= MAX_COMMUTE_SCAN + 1
+        assert WIRE_HISTORY_BOUND >= MAX_BLOCK_GATES + 1
+
+    @pytest.mark.parametrize("router_factory", [
+        lambda coupling: SabreSwapRouter(coupling, seed=0),
+        lambda coupling: __import__("repro.core.nassc", fromlist=["NASSCSwapRouter"])
+        .NASSCSwapRouter(coupling, seed=0),
+    ], ids=["sabre", "nassc"])
+    def test_history_stays_bounded_on_10k_gate_circuit(self, router_factory):
+        from repro.circuit.random import random_circuit
+        from repro.transpiler.passes.sabre import WIRE_HISTORY_BOUND
+
+        circuit = random_circuit(
+            10, 1450, seed=7, two_qubit_prob=0.4, gate_names=("cx", "cz", "swap")
+        )
+        assert len(circuit.data) >= 10000
+        coupling = linear_coupling_map(10)
+        router = router_factory(coupling)
+        result = router.route(circuit)
+        assert result.num_swaps > 0
+        lengths = [len(history) for history in router._wire_history.values()]
+        assert max(lengths) <= WIRE_HISTORY_BOUND
+        # Every wire saw far more operations than it retains.
+        assert len(result.dag) > 10000
