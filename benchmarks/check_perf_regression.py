@@ -11,11 +11,89 @@ Exit code 1 on regression.  Usage (what the CI perf-smoke job runs)::
     python benchmarks/check_perf_regression.py \
         --report benchmarks/results/bench_transpile_smoke.json \
         --baseline BENCH_transpile.json --max-ratio 1.25
+
+A second, self-contained mode gates the observability layer itself::
+
+    python benchmarks/check_perf_regression.py --trace-overhead --max-trace-ratio 1.05
+
+It transpiles a benchmark circuit in adjacent untraced/traced pairs in one process and
+gates on the **median of per-pair ratios**.  Pairing matters: wall-times drift by >10%
+within a single process (allocator state, CPU frequency, container neighbours), so
+medians of two independent arms cannot resolve a 5% overhead — the ratio of two
+back-to-back runs can.  The workload uses ``routing="none"``: the SABRE path is
+seed/history-sensitive enough that the two arms would compile genuinely different
+amounts of work, polluting the comparison with routing variance.  The check passes if
+**any** of ``--trace-rounds`` independent rounds lands at or under the threshold:
+measured tracing overhead sits near 3% and shared-runner noise is one-sided (slow
+bursts), so a single round can spuriously exceed 5%, but a genuine >5% regression
+shifts every round's median and fails all of them.
 """
 
 import argparse
 import json
+import os
+import statistics
 import sys
+import time
+
+
+def _import_repro():
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(
+            0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        )
+    import repro  # noqa: F811
+    return repro
+
+
+def run_trace_overhead(max_ratio: float, repeats: int, qubits: int, rounds: int) -> int:
+    """Traced-vs-untraced transpile overhead gate (see module docstring)."""
+    _import_repro()
+    from repro import Target, Tracer, use_tracer
+    from repro.benchlib.qft import qft
+    from repro.core.pipeline import transpile
+
+    target = Target.from_topology("linear", qubits)
+
+    def one_run(traced: bool) -> float:
+        circuit = qft(qubits)
+        start = time.perf_counter()
+        if traced:
+            with use_tracer(Tracer()):
+                transpile(circuit, target, level="O1", routing="none")
+        else:
+            transpile(circuit, target, level="O1", routing="none")
+        return time.perf_counter() - start
+
+    # Warm every process-global cache (gate matrices, KAK memo, commutation) before
+    # timing anything, then measure adjacent untraced/traced pairs.
+    one_run(False)
+    one_run(True)
+    round_medians = []
+    for round_index in range(rounds):
+        ratios, untraced_times, traced_times = [], [], []
+        for _ in range(repeats):
+            untraced = one_run(False)
+            traced = one_run(True)
+            untraced_times.append(untraced)
+            traced_times.append(traced)
+            ratios.append(traced / untraced if untraced > 0 else float("inf"))
+        ratio = statistics.median(ratios)
+        round_medians.append(ratio)
+        print(f"trace overhead round {round_index + 1}/{rounds}: "
+              f"untraced median {statistics.median(untraced_times) * 1000:.2f} ms, "
+              f"traced median {statistics.median(traced_times) * 1000:.2f} ms over "
+              f"{repeats} pairs (qft{qubits} routing=none, median pair ratio "
+              f"{ratio:.3f}, max allowed {max_ratio})")
+        if ratio <= max_ratio:
+            print("trace overhead gate passed")
+            return 0
+    print(f"TRACE OVERHEAD REGRESSION: every round exceeded the allowed ratio "
+          f"(medians: {', '.join(f'{r:.3f}' for r in round_medians)})",
+          file=sys.stderr)
+    return 1
 
 
 def load_block(path, block):
@@ -32,8 +110,22 @@ def load_block(path, block):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--report", required=True,
+    parser.add_argument("--report",
                         help="freshly generated report JSON (uses its 'current' block)")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="run the self-contained traced-vs-untraced overhead gate "
+                             "instead of the report comparison")
+    parser.add_argument("--max-trace-ratio", type=float, default=1.05,
+                        help="fail when the median traced/untraced pair ratio exceeds "
+                             "this factor (default: 1.05)")
+    parser.add_argument("--trace-repeats", type=int, default=11,
+                        help="untraced/traced pairs timed in --trace-overhead mode "
+                             "(default: 11)")
+    parser.add_argument("--trace-qubits", type=int, default=10,
+                        help="QFT width used by --trace-overhead (default: 10)")
+    parser.add_argument("--trace-rounds", type=int, default=3,
+                        help="independent rounds in --trace-overhead mode; the gate "
+                             "passes if any round meets the threshold (default: 3)")
     parser.add_argument("--baseline", default="BENCH_transpile.json",
                         help="committed trajectory JSON (uses its 'current' block, i.e. "
                              "the numbers recorded when the trajectory was last updated)")
@@ -46,6 +138,12 @@ def main(argv=None):
                         help="per-row statistic to aggregate (median is robust to the "
                              "cold-cache first repeat; run with REPRO_BENCH_REPEATS>=3)")
     args = parser.parse_args(argv)
+
+    if args.trace_overhead:
+        return run_trace_overhead(args.max_trace_ratio, args.trace_repeats,
+                                  args.trace_qubits, args.trace_rounds)
+    if not args.report:
+        parser.error("--report is required (or pass --trace-overhead)")
 
     fresh, fresh_cal = load_block(args.report, "current")
     committed, committed_cal = load_block(args.baseline, args.baseline_block)

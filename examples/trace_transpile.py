@@ -1,0 +1,87 @@
+"""End-to-end tracing: span trees from a local compile and a remote submission.
+
+Demonstrates the observability layer (``repro.obs``):
+
+  * trace a local ``transpile()`` call and walk the pass spans with their DAG deltas,
+  * trace a remote submission and get ONE merged span tree covering
+    client submit -> server queue wait -> pool worker -> every pass instance,
+  * export the merged tree as Chrome trace-event JSON (open it in Perfetto or
+    ``chrome://tracing``),
+  * rank spans by self-time to see where the wall-clock actually went.
+
+Run with:  python examples/trace_transpile.py
+
+Set ``REPRO_SERVER_URL`` to trace against an already-running ``python -m repro serve``
+instance; otherwise the example boots a private in-process server.
+"""
+
+import os
+import tempfile
+
+from repro import ReproClient, Target, Tracer, TranspileOptions, transpile, use_tracer
+from repro.benchlib.qft import qft
+from repro.obs import format_tree, top_spans, write_chrome_trace
+from repro.server import ReproServer
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+QUBITS = 5 if SMOKE else 8
+
+
+def trace_local() -> None:
+    print(f"== local traced transpile (qft{QUBITS}, linear, O1) ==")
+    target = Target.from_topology("linear", QUBITS)
+    with use_tracer(Tracer()):
+        result = transpile(qft(QUBITS), target, level="O1", routing="sabre")
+    spans = result.trace
+    print(f"{len(spans)} spans; pass deltas:")
+    for span in spans:
+        if not span["name"].startswith("pass:") or not span["attrs"].get("changed"):
+            continue
+        attrs = span["attrs"]
+        print(f"  {span['name'][5:]:24s} d_gates={attrs['d_gates']:+4d} "
+              f"d_depth={attrs['d_depth']:+4d} swaps+={attrs['swaps_inserted']}")
+
+
+def trace_remote(url: str) -> None:
+    print(f"\n== remote traced submission ({url}) ==")
+    client = ReproClient(url, client_id="trace-example")
+    target = Target.from_topology("linear", QUBITS)
+    with use_tracer(Tracer(process="client")):
+        handle = client.submit(
+            qft(QUBITS), target, TranspileOptions(routing="sabre", seed=0),
+            name=f"qft{QUBITS}-traced",
+        )
+    result = handle.result(timeout=120)
+    spans = result.trace
+
+    processes = sorted({span["trace_id"] for span in spans})
+    assert len(processes) == 1, "all spans must share one trace id"
+    tiers = {span["process"] for span in spans}
+    print(f"one merged tree: {len(spans)} spans across processes {sorted(tiers)}")
+    print(format_tree(spans))
+
+    out = os.path.join(tempfile.gettempdir(), "repro_trace.json")
+    write_chrome_trace(out, spans)
+    print(f"Chrome trace written to {out} (open in https://ui.perfetto.dev)")
+
+    print("\ntop 5 spans by self-time:")
+    for span, self_time in top_spans(spans, 5):
+        print(f"  {self_time * 1e3:9.3f} ms  {span['name']}")
+
+
+def main() -> None:
+    trace_local()
+    url = os.environ.get("REPRO_SERVER_URL")
+    if url:
+        trace_remote(url)
+        return
+    # Thread workers keep startup instant AND share the tracer-friendly process: span
+    # trees merge identically under a process pool, only the example runs slower.
+    server = ReproServer(port=0, use_processes=False, max_workers=2)
+    with server.run_in_thread() as embedded:
+        trace_remote(embedded.url)
+    print("server drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

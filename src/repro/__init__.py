@@ -11,6 +11,8 @@ Public API highlights
 * :mod:`repro.server` / :mod:`repro.client` — online transpilation server
   (``python -m repro serve``): asyncio HTTP job service with a priority queue, live
   progress streaming and Prometheus metrics, plus the stdlib Python client.
+* :mod:`repro.obs` — end-to-end tracing and telemetry: span trees across
+  client/server/worker, unified cache/kernel counters, Chrome-trace export.
 """
 
 from .circuit import DAGCircuit, Gate, Instruction, QuantumCircuit, qasm, random_circuit
@@ -33,6 +35,7 @@ from .hardware import (
     synthetic_calibration,
 )
 from .client import ReproClient, transpile_remote
+from .obs import COUNTERS, Span, Tracer, set_tracer, use_tracer
 from .service import BatchTranspiler, ResultCache, TranspileJob
 from .simulator import NoiseModel, NoisySimulator, StatevectorSimulator
 from .synthesis import TwoQubitSynthesizer, cnot_count, weyl_coordinates
@@ -52,6 +55,7 @@ __all__ = [
     "CouplingMap", "Target", "fake_montreal_calibration", "grid_coupling_map",
     "linear_coupling_map", "montreal_coupling_map", "synthetic_calibration",
     "BatchTranspiler", "ReproClient", "ResultCache", "TranspileJob", "transpile_remote",
+    "COUNTERS", "Span", "Tracer", "set_tracer", "use_tracer",
     "NoiseModel", "NoisySimulator", "StatevectorSimulator",
     "TwoQubitSynthesizer", "cnot_count", "weyl_coordinates",
     "PipelineBuilder", "available_routings", "register_routing", "unregister_routing",

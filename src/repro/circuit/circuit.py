@@ -274,18 +274,23 @@ class QuantumCircuit:
         clbit_level = [0] * self.num_clbits
         depth = 0
         for inst in self.data:
-            levels = [qubit_level[q] for q in inst.qubits]
-            levels.extend(clbit_level[c] for c in inst.clbits)
-            start = max(levels, default=0)
-            counts = 0 if inst.name == "barrier" else 1
-            if two_qubit_only and len(inst.qubits) < 2:
-                counts = 0
-            new_level = start + counts
+            start = 0
             for q in inst.qubits:
-                qubit_level[q] = new_level
+                wire_level = qubit_level[q]
+                if wire_level > start:
+                    start = wire_level
             for c in inst.clbits:
-                clbit_level[c] = new_level
-            depth = max(depth, new_level)
+                wire_level = clbit_level[c]
+                if wire_level > start:
+                    start = wire_level
+            if inst.name != "barrier" and not (two_qubit_only and len(inst.qubits) < 2):
+                start += 1
+            for q in inst.qubits:
+                qubit_level[q] = start
+            for c in inst.clbits:
+                clbit_level[c] = start
+            if start > depth:
+                depth = start
         return depth
 
     def two_qubit_pairs(self) -> List[Tuple[int, int]]:

@@ -22,6 +22,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import CircuitError
+from ..obs.counters import COUNTERS
 
 #: Gates natively supported by the simulated hardware backend.
 HARDWARE_BASIS: Tuple[str, ...] = ("id", "rz", "sx", "x", "cx")
@@ -262,6 +263,14 @@ def _shared_matrix(name: str, params: Tuple[float, ...]) -> np.ndarray:
     matrix = GATE_SPECS[name].matrix(params)
     matrix.flags.writeable = False
     return matrix
+
+
+def _matrix_cache_counters() -> Dict[str, int]:
+    info = _shared_matrix.cache_info()
+    return {"hits": info.hits, "misses": info.misses, "size": info.currsize}
+
+
+COUNTERS.register_provider("cache.gate_matrix", _matrix_cache_counters)
 
 
 @dataclass

@@ -34,6 +34,7 @@ from .core.pipeline import TranspileResult
 from .exceptions import ReproError
 from .hardware.coupling import CouplingMap
 from .hardware.target import Target
+from .obs.tracer import active_tracer, format_traceparent
 from .service.jobs import TranspileJob
 
 
@@ -93,8 +94,11 @@ class ReproClient:
         payload: Optional[Dict] = None,
         *,
         timeout: Optional[float] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict:
-        status, body = self._raw_request(method, path, payload, timeout=timeout)
+        status, body = self._raw_request(
+            method, path, payload, timeout=timeout, extra_headers=extra_headers
+        )
         try:
             data = json.loads(body.decode("utf-8")) if body else {}
         except json.JSONDecodeError as exc:
@@ -115,13 +119,14 @@ class ReproClient:
         payload: Optional[Dict] = None,
         *,
         timeout: Optional[float] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> "tuple[int, bytes]":
         connection = HTTPConnection(
             self.host, self.port, timeout=self.timeout if timeout is None else timeout
         )
         try:
             body = None
-            headers = {}
+            headers = dict(extra_headers or {})
             if self.client_id:
                 headers["X-Repro-Client"] = self.client_id
             if payload is not None:
@@ -163,12 +168,33 @@ class ReproClient:
         return self.submit_job(job, priority=priority)
 
     def submit_job(self, job: TranspileJob, *, priority: int = 0) -> "RemoteJob":
-        """Submit a prepared :class:`TranspileJob` spec."""
+        """Submit a prepared :class:`TranspileJob` spec.
+
+        When tracing is enabled in this process (an ambient :class:`repro.obs.Tracer`
+        or ``REPRO_TRACE``), the submission carries a ``traceparent`` header so the
+        server threads the client's trace through queue admission and into the worker;
+        :meth:`RemoteJob.result` then returns the merged client→server→worker tree in
+        ``TranspileResult.trace``.
+        """
         payload: Dict = {"job": job.to_dict(), "priority": priority}
         if self.client_id:
             payload["client"] = self.client_id
-        data = self._request("POST", "/v1/jobs", payload)
-        return RemoteJob(self, data)
+        tracer = active_tracer()
+        client_spans: List[Dict] = []
+        if tracer is not None:
+            span = tracer.start_span(
+                "client.submit", job=job.name, fingerprint=job.fingerprint()[:12]
+            )
+            headers = {"traceparent": format_traceparent(tracer.trace_id, span.span_id)}
+            try:
+                data = self._request("POST", "/v1/jobs", payload, extra_headers=headers)
+                span.set("job_id", data.get("id"))
+            finally:
+                tracer.end_span(span)
+            client_spans = [span.to_dict()]
+        else:
+            data = self._request("POST", "/v1/jobs", payload)
+        return RemoteJob(self, data, client_spans=client_spans)
 
     def submit_batch(
         self, jobs: Sequence[TranspileJob], *, priority: int = 0
@@ -193,6 +219,19 @@ class ReproClient:
     def jobs(self) -> List[Dict]:
         """Summaries of every job the server currently remembers."""
         return self._request("GET", "/v1/jobs").get("jobs", [])
+
+    def trace(self, job_id: str, *, wait: Optional[float] = None) -> Dict:
+        """The job's span tree from ``GET /v1/jobs/{id}/trace``.
+
+        Returns ``{"id", "state", "trace_id", "spans": [...]}``; the spans cover the
+        server's admission/queue-wait bookkeeping plus — for jobs that actually executed
+        with tracing on — the worker's per-pass tree.
+        """
+        path = f"/v1/jobs/{job_id}/trace"
+        if wait is not None:
+            path += "?" + urlencode({"wait": wait})
+        timeout = None if wait is None else max(self.timeout, wait + 10.0)
+        return self._request("GET", path, timeout=timeout)
 
     def result(self, job_id: str, *, timeout: Optional[float] = 300.0) -> TranspileResult:
         """Block until the job finishes and return its :class:`TranspileResult`.
@@ -295,12 +334,16 @@ class ReproClient:
 class RemoteJob:
     """Handle to one submitted job: id, fingerprint, and result/event accessors."""
 
-    def __init__(self, client: ReproClient, summary: Dict) -> None:
+    def __init__(
+        self, client: ReproClient, summary: Dict, *, client_spans: Optional[List[Dict]] = None
+    ) -> None:
         self._client = client
         self.id: str = summary["id"]
         self.fingerprint: str = summary.get("fingerprint", "")
         self.resubmitted: bool = bool(summary.get("resubmitted", False))
         self._summary = summary
+        #: Client-side spans of the submission (non-empty only when tracing was on).
+        self._client_spans: List[Dict] = list(client_spans or [])
 
     def status(self) -> Dict:
         return self._client.job(self.id)
@@ -310,7 +353,23 @@ class RemoteJob:
         return self.status()["state"]
 
     def result(self, timeout: Optional[float] = 300.0) -> TranspileResult:
-        return self._client.result(self.id, timeout=timeout)
+        """Block for the result; when traced at submit, merges the full span tree.
+
+        ``result.trace`` then holds client submit → server job/queue-wait → worker
+        execution (with one span per pass instance) — the complete cross-process tree.
+        """
+        result = self._client.result(self.id, timeout=timeout)
+        if self._client_spans:
+            try:
+                remote = self._client.trace(self.id)
+                result.trace = self._client_spans + list(remote.get("spans", []))
+            except ServerError:
+                # The trace is best-effort telemetry; the compile result stands alone.
+                result.trace = list(self._client_spans)
+        return result
+
+    def trace(self, *, wait: Optional[float] = None) -> Dict:
+        return self._client.trace(self.id, wait=wait)
 
     def events(self) -> Iterator[Dict]:
         return self._client.events(self.id)

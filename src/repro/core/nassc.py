@@ -17,6 +17,7 @@ import numpy as np
 
 from ..circuit.dag import DAGCircuit, DAGNode
 from ..hardware.coupling import CouplingMap
+from ..obs.counters import COUNTERS
 from ..transpiler.passes.layout import Layout
 from ..transpiler.passes.sabre import SabreSwapRouter
 from ..transpiler.passmanager import PropertySet, TransformationPass
@@ -94,6 +95,7 @@ class NASSCSwapRouter(SabreSwapRouter):
     def _estimate_for(self, swap: Tuple[int, int]) -> SwapEstimate:
         estimate = self._estimates.get(swap)
         if estimate is None:
+            COUNTERS.inc("routing.nassc.estimates")
             estimate = self._estimator.estimate(
                 self._out_circuit,
                 self._wire_history,

@@ -26,6 +26,7 @@ from ..exceptions import TranspilerError
 from ..hardware.calibration import DeviceCalibration
 from ..hardware.coupling import CouplingMap
 from ..hardware.target import Target
+from ..obs.tracer import active_tracer, env_trace_path
 from ..transpiler.builder import LEVEL_FIXED_POINT_ITERATIONS, PipelineBuilder
 from ..transpiler.passmanager import PropertySet
 from ..transpiler.passes.layout import Layout
@@ -68,6 +69,10 @@ class TranspileResult:
     pass_timing_log: List[Tuple[str, float]] = field(default_factory=list)
     #: Preset optimization level the circuit was compiled at.
     level: str = "O1"
+    #: Serialised span tree of this call when tracing was enabled (see
+    #: :mod:`repro.obs`); empty when tracing was off.  For remote jobs the client
+    #: merges server/worker spans in here, yielding the full cross-process tree.
+    trace: List[Dict] = field(default_factory=list)
 
     @property
     def cx_count(self) -> int:
@@ -91,7 +96,7 @@ class TranspileResult:
         """
         from ..circuit import qasm
 
-        return {
+        out = {
             "qasm": qasm.dumps(self.circuit),
             "name": self.circuit.name,
             "routing": self.routing,
@@ -109,6 +114,9 @@ class TranspileResult:
                 "count_ops": self.count_ops(),
             },
         }
+        if self.trace:
+            out["trace"] = list(self.trace)
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TranspileResult":
@@ -133,6 +141,7 @@ class TranspileResult:
             pass_timing_log=[
                 (str(name), float(t)) for name, t in data.get("pass_timing_log", [])
             ],
+            trace=list(data.get("trace", [])),
         )
 
 
@@ -230,13 +239,30 @@ def transpile(
         },
     )
 
+    tracer = active_tracer()
+
     start = time.perf_counter()
     manager = PipelineBuilder(resolved_target, resolved_options).build()
-    compiled = manager.run(circuit)
+    if tracer is None:
+        compiled = manager.run(circuit)
+    else:
+        since = len(tracer.finished)
+        with tracer.span(
+            "transpile",
+            circuit=circuit.name,
+            qubits=circuit.num_qubits,
+            routing=resolved_options.routing,
+            level=resolved_options.level,
+            seed=resolved_options.seed,
+        ) as root:
+            compiled = manager.run(circuit)
+            root.set("gates", len(compiled.data))
+            root.set("depth", compiled.depth())
+            root.set("num_swaps", manager.property_set.get("num_swaps", 0))
     elapsed = time.perf_counter() - start
 
     props: PropertySet = manager.property_set
-    return TranspileResult(
+    result = TranspileResult(
         circuit=compiled,
         routing=resolved_options.routing,
         level=resolved_options.level,
@@ -248,6 +274,15 @@ def transpile(
         pass_timings=dict(manager.timings),
         pass_timing_log=list(manager.timing_log),
     )
+    if tracer is not None:
+        result.trace = tracer.span_dicts(since=since)
+        trace_path = env_trace_path()
+        if trace_path:
+            from ..obs.counters import COUNTERS
+            from ..obs.export import write_chrome_trace
+
+            write_chrome_trace(trace_path, tracer.span_dicts(), COUNTERS.snapshot())
+    return result
 
 
 def optimize_logical(circuit: QuantumCircuit, final_basis: str = "zsx") -> QuantumCircuit:

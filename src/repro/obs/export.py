@@ -1,0 +1,188 @@
+"""Trace exporters and analysis helpers.
+
+Two on-disk formats:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace`, :func:`write_chrome_trace`) — the
+  ``{"traceEvents": [...]}`` envelope with complete ("X") duration events, loadable in
+  Perfetto / ``chrome://tracing``.  Span and parent ids travel in each event's ``args``
+  so :func:`load_trace_file` can reconstruct the tree loss-lessly.
+* **JSONL spans** (:func:`write_jsonl`) — one serialised span per line, for ad-hoc
+  ``jq``/pandas analysis.
+
+Analysis helpers (:func:`self_times`, :func:`top_spans`, :func:`format_tree`) power the
+``repro trace`` CLI subcommand and the examples.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Stable process-name → Chrome pid assignment, so the three tiers of a merged
+#: client→server→worker trace land in three labelled rows.
+_PROCESS_PIDS = {"client": 1, "server": 2, "worker": 3, "local": 1}
+
+
+def _as_dicts(spans: Sequence) -> List[Dict]:
+    """Accept Span objects or already-serialised dicts uniformly."""
+    return [span if isinstance(span, dict) else span.to_dict() for span in spans]
+
+
+def chrome_trace(spans: Sequence, counters: Optional[Dict[str, int]] = None) -> Dict:
+    """Build a Chrome trace-event JSON document from spans (+ optional counter snapshot)."""
+    events: List[Dict] = []
+    pids_seen: Dict[int, str] = {}
+    for span in _as_dicts(spans):
+        process = span.get("process", "local")
+        pid = _PROCESS_PIDS.get(process, 9)
+        pids_seen.setdefault(pid, process)
+        args = dict(span.get("attrs") or {})
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        events.append(
+            {
+                "name": span["name"],
+                "cat": process,
+                "ph": "X",
+                "ts": span["start"] * 1e6,
+                "dur": max(0.0, (span["end"] - span["start"]) * 1e6),
+                "pid": pid,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    for pid, process in sorted(pids_seen.items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 1,
+                "args": {"name": f"repro:{process}"},
+            }
+        )
+    doc: Dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if counters:
+        doc["otherData"] = {"counters": {k: counters[k] for k in sorted(counters)}}
+    return doc
+
+
+def write_chrome_trace(
+    path: str, spans: Sequence, counters: Optional[Dict[str, int]] = None
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans, counters), handle, indent=1)
+
+
+def write_jsonl(path: str, spans: Sequence) -> None:
+    """One serialised span per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in _as_dicts(spans):
+            handle.write(json.dumps(span) + "\n")
+
+
+def load_trace_file(path: str) -> List[Dict]:
+    """Read spans back from any format this module writes.
+
+    Accepts Chrome trace-event JSON (tree reconstructed from ``args.span_id`` /
+    ``args.parent_id``), a ``{"spans": [...]}`` document, a bare span list, or JSONL.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+    if isinstance(doc, list):
+        return doc
+    if "spans" in doc:
+        return list(doc["spans"])
+    spans = []
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args") or {})
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        start = event.get("ts", 0.0) / 1e6
+        spans.append(
+            {
+                "trace_id": "",
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "name": event.get("name", ""),
+                "start": start,
+                "end": start + event.get("dur", 0.0) / 1e6,
+                "process": event.get("cat", "local"),
+                "attrs": args,
+            }
+        )
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# Analysis
+# ---------------------------------------------------------------------------
+
+
+def self_times(spans: Sequence) -> List[Tuple[Dict, float]]:
+    """Per-span self-time: duration minus the duration of direct children.
+
+    Cross-process gaps count toward the parent's self-time only to the extent no child
+    covers them, which is exactly what "where did the wall-time actually go" needs.
+    """
+    dicts = _as_dicts(spans)
+    child_total: Dict[str, float] = {}
+    for span in dicts:
+        parent = span.get("parent_id")
+        if parent:
+            child_total[parent] = child_total.get(parent, 0.0) + (
+                span["end"] - span["start"]
+            )
+    out = []
+    for span in dicts:
+        duration = span["end"] - span["start"]
+        out.append((span, max(0.0, duration - child_total.get(span["span_id"], 0.0))))
+    return out
+
+
+def top_spans(spans: Sequence, n: int = 5) -> List[Tuple[Dict, float]]:
+    """The ``n`` spans with the largest self-time, descending."""
+    return sorted(self_times(spans), key=lambda item: item[1], reverse=True)[:n]
+
+
+def format_tree(spans: Sequence) -> str:
+    """Render the span forest as an indented text tree with durations."""
+    dicts = _as_dicts(spans)
+    known = {span["span_id"] for span in dicts}
+    children: Dict[Optional[str], List[Dict]] = {}
+    for span in dicts:
+        parent = span.get("parent_id")
+        key = parent if parent in known else None
+        children.setdefault(key, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda span: span["start"])
+
+    lines: List[str] = []
+
+    def walk(span: Dict, depth: int) -> None:
+        duration_ms = (span["end"] - span["start"]) * 1000.0
+        attrs = span.get("attrs") or {}
+        note = ""
+        interesting = {
+            k: v for k, v in attrs.items() if k not in ("span_id", "parent_id")
+        }
+        if interesting:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(interesting.items())[:4])
+            note = f"  [{pairs}]"
+        lines.append(
+            f"{'  ' * depth}{span['name']}  {duration_ms:9.3f} ms"
+            f"  ({span.get('process', 'local')}){note}"
+        )
+        for child in children.get(span["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)

@@ -43,6 +43,8 @@ from ..core.options import LEVEL_DESCRIPTIONS, OPTIMIZATION_LEVELS, TranspileOpt
 from ..exceptions import ReproError
 from ..hardware.target import Target
 from ..hardware.topologies import TOPOLOGY_CATALOG
+from ..obs.counters import COUNTERS
+from ..obs.tracer import parse_traceparent
 from ..service.cache import ResultCache
 from ..service.jobs import TranspileJob
 from ..transpiler.registry import registered_methods
@@ -155,6 +157,7 @@ class ReproServer:
             ("POST", "/v1/batch", self._handle_batch),
             ("GET", "/v1/jobs", self._handle_list_jobs),
             ("GET", "/v1/jobs/{id}", self._handle_get_job),
+            ("GET", "/v1/jobs/{id}/trace", self._handle_trace),
             ("GET", "/v1/jobs/{id}/events", self._handle_events),
             ("POST", "/v1/jobs/{id}/cancel", self._handle_cancel),
             ("DELETE", "/v1/jobs/{id}", self._handle_cancel),
@@ -355,14 +358,23 @@ class ReproServer:
         except (ReproError, KeyError, TypeError, ValueError) as exc:
             raise HTTPError(400, f"invalid job specification: {exc}") from exc
 
-    async def _admit(self, job: TranspileJob, *, client: str, priority: int) -> Tuple[JobRecord, str]:
+    async def _admit(
+        self,
+        job: TranspileJob,
+        *,
+        client: str,
+        priority: int,
+        trace_ctx: Optional[Dict] = None,
+    ) -> Tuple[JobRecord, str]:
         """Admit one job; returns (record, disposition in {new, deduplicated, cached})."""
         fingerprint = job.fingerprint()
         payload = None
         if self.queue.find_fingerprint(fingerprint) is None:
             loop = asyncio.get_running_loop()
             payload = await loop.run_in_executor(None, self.cache.get, fingerprint)
-        return self._admit_atomic(job, fingerprint, payload, client=client, priority=priority)
+        return self._admit_atomic(
+            job, fingerprint, payload, client=client, priority=priority, trace_ctx=trace_ctx
+        )
 
     def _admit_atomic(
         self,
@@ -372,6 +384,7 @@ class ReproServer:
         *,
         client: str,
         priority: int,
+        trace_ctx: Optional[Dict] = None,
     ) -> Tuple[JobRecord, str]:
         """The synchronous admission step — no awaits, so queue state cannot move
         underneath it (callers may pre-check headroom for a whole batch)."""
@@ -381,7 +394,12 @@ class ReproServer:
         # owns that check (and its dedup counter) inside submit().
         if cached_payload is not None and self.queue.find_fingerprint(fingerprint) is None:
             record = self.queue.admit_completed(
-                job, cached_payload, client=client, priority=priority, fingerprint=fingerprint
+                job,
+                cached_payload,
+                client=client,
+                priority=priority,
+                fingerprint=fingerprint,
+                trace_ctx=trace_ctx,
             )
             self.metrics.jobs_submitted.inc()
             self.metrics.jobs_finished.inc(outcome="cached")
@@ -389,7 +407,11 @@ class ReproServer:
             return record, "cached"
         try:
             record, resubmitted = self.queue.submit(
-                job, client=client, priority=priority, fingerprint=fingerprint
+                job,
+                client=client,
+                priority=priority,
+                fingerprint=fingerprint,
+                trace_ctx=trace_ctx,
             )
         except QueueFull as exc:
             self.metrics.jobs_rejected.inc()
@@ -422,7 +444,10 @@ class ReproServer:
         job = await self._job_from_payload(data)
         client = str(data.get("client") or request.client_id)
         priority = _int_field(data, "priority", default=0)
-        record, disposition = await self._admit(job, client=client, priority=priority)
+        trace_ctx = parse_traceparent(request.headers.get("traceparent"))
+        record, disposition = await self._admit(
+            job, client=client, priority=priority, trace_ctx=trace_ctx
+        )
         status = 200 if record.state not in (QUEUED, RUNNING) else 202
         await self._write_json(writer, status, self._submit_summary(record, disposition))
 
@@ -466,9 +491,15 @@ class ReproServer:
             error.headers["Retry-After"] = "1"
             raise error
         submissions = []
+        trace_ctx = parse_traceparent(request.headers.get("traceparent"))
         for job, fingerprint in zip(jobs, fingerprints):
             record, disposition = self._admit_atomic(
-                job, fingerprint, cached.get(fingerprint), client=client, priority=priority
+                job,
+                fingerprint,
+                cached.get(fingerprint),
+                client=client,
+                priority=priority,
+                trace_ctx=trace_ctx,
             )
             submissions.append(self._submit_summary(record, disposition))
         await self._write_json(writer, 202, {"jobs": submissions})
@@ -489,6 +520,33 @@ class ReproServer:
     async def _handle_list_jobs(self, request: Request, writer: asyncio.StreamWriter) -> None:
         records = [record.to_dict(include_result=False) for record in self.queue.records()]
         await self._write_json(writer, 200, {"jobs": records, "count": len(records)})
+
+    async def _handle_trace(
+        self, request: Request, writer: asyncio.StreamWriter, id: str
+    ) -> None:
+        """Serve the job's span tree: server spans + the worker's shipped spans.
+
+        With an optional ``wait=`` query it long-polls like ``GET /v1/jobs/{id}`` so a
+        tracing client can fetch the complete tree right after the terminal event.
+        """
+        record = self._record_or_404(id)
+        wait = request.query.get("wait")
+        if wait is not None:
+            try:
+                timeout = min(float(wait), MAX_WAIT_SECONDS)
+            except ValueError as exc:
+                raise HTTPError(400, f"invalid wait value {wait!r}") from exc
+            await record.wait_terminal(timeout=timeout)
+        await self._write_json(
+            writer,
+            200,
+            {
+                "id": record.id,
+                "state": record.state,
+                "trace_id": record.trace_id,
+                "spans": record.trace_spans(),
+            },
+        )
 
     async def _handle_events(
         self, request: Request, writer: asyncio.StreamWriter, id: str
@@ -568,10 +626,14 @@ class ReproServer:
         await self._write_json(writer, 200, payload)
 
     async def _handle_metrics(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        # Obs counters are per-process: with a process pool the workers' transpiler-side
+        # counters live in the pool, so this snapshot mostly reflects the server process
+        # (thread pools surface everything).  The ResultCache counters always show here.
         text = self.metrics.render(
             queue_depth=self.queue.pending_count(),
             in_flight=self.queue.in_flight,
             cache_stats=self.cache.stats.to_dict(),
+            obs_counters=COUNTERS.snapshot(),
         )
         await self._write_response(
             writer, 200, text.encode("utf-8"), content_type="text/plain; version=0.0.4"

@@ -29,10 +29,22 @@ def _fmt(value: float) -> str:
     return str(as_int) if value == as_int else repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\`` , ``"`` and newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _labels(labels: Optional[Dict[str, str]]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in sorted(labels.items())
+    )
     return "{" + inner + "}"
 
 
@@ -68,6 +80,57 @@ class Histogram:
         lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
         lines.append(f"{self.name}_sum {_fmt(self.total)}")
         lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+class LabeledHistogram:
+    """A family of :class:`Histogram` children keyed by one label value.
+
+    Used for per-pass latency (``repro_pass_seconds{pass="SabreRouting"}``): children are
+    created on first observation and render as one metric family.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.label = label
+        self.buckets = tuple(sorted(buckets))
+        self._children: Dict[str, Histogram] = {}
+
+    def observe(self, label_value: str, value: float) -> None:
+        child = self._children.get(label_value)
+        if child is None:
+            child = self._children[label_value] = Histogram(
+                self.name, self.help_text, self.buckets
+            )
+        child.observe(value)
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} histogram",
+        ]
+        for label_value in sorted(self._children):
+            child = self._children[label_value]
+            escaped = _escape_label_value(label_value)
+            for bound, bucket_count in zip(child.buckets, child.counts):
+                lines.append(
+                    f'{self.name}_bucket{{{self.label}="{escaped}",le="{_fmt(bound)}"}} '
+                    f"{bucket_count}"
+                )
+            lines.append(
+                f'{self.name}_bucket{{{self.label}="{escaped}",le="+Inf"}} {child.count}'
+            )
+            lines.append(
+                f'{self.name}_sum{{{self.label}="{escaped}"}} {_fmt(child.total)}'
+            )
+            lines.append(f'{self.name}_count{{{self.label}="{escaped}"}} {child.count}')
         return lines
 
 
@@ -143,8 +206,31 @@ class ServerMetrics:
         self.total_seconds = Histogram(
             "repro_job_total_seconds", "End-to-end time from submission to terminal state"
         )
+        # Same quantity as queue_wait under the series name the observability layer
+        # standardises on; kept alongside the historical name for dashboard continuity.
+        self.server_queue_wait = Histogram(
+            "repro_server_queue_wait_seconds",
+            "Time jobs spent queued before a worker picked them up",
+        )
+        self.pass_seconds = LabeledHistogram(
+            "repro_pass_seconds",
+            "Per-transpiler-pass wall time, labelled by pass name",
+            "pass",
+        )
 
-    def render(self, *, queue_depth: int, in_flight: int, cache_stats: Dict) -> str:
+    def observe_pass_timings(self, timing_log: Iterable[Tuple[str, float]]) -> None:
+        """Feed one job's per-pass timing log into the per-pass latency histograms."""
+        for name, elapsed in timing_log:
+            self.pass_seconds.observe(str(name), float(elapsed))
+
+    def render(
+        self,
+        *,
+        queue_depth: int,
+        in_flight: int,
+        cache_stats: Dict,
+        obs_counters: Optional[Dict[str, int]] = None,
+    ) -> str:
         lines: List[str] = []
         lines += gauge_lines(
             "repro_queue_depth", "Jobs admitted and waiting to start", queue_depth
@@ -169,8 +255,43 @@ class ServerMetrics:
                 f"Result-cache cumulative {stat.replace('_', ' ')}",
                 float(cache_stats.get(stat, 0)),
             )
-        for histogram in (self.queue_wait, self.run_seconds, self.total_seconds):
+        for histogram in (
+            self.queue_wait,
+            self.server_queue_wait,
+            self.run_seconds,
+            self.total_seconds,
+        ):
             lines += histogram.render()
+        lines += self.pass_seconds.render()
+        if obs_counters:
+            # Bridge from the process-wide obs CounterRegistry: one labelled family for
+            # the unified cache/kernel counters, plus derived hit-rate gauges per cache.
+            lines.append("# HELP repro_obs_counter Unified observability counters (repro.obs)")
+            lines.append("# TYPE repro_obs_counter counter")
+            for name in sorted(obs_counters):
+                lines.append(
+                    f"repro_obs_counter{_labels({'name': name})} {_fmt(obs_counters[name])}"
+                )
+            prefixes = sorted(
+                {
+                    name.rsplit(".", 1)[0]
+                    for name in obs_counters
+                    if name.endswith(".hits") or name.endswith(".misses")
+                }
+            )
+            if prefixes:
+                lines.append(
+                    "# HELP repro_obs_cache_hit_rate Hit rate per instrumented cache"
+                )
+                lines.append("# TYPE repro_obs_cache_hit_rate gauge")
+                for prefix in prefixes:
+                    hits = obs_counters.get(f"{prefix}.hits", 0)
+                    misses = obs_counters.get(f"{prefix}.misses", 0)
+                    total = hits + misses
+                    rate = hits / total if total else 0.0
+                    lines.append(
+                        f"repro_obs_cache_hit_rate{_labels({'cache': prefix})} {_fmt(rate)}"
+                    )
         return "\n".join(lines) + "\n"
 
 

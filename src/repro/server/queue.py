@@ -33,6 +33,7 @@ import uuid
 from collections import OrderedDict
 from typing import AsyncIterator, Dict, List, Optional
 
+from ..obs.tracer import new_span_id, new_trace_id
 from ..service.jobs import JobError, TranspileJob
 
 #: Job lifecycle states (terminal states are DONE, FAILED, CANCELLED).
@@ -67,12 +68,23 @@ class JobRecord:
         client: str = DEFAULT_CLIENT,
         priority: int = 0,
         fingerprint: Optional[str] = None,
+        trace_ctx: Optional[Dict] = None,
     ) -> None:
         self.id = f"job-{uuid.uuid4().hex[:16]}"
         self.job = job
         self.fingerprint = fingerprint if fingerprint is not None else job.fingerprint()
         self.client = client or DEFAULT_CLIENT
         self.priority = int(priority)
+        #: Parsed ``traceparent`` context from the submitting client (or ``None``).
+        #: Deliberately *not* part of the job fingerprint: identical jobs dedupe and
+        #: share cached results whether or not they are traced.
+        self.trace_ctx = trace_ctx
+        self.trace_id = trace_ctx["trace_id"] if trace_ctx else new_trace_id()
+        #: Span ids are fixed at admission so repeated ``/trace`` reads are stable.
+        self.server_span_id = new_span_id()
+        self.queue_wait_span_id = new_span_id()
+        #: Serialised span tree shipped back by the pool worker (empty when untraced).
+        self.worker_trace: List[Dict] = []
         self.state = QUEUED
         self.cancel_requested = False
         self.from_cache = False
@@ -108,7 +120,13 @@ class JobRecord:
             "depth": result_payload.get("metrics", {}).get("depth"),
             "pass_timings": result_payload.get("pass_timings", {}),
             "pass_timing_log": result_payload.get("pass_timing_log", []),
+            "queued_seconds": self.queued_seconds,
+            "running_seconds": self.running_seconds,
         }
+        if self.trace_ctx is not None:
+            # The submitting client is tracing: stream the merged server+worker tree in
+            # the terminal event so event consumers need no second request.
+            detail["trace"] = self.trace_spans()
         self._record_event(DONE, detail)
 
     def fail(self, error: JobError) -> None:
@@ -128,6 +146,68 @@ class JobRecord:
     def is_terminal(self) -> bool:
         return self.state in TERMINAL_STATES
 
+    @property
+    def queued_seconds(self) -> float:
+        """Wall time spent waiting for a worker (submission → start, live until then)."""
+        end = self.started_at if self.started_at is not None else self.finished_at
+        if end is None:
+            end = time.time()
+        return max(0.0, end - self.submitted_at)
+
+    @property
+    def running_seconds(self) -> float:
+        """Wall time spent executing (start → finish, live while running; 0 unstarted)."""
+        if self.started_at is None:
+            return 0.0
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return max(0.0, end - self.started_at)
+
+    def trace_spans(self) -> List[Dict]:
+        """Server-side span tree of this job, with the worker's spans grafted in.
+
+        Built on demand from the record's own timestamps (the event loop never runs a
+        tracer): ``server.job`` covers admission → terminal, parented on the client's
+        submit span when a ``traceparent`` was received; ``server.queue_wait`` covers
+        the dispatch delay; the worker's serialized spans already parent themselves on
+        ``server.job`` via the propagated context.
+        """
+        now = time.time()
+        end = self.finished_at if self.finished_at is not None else now
+        parent = self.trace_ctx.get("parent_id") if self.trace_ctx else None
+        spans: List[Dict] = [
+            {
+                "trace_id": self.trace_id,
+                "span_id": self.server_span_id,
+                "parent_id": parent,
+                "name": "server.job",
+                "start": self.submitted_at,
+                "end": end,
+                "process": "server",
+                "attrs": {
+                    "job_id": self.id,
+                    "state": self.state,
+                    "client": self.client,
+                    "priority": self.priority,
+                    "from_cache": self.from_cache,
+                },
+            }
+        ]
+        if self.started_at is not None:
+            spans.append(
+                {
+                    "trace_id": self.trace_id,
+                    "span_id": self.queue_wait_span_id,
+                    "parent_id": self.server_span_id,
+                    "name": "server.queue_wait",
+                    "start": self.submitted_at,
+                    "end": self.started_at,
+                    "process": "server",
+                    "attrs": {"queue_wait_seconds": self.started_at - self.submitted_at},
+                }
+            )
+        spans.extend(self.worker_trace)
+        return spans
+
     def to_dict(self, *, include_result: bool = True) -> Dict:
         """JSON form served by ``GET /v1/jobs/{id}``."""
         payload: Dict = {
@@ -142,6 +222,9 @@ class JobRecord:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queued_seconds": self.queued_seconds,
+            "running_seconds": self.running_seconds,
+            "trace_id": self.trace_id,
         }
         if self.error is not None:
             payload["error"] = self.error.to_dict()
@@ -232,6 +315,7 @@ class JobQueue:
         client: str = DEFAULT_CLIENT,
         priority: int = 0,
         fingerprint: Optional[str] = None,
+        trace_ctx: Optional[Dict] = None,
     ) -> "tuple[JobRecord, bool]":
         """Admit a job; returns ``(record, resubmitted)``.
 
@@ -249,7 +333,9 @@ class JobQueue:
         if self.admitted_depth() >= self.max_pending:
             self.rejected += 1
             raise QueueFull(self.admitted_depth(), self.max_pending)
-        record = JobRecord(job, client=client, priority=priority, fingerprint=fingerprint)
+        record = JobRecord(
+            job, client=client, priority=priority, fingerprint=fingerprint, trace_ctx=trace_ctx
+        )
         self._records[record.id] = record
         self._by_fingerprint[fingerprint] = record
         self._push(record)
@@ -265,13 +351,16 @@ class JobQueue:
         client: str = DEFAULT_CLIENT,
         priority: int = 0,
         fingerprint: Optional[str] = None,
+        trace_ctx: Optional[Dict] = None,
     ) -> JobRecord:
         """Register a record already satisfied by the result cache (never queued).
 
         Cache-served completions bypass admission control: they consume no queue slot
         and no worker, so rejecting them would only punish well-behaved clients.
         """
-        record = JobRecord(job, client=client, priority=priority, fingerprint=fingerprint)
+        record = JobRecord(
+            job, client=client, priority=priority, fingerprint=fingerprint, trace_ctx=trace_ctx
+        )
         record.finish(payload, from_cache=True)
         self._records[record.id] = record
         self._by_fingerprint[record.fingerprint] = record

@@ -151,10 +151,19 @@ class JobRunner:
         if payload is not None:
             record.finish(payload, from_cache=True)
             return
-        raw = await loop.run_in_executor(self._pool, _execute_one, record.job.to_dict())
+        # Trace context rides beside the job payload (never inside it — fingerprints are
+        # content-addressed).  The worker parents its spans on this record's server span.
+        trace_ctx = None
+        if record.trace_ctx is not None:
+            trace_ctx = {"trace_id": record.trace_id, "parent_id": record.server_span_id}
+        raw = await loop.run_in_executor(
+            self._pool, _execute_one, record.job.to_dict(), trace_ctx
+        )
         # Publish to the cache BEFORE settling the record: a client released by its
         # long-poll may resubmit the same fingerprint immediately, and that submission
-        # must find the cache entry already in place.
+        # must find the cache entry already in place.  ``raw["result"]`` is trace-free
+        # by construction (the worker ships spans under the top-level "trace" key), so
+        # cached payloads never leak another request's span tree.
         if raw.get("ok", False):
             await loop.run_in_executor(
                 None, self.cache.put, record.fingerprint, raw["result"]
@@ -162,6 +171,7 @@ class JobRunner:
         self._settle(record, raw)
 
     def _settle(self, record: JobRecord, raw: Dict) -> None:
+        record.worker_trace = list(raw.get("trace", []))
         if raw.get("ok", False):
             record.finish(raw["result"], from_cache=False)
         else:
@@ -172,8 +182,14 @@ class JobRunner:
         outcome = record.state if not record.from_cache else "cached"
         metrics.jobs_finished.inc(outcome=outcome)
         if record.started_at is not None:
-            metrics.queue_wait.observe(record.started_at - record.submitted_at)
+            queue_wait = record.started_at - record.submitted_at
+            metrics.queue_wait.observe(queue_wait)
+            metrics.server_queue_wait.observe(queue_wait)
             if record.finished_at is not None and not record.from_cache:
                 metrics.run_seconds.observe(record.finished_at - record.started_at)
         if record.finished_at is not None:
             metrics.total_seconds.observe(record.finished_at - record.submitted_at)
+        if not record.from_cache and record.result_payload is not None:
+            # Per-pass latency histograms come from the worker's timing log; cache-served
+            # completions are skipped (their timings belong to the job that computed them).
+            metrics.observe_pass_timings(record.result_payload.get("pass_timing_log", []))

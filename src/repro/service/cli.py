@@ -12,6 +12,8 @@ Subcommands
 * ``cache`` — inspect or clear an on-disk result cache directory (``stats`` emits JSON).
 * ``serve`` — run the online transpilation server (:mod:`repro.server`).
 * ``submit`` — compile a circuit remotely through a running server (:mod:`repro.client`).
+* ``trace`` — pretty-print a trace file written by ``--trace`` / ``REPRO_TRACE``
+  (span tree plus a self-time ranking).
 
 Routing choices everywhere are derived from the routing-method registry, so third-party
 methods registered via ``repro.transpiler.registry`` (or the ``REPRO_ROUTING_PLUGINS``
@@ -89,6 +91,8 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="use the HA distance matrix built from a synthetic calibration")
     p.add_argument("--out", "-o", default="-", help="routed QASM output path (default: stdout)")
     p.add_argument("--metrics", help="write a metrics JSON to this path ('-' for stdout)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="trace the compile and write a Chrome trace-event JSON here")
     add_common(p, workers=False)
 
     p = sub.add_parser("table", help="regenerate a Tables I-IV style report")
@@ -174,6 +178,14 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="stream job state transitions to stderr while waiting")
     p.add_argument("--out", "-o", default="-", help="routed QASM output path (default: stdout)")
     p.add_argument("--metrics", help="write a metrics JSON to this path ('-' for stdout)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="trace the submission end-to-end (client, queue wait, worker, "
+                        "per-pass spans) and write a Chrome trace-event JSON here")
+
+    p = sub.add_parser("trace", help="inspect a trace file written by --trace / REPRO_TRACE")
+    p.add_argument("file", help="Chrome trace JSON, {'spans': [...]} JSON, or JSONL file")
+    p.add_argument("--top", type=int, default=5,
+                   help="how many spans to list in the self-time ranking (default: 5)")
 
     return parser
 
@@ -283,17 +295,38 @@ def _emit_metrics_json(args: argparse.Namespace, result, extra: dict) -> None:
 # Subcommand implementations
 # ---------------------------------------------------------------------------
 
+def _export_cli_trace(path: str, spans: List[dict]) -> None:
+    from ..obs import COUNTERS, write_chrome_trace
+
+    write_chrome_trace(path, spans, counters=COUNTERS.snapshot())
+    print(f"trace: {len(spans)} spans -> {path}", file=sys.stderr)
+
+
 def _cmd_transpile(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from ..obs import Tracer, use_tracer
+
     circuit = _load_input_circuit(args)
     target, options = _target_and_options(args)
     job = TranspileJob.from_circuit(circuit, target, options)
     executor = _make_executor(args)
-    outcome = executor.run([job], progress=_progress_callback(args))[0]
+    # ``transpile`` is single-worker and runs jobs in-process, so an ambient tracer
+    # installed here is the one the pipeline's spans land on.  Export from the tracer
+    # itself: the worker entry point strips span trees out of result payloads so they
+    # never enter the content-addressed cache.
+    tracer = Tracer(process="cli") if args.trace else None
+    with use_tracer(tracer) if tracer is not None else nullcontext():
+        outcome = executor.run([job], progress=_progress_callback(args))[0]
     if not outcome.ok:
         print(f"error: {outcome.error}", file=sys.stderr)
         return 1
 
     result = outcome.result
+    if tracer is not None:
+        if outcome.from_cache and not tracer.finished:
+            print("trace: result served from cache, no passes ran", file=sys.stderr)
+        _export_cli_trace(args.trace, tracer.span_dicts())
     _emit_routed_qasm(args, result)
     _emit_metrics_json(args, result, {
         "fingerprint": outcome.fingerprint,
@@ -460,14 +493,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     import threading
+    from contextlib import ExitStack
 
     from ..client import JobCancelled, JobFailed, ReproClient, ServerError
+    from ..obs import Tracer, use_tracer
 
     circuit = _load_input_circuit(args)
     target, options = _target_and_options(args)
     client = ReproClient(args.url, timeout=max(60.0, args.timeout))
+    stack = ExitStack()
+    if args.trace:
+        # An ambient tracer makes the client send a ``traceparent`` header; the result
+        # then carries the merged client -> server -> worker -> per-pass span tree.
+        stack.enter_context(use_tracer(Tracer(process="client")))
     try:
-        handle = client.submit(circuit, target, options, priority=args.priority)
+        with stack:
+            handle = client.submit(circuit, target, options, priority=args.priority)
         if args.events:
             def _stream() -> None:
                 try:
@@ -489,6 +530,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 2
 
     _emit_routed_qasm(args, result)
+    if args.trace:
+        _export_cli_trace(args.trace, result.trace)
     if args.metrics:
         try:
             from_cache = handle.status().get("from_cache", False)
@@ -504,8 +547,25 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from ..obs import format_tree, load_trace_file, top_spans
+
+    spans = load_trace_file(args.file)
+    if not spans:
+        print("error: no spans found in file", file=sys.stderr)
+        return 1
+    print(format_tree(spans))
+    ranked = top_spans(spans, n=args.top)
+    if ranked:
+        print(f"top {len(ranked)} spans by self-time:")
+        for span, self_time in ranked:
+            print(f"  {self_time * 1000.0:9.3f} ms  {span.get('name', '?')}")
+    return 0
+
+
 _COMMANDS = {
     "transpile": _cmd_transpile,
+    "trace": _cmd_trace,
     "table": _cmd_table,
     "ablation": _cmd_ablation,
     "noise": _cmd_noise,

@@ -21,10 +21,12 @@ from __future__ import annotations
 import math
 import os
 import traceback
+from contextlib import nullcontext
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.pipeline import TranspileResult
+from ..obs.tracer import Tracer, use_tracer
 from .cache import ResultCache
 from .jobs import JobError, JobOutcome, TranspileJob
 
@@ -32,12 +34,34 @@ from .jobs import JobError, JobOutcome, TranspileJob
 ProgressCallback = Callable[[int, int, JobOutcome], None]
 
 
-def _execute_one(payload: Dict) -> Dict:
-    """Run one job dict, returning ``{"ok": ..., "result"|"error": ...}`` (never raises)."""
+def _execute_one(payload: Dict, trace_ctx: Optional[Dict] = None) -> Dict:
+    """Run one job dict, returning ``{"ok": ..., "result"|"error": ...}`` (never raises).
+
+    ``trace_ctx`` (``{"trace_id", "parent_id"}``) rides *next to* the job payload, never
+    inside it: the job fingerprint is content-addressed and two identical jobs must keep
+    identical fingerprints whether or not they are traced.  When present, a worker-side
+    tracer is installed for the duration of the job and its span tree is returned under
+    the top-level ``"trace"`` key — deliberately outside ``"result"``, so the result
+    payload that enters the shared :class:`ResultCache` stays trace-free (cached payloads
+    are served to unrelated future requests).
+    """
     job = TranspileJob.from_dict(payload)
+    tracer = None
+    if trace_ctx is not None:
+        tracer = Tracer(
+            trace_id=trace_ctx.get("trace_id"),
+            parent_id=trace_ctx.get("parent_id"),
+            process="worker",
+        )
     try:
-        result = job.run()
-        return {"ok": True, "result": result.to_dict()}
+        with use_tracer(tracer) if tracer is not None else nullcontext():
+            result = job.run()
+        result_payload = result.to_dict()
+        trace = result_payload.pop("trace", [])
+        raw = {"ok": True, "result": result_payload}
+        if trace:
+            raw["trace"] = trace
+        return raw
     except Exception as exc:  # noqa: BLE001 - error isolation is the contract
         error = JobError(
             fingerprint=job.fingerprint(),
@@ -46,7 +70,10 @@ def _execute_one(payload: Dict) -> Dict:
             message=str(exc),
             traceback=traceback.format_exc(),
         )
-        return {"ok": False, "error": error.to_dict()}
+        raw = {"ok": False, "error": error.to_dict()}
+        if tracer is not None:
+            raw["trace"] = tracer.span_dicts()
+        return raw
 
 
 def _execute_chunk(payloads: List[Dict]) -> List[Dict]:

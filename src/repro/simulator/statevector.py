@@ -15,6 +15,7 @@ import numpy as np
 
 from ..circuit.circuit import QuantumCircuit
 from ..exceptions import SimulatorError
+from ..obs.counters import COUNTERS
 
 _MAX_QUBITS = 22
 
@@ -34,6 +35,19 @@ def _tensordot_axes(num_qubits: int, qubits: Tuple[int, ...]) -> Tuple[Tuple[int
     k = len(qubits)
     state_axes = tuple(num_qubits - 1 - q for q in reversed(qubits))
     return tuple(range(k, 2 * k)), state_axes
+
+
+def _tensor_cache_counters() -> Dict[str, int]:
+    gate = _gate_tensor.cache_info()
+    axes = _tensordot_axes.cache_info()
+    return {
+        "hits": gate.hits + axes.hits,
+        "misses": gate.misses + axes.misses,
+        "size": gate.currsize + axes.currsize,
+    }
+
+
+COUNTERS.register_provider("cache.sim_tensor", _tensor_cache_counters)
 
 
 def _apply_gate(state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:

@@ -22,10 +22,21 @@ import numpy as np
 from ...circuit.circuit import Instruction, QuantumCircuit, expanded_gate_matrix
 from ...circuit.dag import DAGCircuit, DAGNode
 from ...circuit.gates import Gate, gate as make_gate
+from ...obs.counters import COUNTERS
 from ...synthesis.linalg import ALLCLOSE_RTOL
 from ..passmanager import AnalysisPass, PropertySet, TransformationPass
 
 _COMMUTE_CACHE: Dict[Tuple, bool] = {}
+
+# Hit/miss telemetry as plain module ints (a bound-int increment is the cheapest thing
+# this hot path can pay); the registry pulls them on snapshot.
+_COMMUTE_HITS = 0
+_COMMUTE_MISSES = 0
+
+COUNTERS.register_provider(
+    "cache.commutation",
+    lambda: {"hits": _COMMUTE_HITS, "misses": _COMMUTE_MISSES, "size": len(_COMMUTE_CACHE)},
+)
 
 #: Gates that are diagonal in the computational basis (always commute with each other).
 _DIAGONAL_GATES = {"z", "s", "sdg", "t", "tdg", "rz", "p", "u1", "cz", "cp", "cu1", "crz", "rzz"}
@@ -76,11 +87,14 @@ def gates_commute(inst_a, inst_b) -> bool:
     qubits = sorted(set(inst_a.qubits) | set(inst_b.qubits))
     index = {q: i for i, q in enumerate(qubits)}
     cacheable = inst_a.name != "unitary" and inst_b.name != "unitary"
+    global _COMMUTE_HITS, _COMMUTE_MISSES
     if cacheable:
         key = _cache_key(inst_a, inst_b, index)
         cached = _COMMUTE_CACHE.get(key)
         if cached is not None:
+            _COMMUTE_HITS += 1
             return cached
+        _COMMUTE_MISSES += 1
     n = len(qubits)
     mat_a = expanded_gate_matrix(inst_a.gate, [index[q] for q in inst_a.qubits], n)
     mat_b = expanded_gate_matrix(inst_b.gate, [index[q] for q in inst_b.qubits], n)

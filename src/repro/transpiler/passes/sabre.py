@@ -25,6 +25,7 @@ from ...circuit.dag import DAGCircuit, DAGNode, ExecutionFrontier
 from ...circuit.gates import Gate, gate as make_gate
 from ...exceptions import TranspilerError
 from ...hardware.coupling import CouplingMap
+from ...obs.counters import COUNTERS
 from ..passmanager import AnalysisPass, PropertySet, TransformationPass
 from .layout import Layout
 
@@ -197,6 +198,7 @@ class SabreSwapRouter:
             stall_counter += 1
             last_swap = swap
 
+        COUNTERS.inc("routing.swaps_inserted", num_swaps)
         return RoutingResult(
             dag=out.dag,
             initial_layout=initial,
@@ -274,6 +276,8 @@ class SabreSwapRouter:
     ) -> Tuple[int, int]:
         if not candidates:
             raise TranspilerError("no SWAP candidates available (disconnected coupling map?)")
+        COUNTERS.inc("routing.swap_candidates_scored", len(candidates))
+        COUNTERS.inc("routing.swap_selections")
         if type(self)._score_swap in _VECTOR_SAFE_SCORE_SWAPS:
             scores = np.asarray(
                 self._score_candidates(candidates, front_gates, extended, layout), dtype=float

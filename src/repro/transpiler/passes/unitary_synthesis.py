@@ -22,6 +22,7 @@ import numpy as np
 
 from ...circuit.circuit import Instruction, QuantumCircuit
 from ...circuit.dag import DAGCircuit, DAGNode
+from ...obs.counters import COUNTERS
 from ...synthesis.two_qubit import TwoQubitSynthesizer
 from ..passmanager import PropertySet, TransformationPass
 from .collect_2q import Collect2qBlocks
@@ -36,6 +37,15 @@ _TWO_QUBIT_WEIGHT = {"cx": 1, "cz": 1, "cy": 1, "cp": 2, "cu1": 2, "crx": 2, "cr
 #: an explicit-matrix block that cannot be signature-keyed.
 _SYNTH_CACHE: Dict[Tuple, Tuple[List[Tuple[object, Tuple[int, ...]]], int]] = {}
 _SYNTH_CACHE_LIMIT = 50000
+
+# KAK-memo hit/miss telemetry (module ints, pulled by the registry on snapshot).
+_SYNTH_HITS = 0
+_SYNTH_MISSES = 0
+
+COUNTERS.register_provider(
+    "cache.kak_memo",
+    lambda: {"hits": _SYNTH_HITS, "misses": _SYNTH_MISSES, "size": len(_SYNTH_CACHE)},
+)
 
 
 def block_matrix(circuit: QuantumCircuit, positions: List[int], pair: Tuple[int, int]) -> np.ndarray:
@@ -97,9 +107,13 @@ class UnitarySynthesis(TransformationPass):
         self, nodes: List[DAGNode], pair: Tuple[int, int]
     ) -> Tuple[List[Tuple[object, Tuple[int, ...]]], int]:
         """Synthesised ops template (gates on local wires 0/1) and its CNOT count."""
+        global _SYNTH_HITS, _SYNTH_MISSES
         signature = _block_signature(nodes, pair) if self._use_shared_cache else None
         if signature is not None and signature in _SYNTH_CACHE:
+            _SYNTH_HITS += 1
             return _SYNTH_CACHE[signature]
+        if signature is not None:
+            _SYNTH_MISSES += 1
         matrix = _node_block_matrix(nodes, pair)
         result = self._synthesizer.synthesize(matrix)
         template = [(inst.gate, inst.qubits) for inst in result.circuit.data]

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.dag import DAGCircuit
 from ..exceptions import TranspilerError
+from ..obs.tracer import current_tracer
 
 #: Property-set keys that describe the current DAG and go stale when it changes.
 #: Transformation passes drop these after a change unless listed in ``preserves``.
@@ -49,6 +50,63 @@ ANALYSIS_KEYS = frozenset(
         "is_mapped",
     }
 )
+
+
+def _dag_stats(dag: DAGCircuit) -> Dict[str, int]:
+    """Span-attribute snapshot of a DAG: size, depth, 2q count, SWAP count.
+
+    Traced paths record the before/after delta of these per pass; this is the "where do
+    gates, depth and SWAPs actually come from" view the paper's evaluation revolves
+    around.  Called only when a tracer is installed, so the untraced hot path never
+    pays for it — but traced overhead is gated in CI, hence one fused unsorted-Kahn
+    walk computing everything (the DAG's edges *are* the wire adjacencies, so the
+    longest path equals wire-frontier depth).
+    """
+    nodes = dag.nodes
+    if not nodes:
+        return {"gates": 0, "depth": 0, "two_qubit": 0, "swaps": 0}
+    preds = dag._predecessors
+    succs = dag._successors
+    # Node ids come from a per-DAG counter, so flat lists indexed by id beat dicts.
+    size = dag._next_id
+    indegree = [0] * size
+    level = [0] * size
+    ready: List[int] = []
+    two_q = 0
+    swaps = 0
+    for nid, node in nodes.items():
+        if len(node.qubits) == 2:
+            two_q += 1
+            if node.name == "swap":
+                swaps += 1
+        degree = len(preds[nid])
+        if degree:
+            indegree[nid] = degree
+        else:
+            ready.append(nid)
+    depth = 0
+    idx = 0
+    while idx < len(ready):
+        nid = ready[idx]
+        idx += 1
+        best = 0
+        for pred in preds[nid]:
+            pred_level = level[pred]
+            if pred_level > best:
+                best = pred_level
+        best += 1
+        level[nid] = best
+        if best > depth:
+            depth = best
+        for succ in succs[nid]:
+            remaining = indegree[succ] - 1
+            indegree[succ] = remaining
+            if not remaining:
+                ready.append(succ)
+    if idx != len(nodes):  # pragma: no cover - cycles are rejected at mutation time
+        for _ in dag.topological_nodes():  # raises the canonical cycle error
+            pass
+    return {"gates": len(nodes), "depth": depth, "two_qubit": two_q, "swaps": swaps}
 
 
 class PropertySet(dict):
@@ -213,6 +271,17 @@ class PassManager:
         self.property_set = PropertySet()
         #: Ordered per-invocation timing entries ``(pass name, elapsed seconds)``.
         self.timing_log: List[Tuple[str, float]] = []
+        #: Traced-mode stats memo: ``(dag object, dag.version, stats)``.
+        self._stats_memo: Optional[Tuple[DAGCircuit, int, Dict[str, int]]] = None
+
+    def _traced_stats(self, dag: DAGCircuit) -> Dict[str, int]:
+        """DAG stats memoised on identity+version (traced runs only)."""
+        memo = self._stats_memo
+        if memo is not None and memo[0] is dag and memo[1] == dag.version:
+            return memo[2]
+        stats = _dag_stats(dag)
+        self._stats_memo = (dag, dag.version, stats)
+        return stats
 
     def append(self, item: ScheduleItem) -> "PassManager":
         self._items.append(item)
@@ -244,10 +313,49 @@ class PassManager:
         return self._run_pass(item, dag)
 
     def _run_pass(self, pass_: TranspilerPass, dag: DAGCircuit) -> DAGCircuit:
+        tracer = current_tracer()
+        if tracer is not None:
+            return self._run_pass_traced(pass_, dag, tracer)
         version_before = dag.version
         start = time.perf_counter()
         result = pass_.run(dag, self.property_set)
         self.timing_log.append((pass_.name, time.perf_counter() - start))
+        return self._check_pass_result(pass_, dag, result, version_before)
+
+    def _run_pass_traced(self, pass_, dag: DAGCircuit, tracer) -> DAGCircuit:
+        """Traced twin of :meth:`_run_pass`: one span per pass invocation, carrying the
+        DAG delta (gates, depth, 2q count, SWAPs inserted).  ``timing_log`` keeps being
+        fed identically, so it remains a compatible flat view of the span tree.
+
+        DAG stats are memoised on ``(dag, version)``: pass N's after-stats are pass
+        N+1's before-stats, so the walk runs once per *actual change*, not twice per
+        pass — this keeps traced overhead within the CI trace-overhead gate."""
+        version_before = dag.version
+        before = self._traced_stats(dag)
+        kind = "analysis" if isinstance(pass_, AnalysisPass) else "transform"
+        with tracer.span(f"pass:{pass_.name}", kind=kind) as span:
+            start = time.perf_counter()
+            result = pass_.run(dag, self.property_set)
+            elapsed = time.perf_counter() - start
+            self.timing_log.append((pass_.name, elapsed))
+            out = self._check_pass_result(pass_, dag, result, version_before)
+            changed = not isinstance(pass_, AnalysisPass) and (
+                out is not dag or out.version != version_before
+            )
+            span.set("changed", changed)
+            if changed:
+                after = self._traced_stats(out)
+                span.set("gates", after["gates"])
+                span.set("depth", after["depth"])
+                span.set("two_qubit", after["two_qubit"])
+                for key in ("gates", "depth", "two_qubit"):
+                    span.set(f"d_{key}", after[key] - before[key])
+                span.set("swaps_inserted", after["swaps"] - before["swaps"])
+        return out
+
+    def _check_pass_result(
+        self, pass_: TranspilerPass, dag: DAGCircuit, result, version_before: int
+    ) -> DAGCircuit:
         if isinstance(pass_, AnalysisPass):
             if result is not None and result is not dag:
                 raise TranspilerError(

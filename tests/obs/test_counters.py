@@ -1,0 +1,64 @@
+"""Unit tests for :mod:`repro.obs.counters` — the unified counter registry."""
+
+from repro.obs.counters import COUNTERS, CounterRegistry, hit_rate
+
+
+class TestCounterRegistry:
+    def test_inc_and_get(self):
+        registry = CounterRegistry()
+        registry.inc("a.hits")
+        registry.inc("a.hits", 4)
+        assert registry.get("a.hits") == 5
+        assert registry.get("never.touched") == 0
+
+    def test_snapshot_merges_providers(self):
+        registry = CounterRegistry()
+        registry.inc("pushed", 3)
+        registry.register_provider("cache.demo", lambda: {"hits": 7, "misses": 2})
+        snap = registry.snapshot()
+        assert snap["pushed"] == 3
+        assert snap["cache.demo.hits"] == 7
+        assert snap["cache.demo.misses"] == 2
+
+    def test_provider_exceptions_are_swallowed(self):
+        registry = CounterRegistry()
+
+        def broken():
+            raise RuntimeError("provider died")
+
+        registry.register_provider("bad", broken)
+        registry.inc("ok")
+        assert registry.snapshot()["ok"] == 1
+
+    def test_reset_clears_pushed_only(self):
+        registry = CounterRegistry()
+        registry.inc("pushed")
+        registry.register_provider("pull", lambda: {"value": 9})
+        registry.reset()
+        snap = registry.snapshot()
+        assert "pushed" not in snap
+        assert snap["pull.value"] == 9
+
+    def test_hit_rate_helper(self):
+        snap = {"c.hits": 3, "c.misses": 1, "d.hits": 0, "d.misses": 0}
+        assert hit_rate(snap, "c") == 0.75
+        assert hit_rate(snap, "d") == 0.0
+        assert hit_rate(snap, "absent") is None
+
+
+class TestGlobalRegistry:
+    def test_repo_caches_register_providers(self):
+        # Importing the instrumented modules registers their pull-providers, so the
+        # global snapshot exposes the unified cache counter families after one compile.
+        from repro import QuantumCircuit, Target, transpile
+
+        circuit = QuantumCircuit(3, name="ghz3")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        transpile(circuit, Target.from_topology("linear", 3), level="O1", routing="sabre")
+
+        snap = COUNTERS.snapshot()
+        for prefix in ("cache.commutation.", "cache.gate_matrix.", "cache.kak_memo."):
+            assert any(name.startswith(prefix) for name in snap), prefix
+        assert snap.get("routing.swaps_inserted", 0) >= 0

@@ -1,0 +1,176 @@
+"""Unit tests for :mod:`repro.obs.tracer` — spans, parenting, propagation, env toggle."""
+
+import pytest
+
+from repro.obs import tracer as tracer_mod
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    active_tracer,
+    current_tracer,
+    env_trace_path,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    set_tracer,
+    use_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_ambient():
+    """Every test starts and ends with no ambient tracer and no memoised env tracer."""
+    set_tracer(None)
+    tracer_mod._reset_env_tracer_for_tests()
+    yield
+    set_tracer(None)
+    tracer_mod._reset_env_tracer_for_tests()
+
+
+class TestIds:
+    def test_trace_id_is_32_hex(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        int(tid, 16)
+
+    def test_span_id_is_16_hex(self):
+        sid = new_span_id()
+        assert len(sid) == 16
+        int(sid, 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_span_id() for _ in range(64)}) == 64
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        tid, sid = new_trace_id(), new_span_id()
+        ctx = parse_traceparent(format_traceparent(tid, sid))
+        assert ctx == {"trace_id": tid, "parent_id": sid}
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-abcdef1234567890-01",               # bad trace id length
+            "00-" + "a" * 32 + "-zzzzzzzzzzzzzzzz-01",    # non-hex span id
+            "00-" + "g" * 32 + "-" + "a" * 16 + "-01",    # non-hex trace id
+            "00-" + "a" * 32 + "-" + "a" * 16,            # missing flags part
+        ],
+    )
+    def test_rejects_malformed(self, header):
+        assert parse_traceparent(header) is None
+
+
+class TestSpan:
+    def test_lifecycle_and_dict_round_trip(self):
+        span = Span(trace_id=new_trace_id(), span_id=new_span_id(), name="work",
+                    parent_id=None, process="test")
+        span.set("answer", 42)
+        span.finish()
+        assert span.duration >= 0.0
+        clone = Span.from_dict(span.to_dict())
+        assert clone.to_dict() == span.to_dict()
+        assert clone.attrs["answer"] == 42
+
+    def test_spans_started_counter_increments(self):
+        before = tracer_mod.SPANS_STARTED
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert tracer_mod.SPANS_STARTED == before + 1
+
+
+class TestTracer:
+    def test_stack_parenting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        names = {span.name: span for span in tracer.finished}
+        assert names["outer"].parent_id is None
+        assert names["inner"].parent_id == names["outer"].span_id
+
+    def test_span_records_exception_as_attrs(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished
+        assert span.attrs["error"].startswith("RuntimeError")
+        assert "boom" in span.attrs["error"]
+
+    def test_end_span_pops_abandoned_children(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        tracer.start_span("abandoned")
+        tracer.end_span(outer)
+        assert all(span.end is not None for span in tracer.finished)
+
+    def test_span_dicts_since(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        mark = len(tracer.finished)
+        with tracer.span("second"):
+            pass
+        assert [d["name"] for d in tracer.span_dicts(since=mark)] == ["second"]
+
+    def test_explicit_parent_record(self):
+        tracer = Tracer(trace_id="ab" * 16, parent_id="cd" * 8, process="worker")
+        with tracer.span("root"):
+            pass
+        (span,) = tracer.finished
+        assert span.trace_id == "ab" * 16
+        assert span.parent_id == "cd" * 8
+        assert span.process == "worker"
+
+
+class TestAmbient:
+    def test_default_is_noop(self):
+        assert current_tracer() is None
+        assert active_tracer() is None
+
+    def test_use_tracer_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_set_tracer(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        assert current_tracer() is tracer
+
+
+class TestEnvToggle:
+    def test_repro_trace_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        tracer_mod._reset_env_tracer_for_tests()
+        tracer = active_tracer()
+        assert tracer is not None
+        assert active_tracer() is tracer  # memoised — same instance every call
+        assert env_trace_path() is None   # "1" is a toggle, not a path
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off"])
+    def test_falsey_values_stay_off(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE", value)
+        tracer_mod._reset_env_tracer_for_tests()
+        assert active_tracer() is None
+
+    def test_json_value_doubles_as_export_path(self, monkeypatch, tmp_path):
+        out = str(tmp_path / "trace.json")
+        monkeypatch.setenv("REPRO_TRACE", out)
+        tracer_mod._reset_env_tracer_for_tests()
+        assert active_tracer() is not None
+        assert env_trace_path() == out
+
+    def test_explicit_tracer_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        tracer_mod._reset_env_tracer_for_tests()
+        mine = Tracer()
+        with use_tracer(mine):
+            assert active_tracer() is mine
