@@ -12,7 +12,13 @@ Exit code 1 on regression.  Usage (what the CI perf-smoke job runs)::
         --report benchmarks/results/bench_transpile_smoke.json \
         --baseline BENCH_transpile.json --max-ratio 1.25
 
-A second, self-contained mode gates the observability layer itself::
+A second mode gates best-of-N ensemble routing: ``--best-of-report PATH`` reads the
+``best_of_summary`` block the pipeline benchmark embeds and fails when best-of-N costs
+more than ``--max-best-of-ratio`` (default 2.5x) aggregate wall-time over single-trial
+rows, or (with >= 10 comparable cases) fails to improve the routed CX count on a strict
+majority of sabre/nassc cases.
+
+A third, self-contained mode gates the observability layer itself::
 
     python benchmarks/check_perf_regression.py --trace-overhead --max-trace-ratio 1.05
 
@@ -96,6 +102,47 @@ def run_trace_overhead(max_ratio: float, repeats: int, qubits: int, rounds: int)
     return 1
 
 
+def run_best_of_gate(path: str, max_ratio: float, block: str = "current") -> int:
+    """Best-of-N quality/cost gate on a report's ``best_of_summary`` block.
+
+    Fails when the aggregate wall-time ratio (total best-of-N wall-time over total
+    single-trial wall-time — robust against the per-case ratio noise of sub-50ms
+    rows) exceeds ``max_ratio``, or when (with at least 10 comparable cases)
+    best-of-N fails to improve the routed CX count on a strict majority of
+    sabre/nassc cases.
+    """
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if block not in data:
+        raise SystemExit(f"{path} has no '{block}' block")
+    summary = data[block].get("best_of_summary")
+    if not summary:
+        raise SystemExit(
+            f"{path} has no best_of_summary — regenerate with REPRO_BENCH_BEST_OF>=2"
+        )
+    aggregate = summary["aggregate_wall_ratio"]
+    print(f"best-of-{summary['best_of']} gate over {summary['cases']} cases: "
+          f"{summary['improved']} improved / {summary['tied']} tied / "
+          f"{summary['worse']} worse; wall ratio aggregate {aggregate:.2f}x, "
+          f"mean {summary['mean_wall_ratio']:.2f}x (max allowed {max_ratio}x aggregate)")
+    failed = False
+    if aggregate > max_ratio:
+        print(f"BEST-OF REGRESSION: aggregate wall-time ratio {aggregate:.2f}x "
+              f"exceeds {max_ratio}x", file=sys.stderr)
+        failed = True
+    if summary["cases"] >= 10 and summary["improved"] <= summary["cases"] // 2:
+        print(f"BEST-OF REGRESSION: improved only {summary['improved']} of "
+              f"{summary['cases']} cases (strict majority required)", file=sys.stderr)
+        failed = True
+    elif summary["cases"] < 10:
+        print("fewer than 10 comparable cases — majority criterion skipped "
+              "(wall-time budget still enforced)")
+    if failed:
+        return 1
+    print("best-of gate passed")
+    return 0
+
+
 def load_block(path, block):
     with open(path, encoding="utf-8") as handle:
         data = json.load(handle)
@@ -137,11 +184,22 @@ def main(argv=None):
                         choices=["wall_time_median", "wall_time_mean"],
                         help="per-row statistic to aggregate (median is robust to the "
                              "cold-cache first repeat; run with REPRO_BENCH_REPEATS>=3)")
+    parser.add_argument("--best-of-report", metavar="PATH",
+                        help="gate the best_of_summary block of this report instead of "
+                             "comparing wall-times against the committed trajectory")
+    parser.add_argument("--max-best-of-ratio", type=float, default=2.5,
+                        help="fail when best-of-N mean wall-time exceeds single-trial "
+                             "by this factor (default: 2.5)")
+    parser.add_argument("--best-of-block", default="current",
+                        help="report block holding the best_of_summary (default: current)")
     args = parser.parse_args(argv)
 
     if args.trace_overhead:
         return run_trace_overhead(args.max_trace_ratio, args.trace_repeats,
                                   args.trace_qubits, args.trace_rounds)
+    if args.best_of_report:
+        return run_best_of_gate(args.best_of_report, args.max_best_of_ratio,
+                                args.best_of_block)
     if not args.report:
         parser.error("--report is required (or pass --trace-overhead)")
 

@@ -38,6 +38,10 @@ PIPELINE_NAMES = ["grover_n4"] if SMOKE else QUICK_TABLE_NAMES
 PIPELINE_METHODS = ("none", "sabre", "nassc")
 PIPELINE_SEED = SEEDS[0]
 REPEATS = max(1, int(os.environ.get("REPRO_BENCH_REPEATS", "1")))
+#: Ensemble size of the best-of-N comparison rows (0 disables them).
+BEST_OF = int(os.environ.get("REPRO_BENCH_BEST_OF", "4"))
+#: Methods that get a second, best-of-N timing row per device x benchmark.
+BEST_OF_METHODS = ("sabre", "nassc") if BEST_OF > 1 else ()
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_transpile.json")
@@ -78,36 +82,99 @@ def pipeline_timings():
     """Transpile the suite once per device x benchmark x method, collecting timing logs."""
     cases = table_benchmarks(names=PIPELINE_NAMES)
     rows = []
+
+    def timed_row(target, device_name, case, circuit, routing, best_of):
+        options = TranspileOptions(
+            routing=routing, seed=PIPELINE_SEED, level="O1",
+            best_of=best_of if best_of > 1 else None,
+        )
+        wall_times = []
+        result = None
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            result = transpile(circuit, target, options)
+            wall_times.append(time.perf_counter() - start)
+        label = routing if best_of <= 1 else f"{routing}_bo{best_of}"
+        return {
+            "device": device_name,
+            "benchmark": case.name,
+            "routing": label,
+            "base_routing": routing,
+            "best_of": max(1, best_of),
+            "repeats": REPEATS,
+            "wall_time": statistics.mean(wall_times),
+            "wall_time_mean": statistics.mean(wall_times),
+            "wall_time_median": statistics.median(wall_times),
+            "transpile_time": result.transpile_time,
+            "cx_count": result.cx_count,
+            "depth": result.depth,
+            "num_swaps": result.num_swaps,
+            "pass_timing_log": [[name, t] for name, t in result.pass_timing_log],
+            "pass_timings": result.pass_timings,
+        }
+
     for device_name, coupling in pipeline_devices().items():
         target = Target(coupling_map=coupling, name=device_name)
         for case in cases:
             circuit = case.build()
             for routing in PIPELINE_METHODS:
-                options = TranspileOptions(routing=routing, seed=PIPELINE_SEED, level="O1")
-                wall_times = []
-                result = None
-                for _ in range(REPEATS):
-                    start = time.perf_counter()
-                    result = transpile(circuit, target, options)
-                    wall_times.append(time.perf_counter() - start)
-                rows.append(
-                    {
-                        "device": device_name,
-                        "benchmark": case.name,
-                        "routing": routing,
-                        "repeats": REPEATS,
-                        "wall_time": statistics.mean(wall_times),
-                        "wall_time_mean": statistics.mean(wall_times),
-                        "wall_time_median": statistics.median(wall_times),
-                        "transpile_time": result.transpile_time,
-                        "cx_count": result.cx_count,
-                        "depth": result.depth,
-                        "num_swaps": result.num_swaps,
-                        "pass_timing_log": [[name, t] for name, t in result.pass_timing_log],
-                        "pass_timings": result.pass_timings,
-                    }
-                )
+                rows.append(timed_row(target, device_name, case, circuit, routing, 1))
+            for routing in BEST_OF_METHODS:
+                rows.append(timed_row(target, device_name, case, circuit, routing, BEST_OF))
     return rows
+
+
+def _best_of_summary(rows):
+    """Pair each best-of-N row with its best_of=1 twin: 2q quality vs wall-time cost."""
+    singles = {
+        (row["device"], row["benchmark"], row["base_routing"]): row
+        for row in rows
+        if row.get("best_of", 1) == 1 and row["base_routing"] != "none"
+    }
+    comparisons = []
+    for row in rows:
+        if row.get("best_of", 1) <= 1:
+            continue
+        single = singles.get((row["device"], row["benchmark"], row["base_routing"]))
+        if single is None:
+            continue
+        comparisons.append({
+            "device": row["device"],
+            "benchmark": row["benchmark"],
+            "routing": row["base_routing"],
+            "best_of": row["best_of"],
+            "cx_single": single["cx_count"],
+            "cx_best_of": row["cx_count"],
+            "cx_delta": row["cx_count"] - single["cx_count"],
+            "wall_single": single["wall_time_mean"],
+            "wall_best_of": row["wall_time_mean"],
+            "wall_ratio": (
+                row["wall_time_mean"] / single["wall_time_mean"]
+                if single["wall_time_mean"] > 0 else float("inf")
+            ),
+        })
+    if not comparisons:
+        return None
+    ratios = [c["wall_ratio"] for c in comparisons]
+    return {
+        "best_of": comparisons[0]["best_of"],
+        "cases": len(comparisons),
+        "improved": sum(1 for c in comparisons if c["cx_delta"] < 0),
+        "tied": sum(1 for c in comparisons if c["cx_delta"] == 0),
+        "worse": sum(1 for c in comparisons if c["cx_delta"] > 0),
+        # Primary cost statistic: total best-of wall-time over total single wall-time.
+        # Per-case ratios are also recorded, but the sub-50ms cases make their mean a
+        # noise amplifier (10ms of timer jitter moves a small case's ratio by ~0.5);
+        # the aggregate weights every case by the compute it actually consumed.
+        "aggregate_wall_ratio": (
+            sum(c["wall_best_of"] for c in comparisons)
+            / max(sum(c["wall_single"] for c in comparisons), 1e-12)
+        ),
+        "mean_wall_ratio": statistics.mean(ratios),
+        "median_wall_ratio": statistics.median(ratios),
+        "max_wall_ratio": max(ratios),
+        "comparisons": comparisons,
+    }
 
 
 def _summarise(rows):
@@ -126,6 +193,8 @@ def _summarise(rows):
         "seed": PIPELINE_SEED,
         "repeats": REPEATS,
         "num_cases": len(rows),
+        "best_of": BEST_OF,
+        "best_of_summary": _best_of_summary(rows),
         "calibration_seconds": machine_calibration_seconds(),
         "mean_wall_time": statistics.mean(wall_times) if wall_times else 0.0,
         "median_wall_time": statistics.median(wall_times) if wall_times else 0.0,
@@ -176,6 +245,15 @@ def pipeline_report(pipeline_timings):
                  f"{summary['median_wall_time']:.3f}s  total {summary['total_wall_time']:.3f}s")
     for name, seconds in summary["per_pass_seconds"].items():
         lines.append(f"  {name:32s} {seconds:8.3f}s")
+    best_of = summary["best_of_summary"]
+    if best_of is not None:
+        lines.append(
+            f"best-of-{best_of['best_of']} vs single trial over {best_of['cases']} cases: "
+            f"{best_of['improved']} improved / {best_of['tied']} tied / "
+            f"{best_of['worse']} worse on routed CX; wall-time ratio aggregate "
+            f"{best_of['aggregate_wall_ratio']:.2f}x, mean {best_of['mean_wall_ratio']:.2f}x, "
+            f"max {best_of['max_wall_ratio']:.2f}x"
+        )
     text = "\n".join(lines)
     print("\n" + text)
     save_report("pass_pipeline.txt", text)
@@ -202,6 +280,44 @@ def test_trajectory_file_has_baseline_and_current(pipeline_report):
             for row in trajectory[block]["rows"]:
                 assert {"device", "benchmark", "routing", "wall_time_mean",
                         "wall_time_median"} <= set(row)
+
+
+def test_best_of_rows_recorded(pipeline_report):
+    """Every sabre/nassc case carries a paired best-of-N comparison in the summary."""
+    if BEST_OF <= 1:
+        pytest.skip("best-of rows disabled via REPRO_BENCH_BEST_OF")
+    summary = pipeline_report["best_of_summary"]
+    assert summary is not None
+    expected = len(pipeline_devices()) * len(PIPELINE_NAMES) * len(BEST_OF_METHODS)
+    assert summary["cases"] == expected
+    assert summary["improved"] + summary["tied"] + summary["worse"] == summary["cases"]
+    for comparison in summary["comparisons"]:
+        assert comparison["cx_delta"] == comparison["cx_best_of"] - comparison["cx_single"]
+        assert comparison["wall_ratio"] > 0
+
+
+def test_best_of_improves_quality_within_budget(pipeline_report):
+    """Acceptance: best-of-N beats single-trial CX on a strict majority of routed
+    cases while staying within the amortized wall-time budget (full grid only —
+    the smoke subset is too small for a majority to be meaningful)."""
+    if BEST_OF <= 1:
+        pytest.skip("best-of rows disabled via REPRO_BENCH_BEST_OF")
+    summary = pipeline_report["best_of_summary"]
+    assert summary is not None
+    if summary["cases"] < 10:
+        pytest.skip("too few cases for the majority criterion")
+    assert summary["improved"] > summary["cases"] // 2, (
+        f"best_of={summary['best_of']} improved only {summary['improved']} of "
+        f"{summary['cases']} cases"
+    )
+    # Wall-time is only gated on runs with repeated measurements (CI's dedicated
+    # bench jobs use REPRO_BENCH_REPEATS>=3): a single-repeat run inside a larger
+    # pytest session measures session cache-warmth, not ensemble cost.
+    if REPEATS >= 2:
+        assert summary["aggregate_wall_ratio"] <= 2.5, (
+            f"aggregate wall-time ratio {summary['aggregate_wall_ratio']:.2f}x exceeds "
+            f"the 2.5x amortization budget for best_of={summary['best_of']}"
+        )
 
 
 def test_timing_log_covers_transpile_time(pipeline_timings):

@@ -63,9 +63,19 @@ class SwapEstimate:
 class OptimizationEstimator:
     """Shared estimator used by the NASSC router for every SWAP candidate."""
 
+    #: Process-wide Weyl CNOT-count memo.  Keys are content signatures, values a pure
+    #: function of the key, so sharing across instances (e.g. the per-trial routers of a
+    #: best-of-N ensemble) cannot change any estimate — it only skips repeat synthesis.
+    _count_cache: Dict[Tuple, int] = {}
+
     def __init__(self) -> None:
-        self._count_cache: Dict[Tuple, int] = {}
         self._probe_cache: Dict[Tuple[int, int], Instruction] = {}
+        # Per-output memo of scan-step outcomes, keyed by (position, control, target).
+        # Valid because ``out`` is append-only with immutable entries: an already-seen
+        # position always classifies identically.  Reset whenever a different output
+        # object shows up (each routing run creates a fresh one).
+        self._scan_out: Optional[QuantumCircuit] = None
+        self._scan_memo: Dict[Tuple[int, int, int], Optional[Tuple[bool, bool]]] = {}
 
     def _probe_cx(self, control: int, target: int) -> Instruction:
         """Shared ``cx(control, target)`` probe instruction (one allocation per pair)."""
@@ -164,10 +174,18 @@ class OptimizationEstimator:
         if not any(len(out.data[pos].qubits) == 2 for pos in block):
             return 0
         signature = self._block_signature(out, block, p0, p1)
-        block_matrix = self._block_matrix(out, block, p0, p1)
-        count_before = self._cached_count(("blk", signature), lambda: block_matrix)
+        # Build the block matrix lazily: when both CNOT counts are already memoised by
+        # signature (the common case on warm caches) the matrix is never materialised.
+        materialised: List[np.ndarray] = []
+
+        def block_matrix() -> np.ndarray:
+            if not materialised:
+                materialised.append(self._block_matrix(out, block, p0, p1))
+            return materialised[0]
+
+        count_before = self._cached_count(("blk", signature), block_matrix)
         count_after = self._cached_count(
-            ("blk+swap", signature), lambda: _SWAP_MATRIX @ block_matrix
+            ("blk+swap", signature), lambda: _SWAP_MATRIX @ block_matrix()
         )
         reduction = 3 - (count_after - count_before)
         return int(max(0, min(3, reduction)))
@@ -192,30 +210,48 @@ class OptimizationEstimator:
         single-qubit gates (they are moved through the SWAP, Sec. IV-E) and gates that commute
         with ``cx(control, target)``.
         """
-        probe = self._probe_cx(control, target)
+        if out is not self._scan_out:
+            self._scan_out = out
+            self._scan_memo = {}
+        memo = self._scan_memo
         scanned = 0
-        for _, inst in self._merged_backward(out, wire_history, p0, p1):
+        for pos, inst in self._merged_backward(out, wire_history, p0, p1):
             if scanned >= MAX_COMMUTE_SCAN:
                 break
             scanned += 1
-            if (not inst.gate.is_unitary) or inst.name == "barrier":
-                return False, False
-            if len(inst.qubits) == 1:
-                # Single-qubit gates before a SWAP are moved to the swapped wire.
+            # ``None`` means "skip and keep scanning"; a tuple is the scan's verdict.
+            key = (pos, control, target)
+            if key in memo:
+                step = memo[key]
+            else:
+                step = self._scan_step(inst, p0, p1, control, target)
+                memo[key] = step
+            if step is None:
                 continue
-            if inst.name == "cx" and set(inst.qubits) == {p0, p1}:
-                if inst.qubits == (control, target):
-                    return True, False
-                return False, False
-            if inst.name == "swap" and set(inst.qubits) == {p0, p1}:
-                from ..transpiler.passes.swap_lowering import swap_orientation
+            return step
+        return False, False
 
-                previous_control = swap_orientation(inst.gate.label, inst.qubits)
-                # The last CNOT of the previous SWAP has the same orientation as its first.
-                return False, previous_control == control
-            if gates_commute(inst, probe):
-                continue
+    def _scan_step(
+        self, inst: Instruction, p0: int, p1: int, control: int, target: int
+    ) -> Optional[Tuple[bool, bool]]:
+        """Classify one scanned instruction: ``None`` to keep scanning, else the verdict."""
+        if (not inst.gate.is_unitary) or inst.name == "barrier":
             return False, False
+        if len(inst.qubits) == 1:
+            # Single-qubit gates before a SWAP are moved to the swapped wire.
+            return None
+        if inst.name == "cx" and set(inst.qubits) == {p0, p1}:
+            if inst.qubits == (control, target):
+                return True, False
+            return False, False
+        if inst.name == "swap" and set(inst.qubits) == {p0, p1}:
+            from ..transpiler.passes.swap_lowering import swap_orientation
+
+            previous_control = swap_orientation(inst.gate.label, inst.qubits)
+            # The last CNOT of the previous SWAP has the same orientation as its first.
+            return False, previous_control == control
+        if gates_commute(inst, self._probe_cx(control, target)):
+            return None
         return False, False
 
     def estimate_commutation(

@@ -75,13 +75,17 @@ class NASSCSwapRouter(SabreSwapRouter):
         self.config = config or NASSCConfig()
         self._estimator = OptimizationEstimator()
         self._estimates: Dict[Tuple[int, int], SwapEstimate] = {}
+        self._estimate_memo: Dict[Tuple[int, int], Tuple[int, int, SwapEstimate]] = {}
         self._out_circuit = None
 
     # ------------------------------------------------------------------
 
-    def route(self, circuit, initial_layout: Optional[Layout] = None):
+    def route_steps(
+        self, circuit, initial_layout: Optional[Layout] = None, *, build_output: bool = True
+    ):
         self._estimates = {}
-        return super().route(circuit, initial_layout)
+        self._estimate_memo = {}
+        return super().route_steps(circuit, initial_layout, build_output=build_output)
 
     def _execute_ready_gates(self, frontier, layout, out):
         # Keep a handle on the routed output so the estimators can inspect the resolved layer.
@@ -94,7 +98,23 @@ class NASSCSwapRouter(SabreSwapRouter):
 
     def _estimate_for(self, swap: Tuple[int, int]) -> SwapEstimate:
         estimate = self._estimates.get(swap)
-        if estimate is None:
+        if estimate is not None:
+            return estimate
+        # An estimate is a pure function of the routed prefixes of the swap's two wires:
+        # the estimator only visits output positions recorded in the two wire histories,
+        # and the output is append-only with immutable entries.  Wire histories grow by
+        # appending strictly increasing positions, so an unchanged tail position per wire
+        # proves both histories — and hence the estimate — are unchanged since the last
+        # SWAP insertion.  That makes the cross-round memo below exact, not heuristic.
+        history = self._wire_history
+        h0, h1 = history[swap[0]], history[swap[1]]
+        tail0 = h0[-1] if h0 else -1
+        tail1 = h1[-1] if h1 else -1
+        memo = self._estimate_memo.get(swap)
+        if memo is not None and memo[0] == tail0 and memo[1] == tail1:
+            estimate = memo[2]
+            COUNTERS.inc("routing.nassc.estimate_memo_hits")
+        else:
             COUNTERS.inc("routing.nassc.estimates")
             estimate = self._estimator.estimate(
                 self._out_circuit,
@@ -105,28 +125,36 @@ class NASSCSwapRouter(SabreSwapRouter):
                 enable_commute1=self.config.enable_commutation1,
                 enable_commute2=self.config.enable_commutation2,
             )
-            self._estimates[swap] = estimate
+            self._estimate_memo[swap] = (tail0, tail1, estimate)
+        self._estimates[swap] = estimate
         return estimate
 
-    def _score_candidates(
+    def _begin_scoring(self, candidates) -> None:
+        # The per-step table is rebuilt each scoring round (the routed prefix may have
+        # changed); candidates whose two wires are untouched since their last estimate
+        # are revalidated cheaply through ``_estimate_memo`` in ``_estimate_for``.
+        self._estimates = {}
+        super()._begin_scoring(candidates)
+
+    def _finalize_scores(
         self,
         candidates,
+        c0: np.ndarray,
+        c1: np.ndarray,
+        front_raw: np.ndarray,
+        ext_raw: np.ndarray,
         front_gates: List[DAGNode],
         extended: List[DAGNode],
-        layout: Layout,
     ) -> np.ndarray:
-        """Eq. 2 cost of every candidate in one vectorized evaluation.
+        """Eq. 2 cost of every candidate from the shared kernel's raw distance sums.
 
-        The distance terms are the same fancy-indexed kernel the SABRE base class uses;
+        The distance terms come from the same batched kernel the SABRE base class uses;
         only the per-candidate optimization estimates (``C2q``/``Ccommute``) remain a
         Python loop, because each one inspects the routed prefix through the estimator.
         Elementwise identical to the historical per-swap scalar scoring.
         """
-        c0, c1 = self._candidate_arrays(candidates)
-        num_front = len(front_gates)
-        front_size = max(num_front, 1)
-        table = self._mapped_distance_table(c0, c1, front_gates + extended, layout)
-        distance_term = 3.0 * self._sequential_column_sums(table, 0, num_front)
+        front_size = max(len(front_gates), 1)
+        distance_term = 3.0 * front_raw
         reductions = np.fromiter(
             (
                 float(
@@ -143,16 +171,9 @@ class NASSCSwapRouter(SabreSwapRouter):
         )
         cost = (distance_term - reductions) / front_size
         if extended:
-            ext_cost = self._sequential_column_sums(table, num_front, table.shape[1])
-            cost += self.extended_set_weight * ext_cost / len(extended)
+            cost += self.extended_set_weight * ext_raw / len(extended)
         decay = np.maximum(self._decay[c0], self._decay[c1])
         return decay * cost
-
-    def _select_swap(self, candidates, front_gates, extended, layout, rng):
-        # Estimates depend only on the already-routed prefix, which changes between SWAP
-        # insertions: clear the per-step cache before scoring a fresh candidate set.
-        self._estimates = {}
-        return super()._select_swap(candidates, front_gates, extended, layout, rng)
 
     # ------------------------------------------------------------------
     # Optimization-aware SWAP decomposition (Sec. IV-E)

@@ -34,6 +34,10 @@ LEVEL_DESCRIPTIONS: Dict[str, str] = {
     "O3": "O2 plus noise-aware layout/routing whenever the target carries calibration data",
 }
 
+#: Trials ``O3`` runs by default when ``best_of`` is left unset (the highest preset
+#: buys the best circuit the seed space offers, amortized by the batched kernels).
+O3_DEFAULT_BEST_OF = 4
+
 
 def normalize_level(level: Union[str, int]) -> str:
     """Canonicalise a level spelling (``1``, ``"1"``, ``"o1"`` → ``"O1"``)."""
@@ -67,11 +71,27 @@ class TranspileOptions:
     extended_set_weight: float = 0.5
     layout_iterations: int = 2
     check: bool = True
+    #: Route this many independent seeds and keep the best circuit.  ``None`` means
+    #: "preset default": 1 everywhere except ``O3``, which runs
+    #: :data:`O3_DEFAULT_BEST_OF` trials.  Methods that opt out (``none``) ignore it.
+    best_of: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "level", normalize_level(self.level))
         if self.nassc_config is not None and not isinstance(self.nassc_config, NASSCConfig):
             object.__setattr__(self, "nassc_config", NASSCConfig(*self.nassc_config))
+        if self.best_of is not None:
+            if not isinstance(self.best_of, int) or isinstance(self.best_of, bool):
+                raise TranspilerError(f"best_of must be an integer, got {self.best_of!r}")
+            if self.best_of < 1:
+                raise TranspilerError(f"best_of must be >= 1, got {self.best_of}")
+
+    @property
+    def effective_best_of(self) -> int:
+        """The trial count actually run: explicit ``best_of``, else the preset default."""
+        if self.best_of is not None:
+            return self.best_of
+        return O3_DEFAULT_BEST_OF if self.level == "O3" else 1
 
     def replace(self, **changes) -> "TranspileOptions":
         """A copy with the given fields replaced (options are immutable)."""
@@ -91,11 +111,21 @@ class TranspileOptions:
             "extended_set_weight": float(self.extended_set_weight),
             "layout_iterations": int(self.layout_iterations),
             "check": bool(self.check),
+            # The *effective* value: explicit best_of and the preset default that
+            # resolves to the same trial count must hit the same cache entry.
+            "best_of": int(self.effective_best_of),
         }
 
     def to_dict(self) -> Dict:
-        """JSON-safe representation; round-trips through :meth:`from_dict`."""
-        return self.content_dict()
+        """JSON-safe representation; round-trips through :meth:`from_dict`.
+
+        Unlike :meth:`content_dict` (which canonicalises ``best_of`` to the effective
+        trial count so equal-behaviour options share a cache fingerprint), this keeps
+        the raw field so ``from_dict(to_dict(o)) == o`` exactly.
+        """
+        data = self.content_dict()
+        data["best_of"] = self.best_of
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TranspileOptions":
@@ -110,4 +140,5 @@ class TranspileOptions:
             extended_set_weight=data.get("extended_set_weight", 0.5),
             layout_iterations=data.get("layout_iterations", 2),
             check=data.get("check", True),
+            best_of=data.get("best_of"),
         )

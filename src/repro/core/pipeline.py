@@ -43,7 +43,7 @@ ROUTING_METHODS = tuple(available_routings(load_plugins=False))
 #: Version of the transpiler pipeline's structure/semantics.  Bumped whenever a refactor
 #: could change compiled output or the meaning of recorded metrics; the service layer folds
 #: it into job fingerprints so refactored pipelines never serve stale cached results.
-PIPELINE_VERSION = 3
+PIPELINE_VERSION = 4
 
 #: Iteration cap of the ``O1`` post-routing optimization loop (kept as a module constant
 #: for backward compatibility; per-level caps live in
@@ -73,6 +73,10 @@ class TranspileResult:
     #: :mod:`repro.obs`); empty when tracing was off.  For remote jobs the client
     #: merges server/worker spans in here, yielding the full cross-process tree.
     trace: List[Dict] = field(default_factory=list)
+    #: Number of ensemble routing trials the result was selected from (1 = plain run).
+    best_of: int = 1
+    #: Ensemble summary (winner, per-trial outcomes) when ``best_of > 1``, else None.
+    ensemble: Optional[Dict] = None
 
     @property
     def cx_count(self) -> int:
@@ -116,6 +120,10 @@ class TranspileResult:
         }
         if self.trace:
             out["trace"] = list(self.trace)
+        if self.best_of != 1:
+            out["best_of"] = int(self.best_of)
+        if self.ensemble is not None:
+            out["ensemble"] = dict(self.ensemble)
         return out
 
     @classmethod
@@ -142,6 +150,8 @@ class TranspileResult:
                 (str(name), float(t)) for name, t in data.get("pass_timing_log", [])
             ],
             trace=list(data.get("trace", [])),
+            best_of=int(data.get("best_of", 1)),
+            ensemble=data.get("ensemble"),
         )
 
 
@@ -206,6 +216,8 @@ def transpile(
     final_basis: Optional[str] = None,
     check: Optional[bool] = None,
     coupling_map: Optional[CouplingMap] = None,
+    best_of: Optional[int] = None,
+    _trial_subset: Optional[Sequence[int]] = None,
 ) -> TranspileResult:
     """Compile a logical circuit for a device target.
 
@@ -236,13 +248,15 @@ def transpile(
             "extended_set_weight": extended_set_weight,
             "layout_iterations": layout_iterations,
             "check": check,
+            "best_of": best_of,
         },
     )
 
     tracer = active_tracer()
 
     start = time.perf_counter()
-    manager = PipelineBuilder(resolved_target, resolved_options).build()
+    builder = PipelineBuilder(resolved_target, resolved_options, trial_subset=_trial_subset)
+    manager = builder.build()
     if tracer is None:
         compiled = manager.run(circuit)
     else:
@@ -273,6 +287,8 @@ def transpile(
         transpile_time=elapsed,
         pass_timings=dict(manager.timings),
         pass_timing_log=list(manager.timing_log),
+        best_of=builder.ensemble_trials,
+        ensemble=props.get("ensemble"),
     )
     if tracer is not None:
         result.trace = tracer.span_dicts(since=since)

@@ -1,0 +1,208 @@
+"""Optional native build of the router's inner scoring kernel.
+
+The hot loop of SABRE/NASSC candidate scoring is a per-row sequential sum over a
+fancy-indexed distance table (:mod:`repro.transpiler.passes.sabre`).  This package
+provides :func:`front_ext_sums`, a single dispatch point with two implementations:
+
+* a pure-numpy fallback (always available; the default), and
+* a small C kernel (``kernels.c``) compiled on demand with the system C compiler and
+  loaded through :mod:`ctypes` — no build-time dependency, no pip install.
+
+Both paths accumulate per row in ascending column order starting from ``0.0``, so their
+float64 results are **bit-identical**; the golden-hash suite runs under both in CI.
+
+Selection is environment-driven, read once at import time:
+
+``REPRO_NATIVE=1``
+    Compile (if needed) and use the native kernel; fall back silently to numpy if no
+    compiler is available.  :func:`native_status` reports what actually happened, and
+    tests/CI assert on it so a broken toolchain cannot silently fake coverage.
+``REPRO_NATIVE=0`` (or unset)
+    Pure numpy.
+
+The compiled shared object is cached under the user's cache directory keyed by the
+source hash, so recompilation happens only when ``kernels.c`` changes.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Environment variable selecting the implementation (read at import).
+NATIVE_ENV = "REPRO_NATIVE"
+
+_SOURCE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "kernels.c")
+
+_native_fn = None
+_status = "disabled"
+
+
+def native_requested() -> bool:
+    """True when ``REPRO_NATIVE`` asks for the native kernel."""
+    return os.environ.get(NATIVE_ENV, "0") not in ("", "0", "false", "no")
+
+
+def native_active() -> bool:
+    """True when the native kernel is loaded and serving :func:`front_ext_sums`."""
+    return _native_fn is not None
+
+
+def native_status() -> str:
+    """``"active"``, ``"disabled"``, or ``"failed: <reason>"`` (build/load diagnosis)."""
+    return _status
+
+
+def _cache_dir() -> str:
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-native")
+
+
+def _find_compiler() -> Optional[str]:
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if not name:
+            continue
+        for directory in os.environ.get("PATH", "").split(os.pathsep):
+            candidate = os.path.join(directory, name)
+            if os.path.isfile(candidate) and os.access(candidate, os.X_OK):
+                return name
+    return None
+
+
+def build_native_library(force: bool = False) -> str:
+    """Compile ``kernels.c`` into a cached shared object and return its path.
+
+    Raises ``RuntimeError`` when no C compiler is available or compilation fails.
+    The object file name is keyed by the source hash, so edits recompile and
+    concurrent builders race benignly (last ``os.replace`` wins, same content).
+    """
+    with open(_SOURCE_PATH, "rb") as handle:
+        source = handle.read()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    directory = _cache_dir()
+    library_path = os.path.join(directory, f"repro_kernels_{digest}.so")
+    if os.path.exists(library_path) and not force:
+        return library_path
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler found (tried $CC, cc, gcc, clang)")
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(suffix=".so", dir=directory)
+    os.close(fd)
+    try:
+        # -O2 without -ffast-math keeps IEEE addition order; see kernels.c.
+        command = [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_path, _SOURCE_PATH]
+        proc = subprocess.run(
+            command, capture_output=True, text=True, timeout=120, check=False
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"native kernel compilation failed: {' '.join(command)}\n{proc.stderr}"
+            )
+        os.replace(tmp_path, library_path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+    return library_path
+
+
+def _load_native():
+    library_path = build_native_library()
+    lib = ctypes.CDLL(library_path)
+    fn = lib.front_ext_sums
+    fn.restype = None
+    fn.argtypes = [
+        ctypes.POINTER(ctypes.c_double),  # distance (n x n, C-contiguous)
+        ctypes.c_int64,                   # n
+        ctypes.POINTER(ctypes.c_int64),   # mapped_a (rows x cols)
+        ctypes.POINTER(ctypes.c_int64),   # mapped_b
+        ctypes.c_int64,                   # rows
+        ctypes.c_int64,                   # cols
+        ctypes.c_int64,                   # front_cols
+        ctypes.POINTER(ctypes.c_double),  # front_out (rows)
+        ctypes.POINTER(ctypes.c_double),  # ext_out (rows)
+    ]
+    return fn
+
+
+def numpy_front_ext_sums(
+    distance: np.ndarray, mapped_a: np.ndarray, mapped_b: np.ndarray, front_cols: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pure-numpy reference: one fancy-indexed gather + sequential column sums.
+
+    Sequential (not pairwise) accumulation keeps the result bit-identical to the
+    historical per-gate scalar loop even for non-integer (noise-aware) distance
+    matrices, where pairwise summation could differ in the last ulp and flip a
+    1e-12 tie-break.
+    """
+    table = distance[mapped_a, mapped_b]
+    rows, cols = table.shape
+    front = np.zeros(rows)
+    for column in range(front_cols):
+        front += table[:, column]
+    ext = np.zeros(rows)
+    for column in range(front_cols, cols):
+        ext += table[:, column]
+    return front, ext
+
+
+def native_front_ext_sums(
+    distance: np.ndarray, mapped_a: np.ndarray, mapped_b: np.ndarray, front_cols: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """C-kernel implementation (requires a successful :func:`build_native_library`)."""
+    rows, cols = mapped_a.shape
+    a = np.ascontiguousarray(mapped_a, dtype=np.int64)
+    b = np.ascontiguousarray(mapped_b, dtype=np.int64)
+    dist = distance  # routers hold C-contiguous float64 matrices already
+    if not (dist.flags["C_CONTIGUOUS"] and dist.dtype == np.float64):
+        dist = np.ascontiguousarray(dist, dtype=np.float64)
+    front = np.empty(rows)
+    ext = np.empty(rows)
+    double_p = ctypes.POINTER(ctypes.c_double)
+    int64_p = ctypes.POINTER(ctypes.c_int64)
+    _native_fn(
+        dist.ctypes.data_as(double_p),
+        ctypes.c_int64(dist.shape[0]),
+        a.ctypes.data_as(int64_p),
+        b.ctypes.data_as(int64_p),
+        ctypes.c_int64(rows),
+        ctypes.c_int64(cols),
+        ctypes.c_int64(front_cols),
+        front.ctypes.data_as(double_p),
+        ext.ctypes.data_as(double_p),
+    )
+    return front, ext
+
+
+def front_ext_sums(
+    distance: np.ndarray, mapped_a: np.ndarray, mapped_b: np.ndarray, front_cols: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row (front, extended) distance sums — THE router scoring kernel.
+
+    ``mapped_a``/``mapped_b`` are (rows x cols) integer tables of physical qubit
+    indices; column ``c < front_cols`` belongs to the front window, the rest to the
+    extended window.  Returns two float64 arrays of length ``rows``.  Dispatches to
+    the native kernel when active, else the numpy fallback; both are bit-identical.
+    """
+    if _native_fn is not None and mapped_a.size:
+        return native_front_ext_sums(distance, mapped_a, mapped_b, front_cols)
+    return numpy_front_ext_sums(distance, mapped_a, mapped_b, front_cols)
+
+
+if native_requested():
+    try:
+        _native_fn = _load_native()
+        _status = "active"
+    except Exception as exc:  # noqa: BLE001 - degrade to numpy, report via native_status
+        _native_fn = None
+        _status = f"failed: {exc}"
+else:
+    _status = "disabled"

@@ -1,0 +1,33 @@
+/* Inner scoring kernel of the SABRE/NASSC routers (see repro/nativeext/__init__.py).
+ *
+ * front_ext_sums: given the device distance matrix and the (rows x cols) tables of
+ * post-swap physical indices, accumulate each row's front-window and extended-window
+ * distance sums.  The accumulation order is per row, ascending column, starting from
+ * 0.0 — exactly the order of the pure-numpy fallback's column-by-column loop — so with
+ * IEEE doubles and no reassociation (-O2, never -ffast-math) the results are
+ * bit-identical to the numpy path.
+ */
+
+#include <stdint.h>
+
+void front_ext_sums(const double *distance, int64_t n,
+                    const int64_t *mapped_a, const int64_t *mapped_b,
+                    int64_t rows, int64_t cols, int64_t front_cols,
+                    double *front_out, double *ext_out)
+{
+    int64_t r, c;
+    for (r = 0; r < rows; ++r) {
+        const int64_t *ra = mapped_a + r * cols;
+        const int64_t *rb = mapped_b + r * cols;
+        double front = 0.0;
+        double ext = 0.0;
+        for (c = 0; c < front_cols; ++c) {
+            front += distance[ra[c] * n + rb[c]];
+        }
+        for (; c < cols; ++c) {
+            ext += distance[ra[c] * n + rb[c]];
+        }
+        front_out[r] = front;
+        ext_out[r] = ext;
+    }
+}

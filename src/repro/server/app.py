@@ -128,6 +128,7 @@ class ReproServer:
         concurrency: Optional[int] = None,
         max_workers: Optional[int] = None,
         use_processes: bool = True,
+        ensemble_fanout_threshold: int = 8,
     ) -> None:
         self.host = host
         self.port = port
@@ -141,6 +142,7 @@ class ReproServer:
             max_workers=max_workers,
             use_processes=use_processes,
             metrics=self.metrics,
+            ensemble_fanout_threshold=ensemble_fanout_threshold,
         )
         self.started_at = time.time()
         self.draining = False
@@ -647,6 +649,7 @@ class ReproServer:
                     "description": method.description,
                     "builtin": method.builtin,
                     "requires_coupling": method.requires_coupling,
+                    "supports_best_of": method.supports_best_of,
                 }
                 for method in registered_methods()
             ],

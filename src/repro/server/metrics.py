@@ -217,6 +217,14 @@ class ServerMetrics:
             "Per-transpiler-pass wall time, labelled by pass name",
             "pass",
         )
+        self.ensemble_fanout = Counter(
+            "repro_ensemble_fanout_total",
+            "Best-of-N jobs whose trials were fanned across the worker pool",
+        )
+        self.ensemble_trials = Counter(
+            "repro_ensemble_trials_total",
+            "Ensemble routing trials executed on behalf of best-of-N jobs",
+        )
 
     def observe_pass_timings(self, timing_log: Iterable[Tuple[str, float]]) -> None:
         """Feed one job's per-pass timing log into the per-pass latency histograms."""
@@ -242,6 +250,8 @@ class ServerMetrics:
             self.jobs_deduplicated,
             self.jobs_finished,
             self.requests,
+            self.ensemble_fanout,
+            self.ensemble_trials,
         ):
             lines += collector.render()
         lines += gauge_lines(

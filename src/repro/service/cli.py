@@ -87,6 +87,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--level", "-O", default="O1", choices=OPTIMIZATION_LEVELS,
                    help="preset optimization level (default: O1, the paper pipeline)")
     p.add_argument("--seed", type=int, default=0, help="routing seed (default: 0)")
+    p.add_argument("--best-of", type=int, default=None, metavar="K",
+                   help="route K independently-seeded ensemble trials and keep the best "
+                        "(default: 1, or 4 at -O O3)")
     p.add_argument("--noise-aware", action="store_true",
                    help="use the HA distance matrix built from a synthetic calibration")
     p.add_argument("--out", "-o", default="-", help="routed QASM output path (default: stdout)")
@@ -168,6 +171,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--level", "-O", default="O1", choices=OPTIMIZATION_LEVELS,
                    help="preset optimization level (default: O1)")
     p.add_argument("--seed", type=int, default=0, help="routing seed (default: 0)")
+    p.add_argument("--best-of", type=int, default=None, metavar="K",
+                   help="route K independently-seeded ensemble trials and keep the best "
+                        "(default: 1, or 4 at -O O3; large K fans across server workers)")
     p.add_argument("--noise-aware", action="store_true",
                    help="use the HA distance matrix built from a synthetic calibration")
     p.add_argument("--priority", type=int, default=0,
@@ -258,7 +264,11 @@ def _target_and_options(args: argparse.Namespace):
     else:
         target = Target.from_topology(args.device, args.num_qubits, calibrated=args.noise_aware)
     options = TranspileOptions(
-        routing=args.routing, level=args.level, seed=args.seed, noise_aware=args.noise_aware
+        routing=args.routing,
+        level=args.level,
+        seed=args.seed,
+        noise_aware=args.noise_aware,
+        best_of=getattr(args, "best_of", None),
     )
     return target, options
 
@@ -422,7 +432,8 @@ def _cmd_methods(args: argparse.Namespace) -> int:
     print("routing methods:")
     for method in registered_methods():
         origin = "builtin" if method.builtin else "plugin"
-        print(f"  {method.name:12s} [{origin}]  {method.description}")
+        best_of = "best-of-N" if method.supports_best_of else "single"
+        print(f"  {method.name:12s} [{origin}] [{best_of}]  {method.description}")
     print()
     print("optimization levels:")
     for level in OPTIMIZATION_LEVELS:

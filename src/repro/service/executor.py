@@ -81,6 +81,48 @@ def _execute_chunk(payloads: List[Dict]) -> List[Dict]:
     return [_execute_one(payload) for payload in payloads]
 
 
+def _execute_trials(
+    payload: Dict, trials: List[int], trace_ctx: Optional[Dict] = None
+) -> Dict:
+    """Worker entry point for ensemble fan-out: run a subset of one job's trials.
+
+    Same payload contract as :func:`_execute_one`, but the job's ``best_of`` ensemble
+    executes only the given global trial indices (seeds unchanged).  The caller reduces
+    the subset results by their ``ensemble["winner_key"]`` — bit-identical to running
+    all trials in one process, because ensemble pruning is lossless under any
+    partition of trials.
+    """
+    job = TranspileJob.from_dict(payload)
+    tracer = None
+    if trace_ctx is not None:
+        tracer = Tracer(
+            trace_id=trace_ctx.get("trace_id"),
+            parent_id=trace_ctx.get("parent_id"),
+            process="worker",
+        )
+    try:
+        with use_tracer(tracer) if tracer is not None else nullcontext():
+            result = job.run(trial_subset=trials)
+        result_payload = result.to_dict()
+        trace = result_payload.pop("trace", [])
+        raw = {"ok": True, "result": result_payload}
+        if trace:
+            raw["trace"] = trace
+        return raw
+    except Exception as exc:  # noqa: BLE001 - error isolation is the contract
+        error = JobError(
+            fingerprint=job.fingerprint(),
+            job_name=job.name,
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback.format_exc(),
+        )
+        raw = {"ok": False, "error": error.to_dict()}
+        if tracer is not None:
+            raw["trace"] = tracer.span_dicts()
+        return raw
+
+
 def default_worker_count() -> int:
     """Worker count used when ``max_workers=None`` (all cores, capped at 8)."""
     return max(1, min(8, os.cpu_count() or 1))

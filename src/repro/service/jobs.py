@@ -63,6 +63,8 @@ class TranspileJob:
     extended_set_weight: float = 0.5
     layout_iterations: int = 2
     final_basis: str = "zsx"
+    #: Best-of-N ensemble trial count (None = preset default; see TranspileOptions).
+    best_of: Optional[int] = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -118,7 +120,8 @@ class TranspileJob:
             }.items()
             if value is not None
         }
-        for knob in ("extended_set_size", "extended_set_weight", "layout_iterations"):
+        for knob in ("extended_set_size", "extended_set_weight", "layout_iterations",
+                     "best_of"):
             if knob in kwargs:
                 overrides[knob] = kwargs.pop(knob)
         if overrides:
@@ -170,6 +173,7 @@ class TranspileJob:
             extended_set_weight=opts.extended_set_weight,
             layout_iterations=opts.layout_iterations,
             final_basis=target.final_basis,
+            best_of=opts.best_of,
             name=name,
         )
 
@@ -196,6 +200,7 @@ class TranspileJob:
             extended_set_size=self.extended_set_size,
             extended_set_weight=self.extended_set_weight,
             layout_iterations=self.layout_iterations,
+            best_of=self.best_of,
         )
 
     # -- content addressing -------------------------------------------------
@@ -243,6 +248,7 @@ class TranspileJob:
             "extended_set_weight": self.extended_set_weight,
             "layout_iterations": self.layout_iterations,
             "final_basis": self.final_basis,
+            "best_of": self.best_of,
             "name": self.name,
         }
 
@@ -262,6 +268,7 @@ class TranspileJob:
             extended_set_weight=data.get("extended_set_weight", 0.5),
             layout_iterations=data.get("layout_iterations", 2),
             final_basis=data.get("final_basis", "zsx"),
+            best_of=data.get("best_of"),
             name=data.get("name", ""),
         )
 
@@ -276,9 +283,16 @@ class TranspileJob:
             circuit.name = self.name
         return circuit
 
-    def run(self) -> TranspileResult:
-        """Execute the job in the current process and return the live result."""
-        return transpile(self.build_circuit(), self.target(), self.options())
+    def run(self, *, trial_subset: Optional[Sequence[int]] = None) -> TranspileResult:
+        """Execute the job in the current process and return the live result.
+
+        ``trial_subset`` restricts a ``best_of`` ensemble to the given global trial
+        indices (the server's fan-out path); seeds are unchanged, so reducing the
+        subset results by their ensemble winner key reproduces the full run's winner.
+        """
+        return transpile(
+            self.build_circuit(), self.target(), self.options(), _trial_subset=trial_subset
+        )
 
 
 @dataclass(frozen=True)

@@ -57,11 +57,19 @@ class PipelineBuilder:
 
     STAGES = STAGES
 
-    def __init__(self, target: Optional[Target] = None, options=None) -> None:
+    def __init__(
+        self,
+        target: Optional[Target] = None,
+        options=None,
+        *,
+        trial_subset: Optional[Sequence[int]] = None,
+    ) -> None:
         from ..core.options import TranspileOptions
 
         self.target = target if target is not None else Target()
         self.options = options if options is not None else TranspileOptions()
+        #: Restrict ensemble routing to these global trial indices (server fan-out).
+        self.trial_subset = trial_subset
         self.stages: Dict[str, List[ScheduleItem]] = {name: [] for name in STAGES}
         self._populate()
 
@@ -129,6 +137,17 @@ class PipelineBuilder:
             distance_matrix = target.noise_distance_matrix()
 
         plan = method.factory(target, options, distance_matrix=distance_matrix)
+        self.ensemble_trials = (
+            options.effective_best_of
+            if (
+                options.effective_best_of > 1
+                and method.supports_best_of
+                and plan is not None
+                and plan.routing_router_cls is not None
+            )
+            else 1
+        )
+        self._distance_matrix = distance_matrix
         level = options.level
         optimize = level != "O0"
         final_basis = target.final_basis
@@ -172,6 +191,33 @@ class PipelineBuilder:
 
     def _apply_routing_plan(self, plan: RoutingPlan) -> None:
         options = self.options
+        if self.ensemble_trials > 1:
+            # Best-of-N: one combined pass runs layout selection AND routing per
+            # trial (the layout refinement is seed-dependent, so it must vary per
+            # trial), keeping the winner by the two-qubit/depth/noise estimators.
+            from .ensemble import EnsembleRouting
+
+            layout_kwargs = dict(plan.layout_router_kwargs)
+            layout_kwargs.pop("distance_matrix", None)
+            routing_kwargs = dict(plan.routing_router_kwargs)
+            self.stages["layout"] = []
+            self.stages["routing"] = [
+                EnsembleRouting(
+                    self.target.coupling_map,
+                    num_trials=self.ensemble_trials,
+                    seed=options.seed,
+                    layout_iterations=options.layout_iterations,
+                    router_cls=plan.routing_router_cls,
+                    layout_router_cls=plan.layout_router_cls or SabreSwapRouter,
+                    router_kwargs=routing_kwargs,
+                    layout_router_kwargs=layout_kwargs,
+                    distance_matrix=self._distance_matrix,
+                    noise_aware=self.noise_aware and self.target.has_calibration,
+                    trial_subset=self.trial_subset,
+                ),
+                *plan.post_routing,
+            ]
+            return
         self.stages["layout"] = [
             SabreLayoutSelection(
                 self.target.coupling_map,

@@ -25,6 +25,7 @@ from ...circuit.dag import DAGCircuit, DAGNode, ExecutionFrontier
 from ...circuit.gates import Gate, gate as make_gate
 from ...exceptions import TranspilerError
 from ...hardware.coupling import CouplingMap
+from ...nativeext import front_ext_sums
 from ...obs.counters import COUNTERS
 from ..passmanager import AnalysisPass, PropertySet, TransformationPass
 from .layout import Layout
@@ -62,6 +63,48 @@ class RoutedOutput:
         return len(self.data)
 
 
+class _LiteOp:
+    """Minimal instruction record with the ``gate``/``name``/``qubits`` shape the
+    NASSC estimators read."""
+
+    __slots__ = ("gate", "qubits", "clbits")
+
+    def __init__(self, gate: Gate, qubits: Tuple[int, ...], clbits: Tuple[int, ...]) -> None:
+        self.gate = gate
+        self.qubits = qubits
+        self.clbits = clbits
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+
+class DiscardOutput:
+    """Routed-output stand-in for runs whose emitted circuit is thrown away.
+
+    The SABRE layout-refinement sweeps route the whole circuit ``2 * iterations``
+    times but consume only the final layout, so building the output DAG (node and
+    edge bookkeeping per emitted gate) is pure overhead there.  This keeps just the
+    positional ``data`` list the NASSC estimators' backward scans index — the same
+    gate objects and qubit tuples :class:`RoutedOutput` would record, so scoring
+    (and hence every routing decision) is bit-identical between the two outputs.
+    """
+
+    __slots__ = ("data",)
+
+    #: No DAG is built; the resulting :class:`RoutingResult` carries ``dag=None``.
+    dag = None
+
+    def __init__(self) -> None:
+        self.data: List[_LiteOp] = []
+
+    def append(self, gate: Gate, qubits: Sequence[int], clbits: Sequence[int] = ()) -> None:
+        self.data.append(_LiteOp(gate, tuple(qubits), tuple(clbits)))
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
 @dataclass
 class RoutingResult:
     """Output of one routing run."""
@@ -79,6 +122,81 @@ class RoutingResult:
         if self._circuit is None:
             self._circuit = self.dag.to_circuit()
         return self._circuit
+
+
+@dataclass
+class ScoreRequest:
+    """One pending candidate-scoring evaluation, yielded by :meth:`route_steps`.
+
+    The router suspends at every heuristic scoring point and yields one of these; the
+    driver answers with the float score array (``generator.send(scores)``).  The solo
+    driver (:func:`drive_steps`) simply calls :meth:`evaluate`; the ensemble engine in
+    :mod:`repro.transpiler.ensemble` instead stacks the index tables of every live
+    trial's request into one batched kernel call per step.
+    """
+
+    router: "SabreSwapRouter"
+    candidates: List[Tuple[int, int]]
+    front_gates: List[DAGNode]
+    extended: List[DAGNode]
+    layout: Layout
+
+    def evaluate(self) -> np.ndarray:
+        """Score this request in isolation (the single-trial path)."""
+        return self.router._compute_scores(
+            self.candidates, self.front_gates, self.extended, self.layout
+        )
+
+
+def drive_steps(steps):
+    """Run a routing-step generator to completion, answering each request in place.
+
+    This is the trampoline behind :meth:`SabreSwapRouter.route` and the solo layout
+    traversals: it produces output bit-identical to the historical inline loop, because
+    :meth:`ScoreRequest.evaluate` performs exactly the computation the loop used to.
+    """
+    reply = None
+    while True:
+        try:
+            request = steps.send(reply)
+        except StopIteration as stop:
+            return stop.value
+        reply = request.evaluate()
+
+
+def prepare_layout_dags(dag: DAGCircuit):
+    """Forward/backward traversal DAGs for SABRE layout selection (or ``None``).
+
+    Returns ``None`` when the circuit has no two-qubit interaction to refine on —
+    the random seed layout is then final.  Factored out so the ensemble engine can
+    build the (trial-independent) traversal DAGs once and share them across trials.
+    """
+    circuit = dag.to_circuit()
+    unitary_only = circuit.without_directives()
+    if not unitary_only.two_qubit_pairs():
+        return None
+    reversed_circuit = unitary_only.reverse_ops()
+    return (
+        DAGCircuit.from_circuit(unitary_only),
+        DAGCircuit.from_circuit(reversed_circuit),
+    )
+
+
+def layout_selection_steps(router, layout, iterations, forward_dag, backward_dag):
+    """Generator form of the SABRE reverse-traversal layout refinement.
+
+    Yields the underlying routers' :class:`ScoreRequest`\\ s; returns the refined
+    :class:`Layout`.  ``drive_steps`` makes this the classic solo refinement; the
+    ensemble engine interleaves several of these (one per trial) in lockstep.
+    """
+    for _ in range(iterations):
+        # The sweeps' routed circuits are discarded — only the layout they end in
+        # matters — so skip the output-DAG bookkeeping entirely.
+        forward = yield from router.route_steps(forward_dag, layout, build_output=False)
+        layout = forward.final_layout
+        backward = yield from router.route_steps(backward_dag, layout, build_output=False)
+        layout = backward.final_layout
+    return layout
 
 
 class SabreSwapRouter:
@@ -122,6 +240,24 @@ class SabreSwapRouter:
 
     def route(self, circuit, initial_layout: Optional[Layout] = None) -> RoutingResult:
         """Route a logical circuit (``QuantumCircuit`` or ``DAGCircuit``) onto the device."""
+        return drive_steps(self.route_steps(circuit, initial_layout))
+
+    def route_steps(
+        self, circuit, initial_layout: Optional[Layout] = None, *, build_output: bool = True
+    ):
+        """Generator form of :meth:`route`: yields a :class:`ScoreRequest` at every
+        heuristic scoring point and expects the score array back via ``send()``.
+
+        Returns the :class:`RoutingResult` (as the generator's ``StopIteration`` value).
+        Driving it with :func:`drive_steps` is bit-identical to the historical inline
+        loop; the ensemble engine drives many of these concurrently, batching the
+        per-step score evaluations of all live trials into one kernel call.
+
+        ``build_output=False`` records the emitted operations without constructing the
+        output DAG (``result.dag`` is then ``None``) — for layout-refinement sweeps
+        that only consume ``result.final_layout``.  Every routing decision is
+        bit-identical either way.
+        """
         dag = circuit if isinstance(circuit, DAGCircuit) else DAGCircuit.from_circuit(circuit)
         if dag.num_qubits > self.coupling_map.num_qubits:
             raise TranspilerError(
@@ -138,9 +274,12 @@ class SabreSwapRouter:
         layout = (initial_layout or Layout.trivial(dag.num_qubits)).copy()
         initial = layout.copy()
         frontier = ExecutionFrontier(dag)
-        out = RoutedOutput(
-            self.coupling_map.num_qubits, dag.num_clbits, dag.name, dag.metadata
-        )
+        if build_output:
+            out = RoutedOutput(
+                self.coupling_map.num_qubits, dag.num_clbits, dag.name, dag.metadata
+            )
+        else:
+            out = DiscardOutput()
 
         self._wire_history: Dict[int, Deque[int]] = {
             q: deque(maxlen=WIRE_HISTORY_BOUND) for q in range(self.coupling_map.num_qubits)
@@ -148,6 +287,8 @@ class SabreSwapRouter:
         self._decay = np.ones(self.coupling_map.num_qubits)
         swap_labels: Dict[int, str] = {}
         num_swaps = 0
+        #: Live progress gauge the ensemble driver reads to prune hopeless trials.
+        self.swaps_so_far = 0
         stall_counter = 0
         stall_limit = self._STALL_LIMIT_FACTOR * (self.coupling_map.diameter() + 1)
         last_swap: Optional[Tuple[int, int]] = None
@@ -181,7 +322,16 @@ class SabreSwapRouter:
                 candidates = self._swap_candidates(front_gates, layout)
                 if last_swap in candidates and len(candidates) > 1:
                     candidates = [c for c in candidates if c != last_swap]
-                swap = self._select_swap(candidates, front_gates, extended, layout, rng)
+                if type(self)._select_swap is SabreSwapRouter._select_swap:
+                    # Split selection around a yield so an external driver may batch
+                    # the score evaluation across trials; the three sub-steps compose
+                    # to exactly the base ``_select_swap``.
+                    self._begin_scoring(candidates)
+                    scores = yield ScoreRequest(self, candidates, front_gates, extended, layout)
+                    swap = self._choose_swap(candidates, scores, rng)
+                else:
+                    # A subclass replaced selection wholesale: honour it inline.
+                    swap = self._select_swap(candidates, front_gates, extended, layout, rng)
 
             label = self._swap_label(swap, front_gates, layout, out)
             position = len(out)
@@ -195,6 +345,7 @@ class SabreSwapRouter:
             self._decay[swap[0]] += self.decay_delta
             self._decay[swap[1]] += self.decay_delta
             num_swaps += 1
+            self.swaps_so_far = num_swaps
             stall_counter += 1
             last_swap = swap
 
@@ -274,19 +425,42 @@ class SabreSwapRouter:
         layout: Layout,
         rng: np.random.Generator,
     ) -> Tuple[int, int]:
+        """Pick the cheapest candidate (composition of the three scoring sub-steps)."""
+        self._begin_scoring(candidates)
+        scores = self._compute_scores(candidates, front_gates, extended, layout)
+        return self._choose_swap(candidates, scores, rng)
+
+    def _begin_scoring(self, candidates: List[Tuple[int, int]]) -> None:
+        """Validate the candidate set and account for the upcoming scoring step."""
         if not candidates:
             raise TranspilerError("no SWAP candidates available (disconnected coupling map?)")
         COUNTERS.inc("routing.swap_candidates_scored", len(candidates))
         COUNTERS.inc("routing.swap_selections")
+
+    def _compute_scores(
+        self,
+        candidates: List[Tuple[int, int]],
+        front_gates: List[DAGNode],
+        extended: List[DAGNode],
+        layout: Layout,
+    ) -> np.ndarray:
+        """Score array for one candidate set (what a :class:`ScoreRequest` evaluates)."""
         if type(self)._score_swap in _VECTOR_SAFE_SCORE_SWAPS:
-            scores = np.asarray(
+            return np.asarray(
                 self._score_candidates(candidates, front_gates, extended, layout), dtype=float
             )
-        else:
-            # A subclass supplied its own per-swap cost function: honour it scalar-wise.
-            scores = np.array(
-                [self._score_swap(swap, front_gates, extended, layout) for swap in candidates]
-            )
+        # A subclass supplied its own per-swap cost function: honour it scalar-wise.
+        return np.array(
+            [self._score_swap(swap, front_gates, extended, layout) for swap in candidates]
+        )
+
+    def _choose_swap(
+        self,
+        candidates: List[Tuple[int, int]],
+        scores: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[int, int]:
+        """Tie-broken argmin over the scored candidates (consumes one rng draw)."""
         best = scores.min()
         best_indices = np.flatnonzero(scores <= best + 1e-12)
         choice = int(rng.integers(len(best_indices)))
@@ -297,18 +471,19 @@ class SabreSwapRouter:
         pairs = np.asarray(candidates, dtype=np.intp).reshape(len(candidates), 2)
         return pairs[:, 0], pairs[:, 1]
 
-    def _mapped_distance_table(
+    def _mapped_index_arrays(
         self,
         c0: np.ndarray,
         c1: np.ndarray,
         nodes: List[DAGNode],
         layout: Layout,
-    ) -> np.ndarray:
-        """(candidates x gates) table of post-swap distances for two-qubit ``nodes``.
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(candidates x gates) tables of post-swap physical indices for ``nodes``.
 
-        One fancy-indexed lookup over the whole table; entry ``[s, g]`` is the device
-        distance of gate ``g``'s qubit pair after virtually applying candidate swap
-        ``s`` to the current layout.
+        Entry ``[s, g]`` of the pair is gate ``g``'s qubit pair after virtually
+        applying candidate swap ``s`` to the current layout — the index form the
+        scoring kernel gathers distances from, and what the ensemble engine stacks
+        across trials.
         """
         l2p = layout.physical_array()
         qubit_pairs = np.asarray([node.qubits for node in nodes], dtype=np.intp)
@@ -318,7 +493,32 @@ class SabreSwapRouter:
         c1 = c1[:, None]
         mapped_a = np.where(pa == c0, c1, np.where(pa == c1, c0, pa))  # (S, G)
         mapped_b = np.where(pb == c0, c1, np.where(pb == c1, c0, pb))
+        return mapped_a, mapped_b
+
+    def _mapped_distance_table(
+        self,
+        c0: np.ndarray,
+        c1: np.ndarray,
+        nodes: List[DAGNode],
+        layout: Layout,
+    ) -> np.ndarray:
+        """(candidates x gates) table of post-swap distances for two-qubit ``nodes``."""
+        mapped_a, mapped_b = self._mapped_index_arrays(c0, c1, nodes, layout)
         return self.distance[mapped_a, mapped_b]
+
+    def _front_ext_sums(
+        self,
+        c0: np.ndarray,
+        c1: np.ndarray,
+        front_gates: List[DAGNode],
+        extended: List[DAGNode],
+        layout: Layout,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-candidate (front, extended) distance sums through the shared kernel."""
+        mapped_a, mapped_b = self._mapped_index_arrays(
+            c0, c1, front_gates + extended, layout
+        )
+        return front_ext_sums(self.distance, mapped_a, mapped_b, len(front_gates))
 
     @staticmethod
     def _sequential_column_sums(table: np.ndarray, start: int, stop: int) -> np.ndarray:
@@ -348,14 +548,30 @@ class SabreSwapRouter:
         the candidate's hotter qubit.
         """
         c0, c1 = self._candidate_arrays(candidates)
-        num_front = len(front_gates)
-        table = self._mapped_distance_table(c0, c1, front_gates + extended, layout)
-        front_cost = self._sequential_column_sums(table, 0, num_front)
-        front_cost /= max(num_front, 1)
-        cost = front_cost
+        front_raw, ext_raw = self._front_ext_sums(c0, c1, front_gates, extended, layout)
+        return self._finalize_scores(
+            candidates, c0, c1, front_raw, ext_raw, front_gates, extended
+        )
+
+    def _finalize_scores(
+        self,
+        candidates: Sequence[Tuple[int, int]],
+        c0: np.ndarray,
+        c1: np.ndarray,
+        front_raw: np.ndarray,
+        ext_raw: np.ndarray,
+        front_gates: List[DAGNode],
+        extended: List[DAGNode],
+    ) -> np.ndarray:
+        """Turn the kernel's raw (front, extended) sums into the SABRE cost array.
+
+        Split from :meth:`_score_candidates` so the ensemble engine can run the raw
+        sums for every live trial through one batched kernel call, then finalize each
+        trial's slice with its own decay state.  NASSC overrides this (not the kernel).
+        """
+        cost = front_raw / max(len(front_gates), 1)
         if extended:
-            ext_cost = self._sequential_column_sums(table, num_front, table.shape[1])
-            cost += self.extended_set_weight * ext_cost / len(extended)
+            cost = cost + self.extended_set_weight * ext_raw / len(extended)
         decay = np.maximum(self._decay[c0], self._decay[c1])
         return decay * cost
 
@@ -452,18 +668,10 @@ class SabreLayoutSelection(AnalysisPass):
         self.router = router_cls(coupling_map, **kwargs)
 
     def run(self, dag: DAGCircuit, property_set: PropertySet) -> None:
-        circuit = dag.to_circuit()
-        unitary_only = circuit.without_directives()
         layout = Layout.random(dag.num_qubits, self.coupling_map.num_qubits, seed=self.seed)
-        if not unitary_only.two_qubit_pairs():
-            property_set["layout"] = layout
-            return
-        reversed_circuit = unitary_only.reverse_ops()
-        forward_dag = DAGCircuit.from_circuit(unitary_only)
-        backward_dag = DAGCircuit.from_circuit(reversed_circuit)
-        for _ in range(self.iterations):
-            forward = self.router.route(forward_dag, layout)
-            layout = forward.final_layout
-            backward = self.router.route(backward_dag, layout)
-            layout = backward.final_layout
+        traversal_dags = prepare_layout_dags(dag)
+        if traversal_dags is not None:
+            layout = drive_steps(
+                layout_selection_steps(self.router, layout, self.iterations, *traversal_dags)
+            )
         property_set["layout"] = layout

@@ -54,6 +54,12 @@ class RoutingPlan:
     layout_router_kwargs: Dict = field(default_factory=dict)
     post_routing: List[TranspilerPass] = field(default_factory=list)
     use_swap_labels: bool = False
+    #: Router class/kwargs for constructing fresh per-trial routing instances
+    #: (seed and distance_matrix are supplied per trial).  When ``None`` the method
+    #: cannot run under best-of-N ensemble routing and ``best_of`` falls back to the
+    #: plain single-trial pipeline.
+    routing_router_cls: Optional[type] = None
+    routing_router_kwargs: Dict = field(default_factory=dict)
 
 
 #: ``factory(target, options, distance_matrix=None) -> Optional[RoutingPlan]``.
@@ -70,6 +76,10 @@ class RoutingMethod:
     description: str = ""
     requires_coupling: bool = True
     builtin: bool = False
+    #: Whether ``TranspileOptions.best_of > 1`` runs this method under the ensemble
+    #: engine.  Methods without per-trial seed sensitivity (``none``) opt out; the
+    #: plan they return must also carry ``routing_router_cls`` to participate.
+    supports_best_of: bool = True
 
 
 _REGISTRY: Dict[str, RoutingMethod] = {}
@@ -84,6 +94,7 @@ def register_routing(
     requires_coupling: bool = True,
     replace: bool = False,
     builtin: bool = False,
+    supports_best_of: bool = True,
 ) -> RoutingMethod:
     """Register a routing method under ``name`` (see the module docstring for the contract)."""
     key = str(name).lower()
@@ -99,6 +110,7 @@ def register_routing(
         description=description,
         requires_coupling=requires_coupling,
         builtin=builtin,
+        supports_best_of=supports_best_of,
     )
     _REGISTRY[key] = method
     return method
@@ -192,6 +204,11 @@ def _sabre_factory(target, options, distance_matrix=None):
         ),
         layout_router_cls=SabreSwapRouter,
         layout_router_kwargs={"distance_matrix": distance_matrix},
+        routing_router_cls=SabreSwapRouter,
+        routing_router_kwargs={
+            "extended_set_size": options.extended_set_size,
+            "extended_set_weight": options.extended_set_weight,
+        },
     )
 
 
@@ -212,11 +229,17 @@ def _nassc_factory(target, options, distance_matrix=None):
         layout_router_kwargs={"distance_matrix": distance_matrix, "config": options.nassc_config},
         post_routing=[CommuteSingleQubitsThroughSwap()],
         use_swap_labels=True,
+        routing_router_cls=NASSCSwapRouter,
+        routing_router_kwargs={
+            "config": options.nassc_config,
+            "extended_set_size": options.extended_set_size,
+            "extended_set_weight": options.extended_set_weight,
+        },
     )
 
 
 register_routing(
-    "none", _none_factory, builtin=True, requires_coupling=False,
+    "none", _none_factory, builtin=True, requires_coupling=False, supports_best_of=False,
     description="no routing — optimize the logical circuit only (the Tables' baseline column)",
 )
 register_routing(

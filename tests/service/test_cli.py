@@ -43,6 +43,21 @@ class TestTranspileCommand:
         assert payload["device"].startswith("linear")
         assert len(payload["fingerprint"]) == 64
 
+    def test_best_of_flag_runs_the_ensemble(self, qasm_file, tmp_path, capsys):
+        out = tmp_path / "routed.qasm"
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "transpile", qasm_file, "--device", "linear", "--num-qubits", "3",
+            "--routing", "sabre", "--seed", "0", "--best-of", "3",
+            "--out", str(out), "--metrics", str(metrics),
+        ])
+        assert code == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["cx_count"] > 0
+        # Reruns are deterministic: the same --best-of invocation hits the cache
+        # only for an identical K (best_of enters the fingerprint).
+        assert len(payload["fingerprint"]) == 64
+
     def test_failure_returns_nonzero(self, qasm_file, capsys):
         # 3-qubit circuit on a 2-qubit device: the job fails, the CLI reports it.
         code = main([
@@ -144,6 +159,7 @@ class TestMethodsCommand:
         for level in ("O0", "O1", "O2", "O3"):
             assert level in out
         assert "builtin" in out
+        assert "best-of-N" in out and "single" in out
 
     def test_lists_registered_plugin(self, capsys):
         from repro.transpiler.registry import get_routing, register_routing, unregister_routing

@@ -43,6 +43,7 @@ class TestFingerprint:
         [
             {"routing": "nassc"},
             {"seed": 1},
+            {"best_of": 4},
             {"nassc_config": NASSCConfig(True, False, True)},
             {"noise_aware": True, "calibration": "montreal"},
         ],
@@ -233,6 +234,17 @@ class TestSerialization:
         )
         clone = TranspileJob.from_dict(json.loads(json.dumps(job.to_dict())))
         assert clone == job
+        assert clone.fingerprint() == job.fingerprint()
+
+    def test_best_of_round_trips(self):
+        coupling = linear_coupling_map(5)
+        job = TranspileJob.from_circuit(
+            small_circuit(), coupling, routing="sabre", seed=0, best_of=4
+        )
+        clone = TranspileJob.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone == job
+        assert clone.best_of == 4
+        assert clone.options().effective_best_of == 4
         assert clone.fingerprint() == job.fingerprint()
 
     def test_pre_target_flat_dict_still_loads(self):

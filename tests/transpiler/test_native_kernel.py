@@ -1,0 +1,175 @@
+"""Tests for the optional native scoring kernel (repro.nativeext)."""
+
+import ctypes
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import nativeext
+from repro.nativeext import (
+    NATIVE_ENV,
+    build_native_library,
+    native_active,
+    native_status,
+    numpy_front_ext_sums,
+)
+
+
+def _have_compiler():
+    return nativeext._find_compiler() is not None
+
+
+needs_compiler = pytest.mark.skipif(
+    not _have_compiler(), reason="no C compiler on PATH"
+)
+
+
+def _random_tables(rng, n, rows, cols):
+    return (
+        rng.integers(0, n, size=(rows, cols)),
+        rng.integers(0, n, size=(rows, cols)),
+    )
+
+
+class TestNumpyKernel:
+    def test_matches_scalar_reference(self):
+        rng = np.random.default_rng(1)
+        n = 7
+        distance = np.ascontiguousarray(np.abs(rng.normal(size=(n, n))))
+        a, b = _random_tables(rng, n, rows=5, cols=6)
+        front, ext = numpy_front_ext_sums(distance, a, b, front_cols=4)
+        for row in range(5):
+            want_front = 0.0
+            for col in range(4):
+                want_front += distance[a[row, col], b[row, col]]
+            want_ext = 0.0
+            for col in range(4, 6):
+                want_ext += distance[a[row, col], b[row, col]]
+            assert front[row] == want_front
+            assert ext[row] == want_ext
+
+    def test_all_front_or_all_ext(self):
+        rng = np.random.default_rng(2)
+        distance = np.ascontiguousarray(np.abs(rng.normal(size=(5, 5))))
+        a, b = _random_tables(rng, 5, rows=3, cols=4)
+        front, ext = numpy_front_ext_sums(distance, a, b, front_cols=4)
+        assert np.all(ext == 0.0)
+        front2, ext2 = numpy_front_ext_sums(distance, a, b, front_cols=0)
+        assert np.all(front2 == 0.0)
+        assert ext2.tobytes() == front.tobytes()
+
+
+@needs_compiler
+class TestNativeKernel:
+    @pytest.fixture()
+    def native_fn(self):
+        """The raw C entry point, loaded regardless of REPRO_NATIVE."""
+        return nativeext._load_native()
+
+    def _call_native(self, native_fn, distance, a, b, front_cols):
+        a = np.ascontiguousarray(a, dtype=np.int64)
+        b = np.ascontiguousarray(b, dtype=np.int64)
+        rows, cols = a.shape
+        front = np.empty(rows)
+        ext = np.empty(rows)
+        double_p = ctypes.POINTER(ctypes.c_double)
+        int64_p = ctypes.POINTER(ctypes.c_int64)
+        native_fn(
+            distance.ctypes.data_as(double_p),
+            ctypes.c_int64(distance.shape[0]),
+            a.ctypes.data_as(int64_p),
+            b.ctypes.data_as(int64_p),
+            ctypes.c_int64(rows),
+            ctypes.c_int64(cols),
+            ctypes.c_int64(front_cols),
+            front.ctypes.data_as(double_p),
+            ext.ctypes.data_as(double_p),
+        )
+        return front, ext
+
+    def test_build_is_cached(self):
+        first = build_native_library()
+        second = build_native_library()
+        assert first == second
+        assert os.path.exists(first)
+
+    def test_bit_identical_to_numpy_on_random_tables(self, native_fn):
+        rng = np.random.default_rng(3)
+        for trial in range(25):
+            n = int(rng.integers(2, 30))
+            # Irrational-ish magnitudes make accumulation-order differences visible.
+            distance = np.ascontiguousarray(np.abs(rng.normal(size=(n, n))) * np.pi)
+            rows = int(rng.integers(1, 40))
+            cols = int(rng.integers(1, 30))
+            front_cols = int(rng.integers(0, cols + 1))
+            a, b = _random_tables(rng, n, rows, cols)
+            want = numpy_front_ext_sums(distance, a, b, front_cols)
+            got = self._call_native(native_fn, distance, a, b, front_cols)
+            assert got[0].tobytes() == want[0].tobytes(), f"front mismatch, trial {trial}"
+            assert got[1].tobytes() == want[1].tobytes(), f"ext mismatch, trial {trial}"
+
+    def test_env_activates_native_dispatch(self):
+        # A subprocess imports with REPRO_NATIVE=1 and must (a) report "active" and
+        # (b) produce byte-identical kernel output to this process's numpy path.
+        rng = np.random.default_rng(4)
+        n = 11
+        distance = np.ascontiguousarray(np.abs(rng.normal(size=(n, n))))
+        a, b = _random_tables(rng, n, rows=6, cols=8)
+        want_front, want_ext = numpy_front_ext_sums(distance, a, b, 5)
+        script = (
+            "import json, sys\n"
+            "import numpy as np\n"
+            "from repro import nativeext\n"
+            "data = json.loads(sys.stdin.read())\n"
+            "front, ext = nativeext.front_ext_sums(\n"
+            "    np.ascontiguousarray(data['distance']),\n"
+            "    np.array(data['a']), np.array(data['b']), data['front_cols'])\n"
+            "print(json.dumps({'status': nativeext.native_status(),\n"
+            "                  'active': nativeext.native_active(),\n"
+            "                  'front': front.tolist(), 'ext': ext.tolist()}))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = ":".join(p for p in sys.path if p)
+        env[NATIVE_ENV] = "1"
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps({
+                "distance": distance.tolist(),
+                "a": a.tolist(),
+                "b": b.tolist(),
+                "front_cols": 5,
+            }),
+            capture_output=True, text=True, check=True, env=env,
+        )
+        out = json.loads(proc.stdout)
+        assert out["status"] == "active"
+        assert out["active"] is True
+        assert np.array(out["front"]).tobytes() == want_front.tobytes()
+        assert np.array(out["ext"]).tobytes() == want_ext.tobytes()
+
+
+class TestStatusReporting:
+    def test_default_is_disabled_or_active(self):
+        # This test process was started with whatever REPRO_NATIVE the environment
+        # had; the status string must agree with the dispatch state either way.
+        status = native_status()
+        if native_active():
+            assert status == "active"
+        else:
+            assert status == "disabled" or status.startswith("failed:")
+
+    def test_disabled_subprocess_reports_disabled(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = ":".join(p for p in sys.path if p)
+        env[NATIVE_ENV] = "0"
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "from repro import nativeext; "
+             "print(nativeext.native_status(), nativeext.native_active())"],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        assert proc.stdout.split() == ["disabled", "False"]
