@@ -29,7 +29,8 @@ import pytest
 
 from repro import Target, TranspileOptions, transpile
 from repro.benchlib import table_benchmarks
-from repro.hardware import evaluation_devices, linear_coupling_map
+from repro.hardware import evaluation_devices, linear_coupling_map, synthetic_calibration
+from repro.schedule import schedule_circuit
 
 from bench_config import QUICK_TABLE_NAMES, RESULTS_DIR, SEEDS, save_report
 
@@ -82,8 +83,9 @@ def pipeline_timings():
     """Transpile the suite once per device x benchmark x method, collecting timing logs."""
     cases = table_benchmarks(names=PIPELINE_NAMES)
     rows = []
+    routed_outputs = []  # (row, routed circuit, calibration) for post-timing lowering
 
-    def timed_row(target, device_name, case, circuit, routing, best_of):
+    def timed_row(target, calibration, device_name, case, circuit, routing, best_of):
         options = TranspileOptions(
             routing=routing, seed=PIPELINE_SEED, level="O1",
             best_of=best_of if best_of > 1 else None,
@@ -95,7 +97,7 @@ def pipeline_timings():
             result = transpile(circuit, target, options)
             wall_times.append(time.perf_counter() - start)
         label = routing if best_of <= 1 else f"{routing}_bo{best_of}"
-        return {
+        row = {
             "device": device_name,
             "benchmark": case.name,
             "routing": label,
@@ -109,19 +111,76 @@ def pipeline_timings():
             "cx_count": result.cx_count,
             "depth": result.depth,
             "num_swaps": result.num_swaps,
+            "critical_path_ns": None,
             "pass_timing_log": [[name, t] for name, t in result.pass_timing_log],
             "pass_timings": result.pass_timings,
         }
+        # Unrouted output ("none") may apply CNOTs to non-links, so its duration is
+        # not a hardware quantity; it keeps critical_path_ns = null.
+        if routing != "none":
+            routed_outputs.append((row, result.circuit, calibration))
+        return row
 
     for device_name, coupling in pipeline_devices().items():
         target = Target(coupling_map=coupling, name=device_name)
+        calibration = synthetic_calibration(coupling)
         for case in cases:
             circuit = case.build()
             for routing in PIPELINE_METHODS:
-                rows.append(timed_row(target, device_name, case, circuit, routing, 1))
+                rows.append(timed_row(target, calibration, device_name, case, circuit, routing, 1))
             for routing in BEST_OF_METHODS:
-                rows.append(timed_row(target, device_name, case, circuit, routing, BEST_OF))
+                rows.append(
+                    timed_row(target, calibration, device_name, case, circuit, routing, BEST_OF)
+                )
+    # Lower routed outputs to ASAP schedules only after every timed run has finished:
+    # lowering allocates freely, and interleaving it with the timed loops would add GC
+    # pauses to wall-times that feed the perf gate.
+    for row, routed, calibration in routed_outputs:
+        row["critical_path_ns"] = schedule_circuit(routed, calibration, "asap").duration
     return rows
+
+
+@pytest.fixture(scope="module")
+def duration_cost_summary():
+    """Hops-cost vs ns-cost routing, compared on the ASAP critical path (nanoseconds).
+
+    Routes every device x benchmark case twice with sabre at O1 / seed 0 on a
+    calibrated target — once on the unit hop-count distance matrix, once on the
+    duration-aware matrix — and compares the resulting schedule makespans.  This is the
+    tracked evidence for the ``route_cost="ns"`` knob: scoring SWAP candidates by the
+    nanoseconds they insert should shorten the critical path on a majority of the grid.
+    """
+    cases = table_benchmarks(names=PIPELINE_NAMES)
+    comparisons = []
+    for device_name, coupling in pipeline_devices().items():
+        calibration = synthetic_calibration(coupling)
+        target = Target(coupling_map=coupling, calibration=calibration, name=device_name)
+        for case in cases:
+            circuit = case.build()
+            durations = {}
+            for cost in ("hops", "ns"):
+                result = transpile(circuit, target, TranspileOptions(
+                    routing="sabre", seed=PIPELINE_SEED, level="O1",
+                    route_cost=cost, schedule="asap",
+                ))
+                durations[cost] = result.schedule.duration
+            comparisons.append({
+                "device": device_name,
+                "benchmark": case.name,
+                "duration_hops_ns": durations["hops"],
+                "duration_ns_cost_ns": durations["ns"],
+                "delta_ns": durations["ns"] - durations["hops"],
+            })
+    return {
+        "routing": "sabre",
+        "seed": PIPELINE_SEED,
+        "cases": len(comparisons),
+        "better": sum(1 for c in comparisons if c["delta_ns"] < 0),
+        "tied": sum(1 for c in comparisons if c["delta_ns"] == 0),
+        "worse": sum(1 for c in comparisons if c["delta_ns"] > 0),
+        "total_delta_ns": sum(c["delta_ns"] for c in comparisons),
+        "comparisons": comparisons,
+    }
 
 
 def _best_of_summary(rows):
@@ -205,9 +264,10 @@ def _summarise(rows):
 
 
 @pytest.fixture(scope="module")
-def pipeline_report(pipeline_timings):
+def pipeline_report(pipeline_timings, duration_cost_summary):
     """Aggregate the grid, update the tracked trajectory file, and persist reports."""
     summary = _summarise(pipeline_timings)
+    summary["duration_cost_summary"] = duration_cost_summary
 
     if SMOKE:
         os.makedirs(RESULTS_DIR, exist_ok=True)
@@ -254,6 +314,13 @@ def pipeline_report(pipeline_timings):
             f"{best_of['aggregate_wall_ratio']:.2f}x, mean {best_of['mean_wall_ratio']:.2f}x, "
             f"max {best_of['max_wall_ratio']:.2f}x"
         )
+    durations = summary["duration_cost_summary"]
+    lines.append(
+        f"ns-cost vs hops-cost routing over {durations['cases']} cases: "
+        f"{durations['better']} shorter / {durations['tied']} tied / "
+        f"{durations['worse']} longer on the ASAP critical path "
+        f"(total delta {durations['total_delta_ns']} ns)"
+    )
     text = "\n".join(lines)
     print("\n" + text)
     save_report("pass_pipeline.txt", text)
@@ -318,6 +385,29 @@ def test_best_of_improves_quality_within_budget(pipeline_report):
             f"aggregate wall-time ratio {summary['aggregate_wall_ratio']:.2f}x exceeds "
             f"the 2.5x amortization budget for best_of={summary['best_of']}"
         )
+
+
+def test_critical_path_recorded_per_case(pipeline_report):
+    """Every routed row carries the schedule makespan; unrouted rows record null."""
+    for row in pipeline_report["rows"]:
+        if row["base_routing"] == "none":
+            assert row["critical_path_ns"] is None
+        else:
+            assert row["critical_path_ns"] > 0
+
+
+def test_ns_cost_routing_shortens_critical_path_on_majority(pipeline_report):
+    """Acceptance: duration-aware (ns-cost) routing yields an ASAP critical path no
+    longer than unit-cost routing's on a strict majority of the evaluation grid
+    (full grid only — the smoke subset is too small for a majority to be meaningful)."""
+    summary = pipeline_report["duration_cost_summary"]
+    if summary["cases"] < 10:
+        pytest.skip("too few cases for the majority criterion")
+    not_longer = summary["better"] + summary["tied"]
+    assert not_longer > summary["cases"] // 2, (
+        f"ns-cost routing matched or beat hops-cost on only {not_longer} of "
+        f"{summary['cases']} cases"
+    )
 
 
 def test_timing_log_covers_transpile_time(pipeline_timings):

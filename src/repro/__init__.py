@@ -13,6 +13,8 @@ Public API highlights
   progress streaming and Prometheus metrics, plus the stdlib Python client.
 * :mod:`repro.obs` — end-to-end tracing and telemetry: span trees across
   client/server/worker, unified cache/kernel counters, Chrome-trace export.
+* :mod:`repro.schedule` — timed-schedule IR: ASAP/ALAP duration-aware scheduling,
+  idle-window decoherence analysis, and nanosecond-cost routing support.
 """
 
 from .circuit import DAGCircuit, Gate, Instruction, QuantumCircuit, qasm, random_circuit
@@ -36,6 +38,14 @@ from .hardware import (
 )
 from .client import ReproClient, transpile_remote
 from .obs import COUNTERS, Span, Tracer, set_tracer, use_tracer
+from .schedule import (
+    Schedule,
+    TimedInstruction,
+    available_schedule_modes,
+    decoherence_exposure,
+    schedule_circuit,
+    schedule_dag,
+)
 from .service import BatchTranspiler, ResultCache, TranspileJob
 from .simulator import NoiseModel, NoisySimulator, StatevectorSimulator
 from .synthesis import TwoQubitSynthesizer, cnot_count, weyl_coordinates
@@ -46,7 +56,7 @@ from .transpiler import (
     unregister_routing,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DAGCircuit", "Gate", "Instruction", "QuantumCircuit", "qasm", "random_circuit",
@@ -56,6 +66,8 @@ __all__ = [
     "linear_coupling_map", "montreal_coupling_map", "synthetic_calibration",
     "BatchTranspiler", "ReproClient", "ResultCache", "TranspileJob", "transpile_remote",
     "COUNTERS", "Span", "Tracer", "set_tracer", "use_tracer",
+    "Schedule", "TimedInstruction", "available_schedule_modes", "decoherence_exposure",
+    "schedule_circuit", "schedule_dag",
     "NoiseModel", "NoisySimulator", "StatevectorSimulator",
     "TwoQubitSynthesizer", "cnot_count", "weyl_coordinates",
     "PipelineBuilder", "available_routings", "register_routing", "unregister_routing",

@@ -11,6 +11,7 @@ from __future__ import annotations
 import ast
 import math
 import re
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -33,12 +34,19 @@ _KNOWN_ALIASES = {
 _ALLOWED_FUNCS = {"sin": math.sin, "cos": math.cos, "tan": math.tan, "exp": math.exp,
                   "ln": math.log, "sqrt": math.sqrt}
 
+#: CPython 3.11 keeps the AST constructor's recursion-depth bookkeeping in shared
+#: module state, so concurrent ``ast.parse`` calls from thread-pool workers (the
+#: server's QASM parsing path) can race into ``SystemError: AST constructor recursion
+#: depth mismatch``.  Parameter expressions are tiny, so serialising the parse is free.
+_AST_PARSE_LOCK = threading.Lock()
+
 
 def _eval_expr(text: str, bindings: Optional[Dict[str, float]] = None) -> float:
     """Safely evaluate a QASM parameter expression."""
     bindings = bindings or {}
     try:
-        tree = ast.parse(text, mode="eval")
+        with _AST_PARSE_LOCK:
+            tree = ast.parse(text, mode="eval")
     except SyntaxError as exc:
         raise QASMError(f"invalid parameter expression: {text!r}") from exc
 

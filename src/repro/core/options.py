@@ -21,7 +21,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
-from ..exceptions import TranspilerError
+from ..exceptions import ScheduleError, TranspilerError
+from ..schedule.modes import normalize_schedule_mode
 from .nassc import NASSCConfig
 
 #: Preset optimization levels, lowest to highest effort.
@@ -37,6 +38,9 @@ LEVEL_DESCRIPTIONS: Dict[str, str] = {
 #: Trials ``O3`` runs by default when ``best_of`` is left unset (the highest preset
 #: buys the best circuit the seed space offers, amortized by the batched kernels).
 O3_DEFAULT_BEST_OF = 4
+
+#: Supported routing cost models: unit hop count, or nanoseconds of inserted SWAP time.
+ROUTE_COSTS: Tuple[str, ...] = ("hops", "ns")
 
 
 def normalize_level(level: Union[str, int]) -> str:
@@ -75,6 +79,14 @@ class TranspileOptions:
     #: "preset default": 1 everywhere except ``O3``, which runs
     #: :data:`O3_DEFAULT_BEST_OF` trials.  Methods that opt out (``none``) ignore it.
     best_of: Optional[int] = None
+    #: Lower the compiled circuit to a timed schedule: ``"asap"``, ``"alap"``, or
+    #: ``None`` (default — no schedule stage runs and compiled output is untouched).
+    #: Requires a calibrated target.
+    schedule: Optional[str] = None
+    #: SWAP-candidate cost model for routing: ``"hops"`` (unit cost, the default) or
+    #: ``"ns"`` (candidates scored by the nanoseconds of inserted SWAP time on their
+    #: specific links; requires a calibrated target).
+    route_cost: str = "hops"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "level", normalize_level(self.level))
@@ -85,6 +97,20 @@ class TranspileOptions:
                 raise TranspilerError(f"best_of must be an integer, got {self.best_of!r}")
             if self.best_of < 1:
                 raise TranspilerError(f"best_of must be >= 1, got {self.best_of}")
+        if self.schedule is not None:
+            try:
+                object.__setattr__(self, "schedule", normalize_schedule_mode(self.schedule))
+            except ScheduleError as exc:
+                raise TranspilerError(str(exc)) from exc
+        if self.route_cost not in ROUTE_COSTS:
+            raise TranspilerError(
+                f"unknown route_cost {self.route_cost!r}; expected one of {ROUTE_COSTS}"
+            )
+        if self.route_cost == "ns" and self.noise_aware:
+            raise TranspilerError(
+                "route_cost='ns' and noise_aware=True are mutually exclusive: both "
+                "replace the routing distance matrix; pick one cost model"
+            )
 
     @property
     def effective_best_of(self) -> int:
@@ -114,6 +140,8 @@ class TranspileOptions:
             # The *effective* value: explicit best_of and the preset default that
             # resolves to the same trial count must hit the same cache entry.
             "best_of": int(self.effective_best_of),
+            "schedule": self.schedule,
+            "route_cost": self.route_cost,
         }
 
     def to_dict(self) -> Dict:
@@ -141,4 +169,6 @@ class TranspileOptions:
             layout_iterations=data.get("layout_iterations", 2),
             check=data.get("check", True),
             best_of=data.get("best_of"),
+            schedule=data.get("schedule"),
+            route_cost=data.get("route_cost", "hops"),
         )

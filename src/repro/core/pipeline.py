@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..circuit.circuit import QuantumCircuit
 from ..exceptions import TranspilerError
+from ..schedule.ir import Schedule
 from ..hardware.calibration import DeviceCalibration
 from ..hardware.coupling import CouplingMap
 from ..hardware.target import Target
@@ -43,7 +44,7 @@ ROUTING_METHODS = tuple(available_routings(load_plugins=False))
 #: Version of the transpiler pipeline's structure/semantics.  Bumped whenever a refactor
 #: could change compiled output or the meaning of recorded metrics; the service layer folds
 #: it into job fingerprints so refactored pipelines never serve stale cached results.
-PIPELINE_VERSION = 4
+PIPELINE_VERSION = 5
 
 #: Iteration cap of the ``O1`` post-routing optimization loop (kept as a module constant
 #: for backward compatibility; per-level caps live in
@@ -77,6 +78,9 @@ class TranspileResult:
     best_of: int = 1
     #: Ensemble summary (winner, per-trial outcomes) when ``best_of > 1``, else None.
     ensemble: Optional[Dict] = None
+    #: Timed schedule of the compiled circuit when ``options.schedule`` was set
+    #: (a :class:`repro.schedule.Schedule`), else None.
+    schedule: Optional[Schedule] = None
 
     @property
     def cx_count(self) -> int:
@@ -124,6 +128,8 @@ class TranspileResult:
             out["best_of"] = int(self.best_of)
         if self.ensemble is not None:
             out["ensemble"] = dict(self.ensemble)
+        if self.schedule is not None:
+            out["schedule"] = self.schedule.to_dict()
         return out
 
     @classmethod
@@ -152,6 +158,7 @@ class TranspileResult:
             trace=list(data.get("trace", [])),
             best_of=int(data.get("best_of", 1)),
             ensemble=data.get("ensemble"),
+            schedule=Schedule.from_dict(data["schedule"]) if data.get("schedule") else None,
         )
 
 
@@ -217,6 +224,8 @@ def transpile(
     check: Optional[bool] = None,
     coupling_map: Optional[CouplingMap] = None,
     best_of: Optional[int] = None,
+    schedule: Optional[str] = None,
+    route_cost: Optional[str] = None,
     _trial_subset: Optional[Sequence[int]] = None,
 ) -> TranspileResult:
     """Compile a logical circuit for a device target.
@@ -249,6 +258,8 @@ def transpile(
             "layout_iterations": layout_iterations,
             "check": check,
             "best_of": best_of,
+            "schedule": schedule,
+            "route_cost": route_cost,
         },
     )
 
@@ -289,6 +300,7 @@ def transpile(
         pass_timing_log=list(manager.timing_log),
         best_of=builder.ensemble_trials,
         ensemble=props.get("ensemble"),
+        schedule=props.get("schedule"),
     )
     if tracer is not None:
         result.trace = tracer.span_dicts(since=since)

@@ -27,7 +27,11 @@ from ..benchlib.suite import BenchmarkCase, noise_benchmarks, table_benchmarks
 from ..circuit import qasm
 from ..core.nassc import NASSCConfig
 from ..core.pipeline import TranspileResult, optimize_logical
-from ..hardware.calibration import DeviceCalibration, fake_montreal_calibration
+from ..hardware.calibration import (
+    DeviceCalibration,
+    fake_montreal_calibration,
+    synthetic_calibration,
+)
 from ..hardware.coupling import CouplingMap
 from ..hardware.topologies import get_topology
 from ..service.executor import BatchTranspiler, ProgressCallback
@@ -63,6 +67,10 @@ class ComparisonRow:
     nassc_cx: float
     nassc_depth: float
     nassc_time: float
+    #: Mean critical-path duration (ns) of the scheduled result; NaN when the
+    #: experiment ran without a schedule mode.
+    sabre_duration_ns: float = float("nan")
+    nassc_duration_ns: float = float("nan")
 
     @property
     def sabre_added_cx(self) -> float:
@@ -99,6 +107,14 @@ class ComparisonRow:
     @property
     def time_ratio(self) -> float:
         return self.nassc_time / self.sabre_time if self.sabre_time > 0 else float("nan")
+
+    @property
+    def delta_duration(self) -> float:
+        return percentage_change(self.sabre_duration_ns, self.nassc_duration_ns)
+
+    @property
+    def has_durations(self) -> bool:
+        return np.isfinite(self.sabre_duration_ns) and np.isfinite(self.nassc_duration_ns)
 
 
 @dataclass
@@ -148,6 +164,20 @@ class TableResult:
             return float("nan")
         return float(np.exp(np.mean(np.log(ratios))))
 
+    @property
+    def has_durations(self) -> bool:
+        """Whether the experiment was run with a schedule mode (duration columns filled)."""
+        return any(r.has_durations for r in self.rows)
+
+    @property
+    def geomean_delta_duration(self) -> float:
+        timed = [r for r in self.rows if r.has_durations]
+        if not timed:
+            return float("nan")
+        return geometric_mean_reduction(
+            [r.sabre_duration_ns for r in timed], [r.nassc_duration_ns for r in timed]
+        )
+
 
 def _comparison_jobs(
     case: BenchmarkCase,
@@ -158,8 +188,15 @@ def _comparison_jobs(
     baseline: str = "sabre",
     routing: str = "nassc",
     level: str = "O1",
+    schedule: Optional[str] = None,
+    calibration: Optional[Dict] = None,
 ) -> List[TranspileJob]:
-    """The jobs of one table row: the no-routing reference, then (baseline, routing) per seed."""
+    """The jobs of one table row: the no-routing reference, then (baseline, routing) per seed.
+
+    ``schedule`` (with the matching ``calibration`` dict) makes every *routed* job also
+    lower its result to a timed schedule; the unrouted reference stays unscheduled (it
+    has no device to be timed against).
+    """
     # Serialise the circuit and device once per case; the per-seed jobs share the text.
     qasm_text = qasm.dumps(case.build())
     coupling = coupling_map.to_dict()
@@ -169,13 +206,15 @@ def _comparison_jobs(
         jobs.append(
             TranspileJob(
                 qasm=qasm_text, routing=baseline, level=level, coupling_map=coupling,
-                seed=seed, name=f"{case.name}[{baseline},s{seed}]",
+                seed=seed, schedule=schedule, calibration=calibration,
+                name=f"{case.name}[{baseline},s{seed}]",
             )
         )
         jobs.append(
             TranspileJob(
                 qasm=qasm_text, routing=routing, level=level, coupling_map=coupling,
-                seed=seed, nassc_config=config, name=f"{case.name}[{routing},s{seed}]",
+                seed=seed, nassc_config=config, schedule=schedule, calibration=calibration,
+                name=f"{case.name}[{routing},s{seed}]",
             )
         )
     return jobs
@@ -188,6 +227,11 @@ def _comparison_row(
     original = results[0]
     sabre = results[1::2]
     nassc = results[2::2]
+
+    def mean_duration(group: Sequence[TranspileResult]) -> float:
+        durations = [r.schedule.duration for r in group if r.schedule is not None]
+        return float(np.mean(durations)) if durations else float("nan")
+
     return ComparisonRow(
         name=case.name,
         num_qubits=case.num_qubits,
@@ -199,6 +243,8 @@ def _comparison_row(
         nassc_cx=float(np.mean([r.cx_count for r in nassc])),
         nassc_depth=float(np.mean([r.depth for r in nassc])),
         nassc_time=float(np.mean([r.transpile_time for r in nassc])),
+        sabre_duration_ns=mean_duration(sabre),
+        nassc_duration_ns=mean_duration(nassc),
     )
 
 
@@ -211,13 +257,16 @@ def compare_benchmark(
     baseline: str = "sabre",
     routing: str = "nassc",
     level: str = "O1",
+    schedule: Optional[str] = None,
     executor: Optional[BatchTranspiler] = None,
     workers: Optional[int] = None,
 ) -> ComparisonRow:
     """Average baseline-vs-treatment comparison for one benchmark over the given seeds."""
     executor = _resolve_executor(executor, workers)
+    calibration = synthetic_calibration(coupling_map).to_dict() if schedule else None
     jobs = _comparison_jobs(
-        case, coupling_map, seeds, nassc_config, baseline=baseline, routing=routing, level=level
+        case, coupling_map, seeds, nassc_config, baseline=baseline, routing=routing,
+        level=level, schedule=schedule, calibration=calibration,
     )
     return _comparison_row(case, executor.results(jobs))
 
@@ -231,6 +280,7 @@ def run_table_experiment(
     baseline: str = "sabre",
     routing: str = "nassc",
     level: str = "O1",
+    schedule: Optional[str] = None,
     executor: Optional[BatchTranspiler] = None,
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
@@ -242,15 +292,21 @@ def run_table_experiment(
     combinations are submitted as one job batch, so with ``workers > 1`` the rows
     transpile concurrently and identical jobs are served from the executor's
     content-addressed cache.
+
+    ``schedule`` (``"asap"``/``"alap"``) additionally lowers every routed result to a
+    timed schedule against the topology's deterministic synthetic calibration, filling
+    the rows' critical-path duration columns.
     """
     coupling_map = get_topology(topology, num_device_qubits)
     if cases is None:
         cases = table_benchmarks(max_qubits=coupling_map.num_qubits)
     executor = _resolve_executor(executor, workers)
     eligible = [case for case in cases if case.num_qubits <= coupling_map.num_qubits]
+    calibration = synthetic_calibration(coupling_map).to_dict() if schedule else None
     job_lists = [
         _comparison_jobs(
-            case, coupling_map, seeds, None, baseline=baseline, routing=routing, level=level
+            case, coupling_map, seeds, None, baseline=baseline, routing=routing,
+            level=level, schedule=schedule, calibration=calibration,
         )
         for case in eligible
     ]

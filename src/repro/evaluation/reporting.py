@@ -63,6 +63,28 @@ def format_depth_table(result: TableResult) -> str:
     return "\n".join(lines)
 
 
+def format_duration_table(result: TableResult) -> str:
+    """Render the critical-path duration report of a schedule-enabled table experiment."""
+    header = ["benchmark", "qubits", "sabre_ns", "nassc_ns", "dT_total%"]
+    widths = [16, 6, 10, 10, 9]
+    lines = [
+        f"Critical-path duration (ns), Qiskit+{result.baseline.upper()} vs "
+        f"Qiskit+{result.routing.upper()} on {result.topology}"
+    ]
+    lines.append(_format_row(header, widths))
+    for row in result.rows:
+        if not row.has_durations:
+            continue
+        lines.append(_format_row([
+            row.name, row.num_qubits, f"{row.sabre_duration_ns:.0f}",
+            f"{row.nassc_duration_ns:.0f}", f"{row.delta_duration:.2f}",
+        ], widths))
+    lines.append(_format_row([
+        "geomean", "", "", "", f"{result.geomean_delta_duration:.2f}",
+    ], widths))
+    return "\n".join(lines)
+
+
 def format_ablation(rows: List[AblationRow], topology: str) -> str:
     """Render one Figure 9 panel: best-of-8 combinations vs all-three-enabled."""
     lines = [f"CNOT reduction vs SABRE: best of 8 combinations vs all enabled ({topology})"]
@@ -99,35 +121,43 @@ def format_noise_experiment(rows: List[NoiseExperimentRow]) -> str:
 
 def table_result_to_dict(result: TableResult) -> Dict:
     """JSON-safe form of a table experiment (rows plus the geometric-mean aggregates)."""
+    rows = []
+    for row in result.rows:
+        entry = {
+            "name": row.name,
+            "num_qubits": row.num_qubits,
+            "original_cx": row.original_cx,
+            "original_depth": row.original_depth,
+            "sabre_cx": row.sabre_cx,
+            "sabre_depth": row.sabre_depth,
+            "sabre_time": row.sabre_time,
+            "nassc_cx": row.nassc_cx,
+            "nassc_depth": row.nassc_depth,
+            "nassc_time": row.nassc_time,
+            "delta_cx_total_pct": row.delta_cx_total,
+            "delta_cx_added_pct": row.delta_cx_added,
+            "delta_depth_total_pct": row.delta_depth_total,
+        }
+        if row.has_durations:
+            entry["sabre_duration_ns"] = row.sabre_duration_ns
+            entry["nassc_duration_ns"] = row.nassc_duration_ns
+            entry["delta_duration_pct"] = row.delta_duration
+        rows.append(entry)
+    geomean = {
+        "delta_cx_total_pct": result.geomean_delta_cx_total,
+        "delta_cx_added_pct": result.geomean_delta_cx_added,
+        "delta_depth_total_pct": result.geomean_delta_depth_total,
+        "delta_depth_added_pct": result.geomean_delta_depth_added,
+        "time_ratio": result.geomean_time_ratio,
+    }
+    if result.has_durations:
+        geomean["delta_duration_pct"] = result.geomean_delta_duration
     return {
         "topology": result.topology,
         "baseline": result.baseline,
         "routing": result.routing,
-        "rows": [
-            {
-                "name": row.name,
-                "num_qubits": row.num_qubits,
-                "original_cx": row.original_cx,
-                "original_depth": row.original_depth,
-                "sabre_cx": row.sabre_cx,
-                "sabre_depth": row.sabre_depth,
-                "sabre_time": row.sabre_time,
-                "nassc_cx": row.nassc_cx,
-                "nassc_depth": row.nassc_depth,
-                "nassc_time": row.nassc_time,
-                "delta_cx_total_pct": row.delta_cx_total,
-                "delta_cx_added_pct": row.delta_cx_added,
-                "delta_depth_total_pct": row.delta_depth_total,
-            }
-            for row in result.rows
-        ],
-        "geomean": {
-            "delta_cx_total_pct": result.geomean_delta_cx_total,
-            "delta_cx_added_pct": result.geomean_delta_cx_added,
-            "delta_depth_total_pct": result.geomean_delta_depth_total,
-            "delta_depth_added_pct": result.geomean_delta_depth_added,
-            "time_ratio": result.geomean_time_ratio,
-        },
+        "rows": rows,
+        "geomean": geomean,
     }
 
 

@@ -17,6 +17,14 @@ class CouplingError(ReproError):
     """Raised for invalid coupling map construction or queries."""
 
 
+class CalibrationError(ReproError):
+    """Raised when device calibration data is missing or inconsistent."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a circuit cannot be lowered to a timed schedule."""
+
+
 class TranspilerError(ReproError):
     """Raised when a transpiler pass cannot complete."""
 

@@ -13,8 +13,10 @@ from .topologies import (
 )
 from .calibration import DeviceCalibration, fake_montreal_calibration, synthetic_calibration
 from .noise_distance import (
+    duration_distance_matrix,
     hop_distance_matrix,
     noise_aware_distance_matrix,
+    swap_duration_on_edge,
     swap_error_on_edge,
 )
 from .target import Target
@@ -32,8 +34,10 @@ __all__ = [
     "DeviceCalibration",
     "fake_montreal_calibration",
     "synthetic_calibration",
+    "duration_distance_matrix",
     "hop_distance_matrix",
     "noise_aware_distance_matrix",
+    "swap_duration_on_edge",
     "swap_error_on_edge",
     "Target",
 ]

@@ -15,8 +15,13 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..exceptions import CalibrationError
 from .coupling import CouplingMap
 from .topologies import montreal_coupling_map
+
+#: Default measurement duration (seconds) used when a calibration carries no per-qubit
+#: readout timing — the middle of the 1-5 us range IBM publishes for the Falcon family.
+DEFAULT_MEASURE_DURATION = 3.0e-6
 
 
 @dataclass
@@ -31,6 +36,10 @@ class DeviceCalibration:
     readout_error: Dict[int, float] = field(default_factory=dict)
     t1: Dict[int, float] = field(default_factory=dict)
     t2: Dict[int, float] = field(default_factory=dict)
+    #: Per-qubit measurement duration (seconds).  Optional: qubits without an entry
+    #: fall back to :data:`DEFAULT_MEASURE_DURATION`, so pre-existing calibrations keep
+    #: working and the schedule IR has a forward-compatible slot for dynamic circuits.
+    measure_duration: Dict[int, float] = field(default_factory=dict)
 
     def _edge_key(self, a: int, b: int) -> Tuple[int, int]:
         return (min(a, b), max(a, b))
@@ -62,6 +71,80 @@ class DeviceCalibration:
     def average_cx_error(self) -> float:
         return float(np.mean(list(self.cx_error.values())))
 
+    def average_cx_duration(self) -> float:
+        """Device-mean CNOT duration (seconds)."""
+        return float(np.mean(list(self.cx_duration.values())))
+
+    def measure_duration_for(self, qubit: int) -> float:
+        """Measurement duration (seconds) of a qubit, with the device default fallback."""
+        return self.measure_duration.get(qubit, DEFAULT_MEASURE_DURATION)
+
+    def gate_duration(self, name: str, qubits: Tuple[int, ...]) -> float:
+        """Duration (seconds) of an arbitrary basis-gate application.
+
+        Mirrors :meth:`gate_error`'s fallback behaviour: two-qubit gates on pairs that
+        are not device links (possible for circuits that have not been routed yet) use
+        the device-average CNOT duration.  Directive pseudo-gates (``barrier``) take no
+        time; ``measure``/``reset`` use the per-qubit measurement duration.
+        """
+        if name == "barrier":
+            return 0.0
+        if name in ("measure", "reset"):
+            return max(self.measure_duration_for(q) for q in qubits) if qubits else 0.0
+        if len(qubits) == 2:
+            key = self._edge_key(*qubits)
+            if key in self.cx_duration:
+                return self.cx_duration[key]
+            if not self.cx_duration:
+                raise CalibrationError(
+                    "calibration has no cx_duration entries; cannot time two-qubit gates"
+                )
+            return self.average_cx_duration()
+        if len(qubits) == 1:
+            q = qubits[0]
+            if q not in self.single_qubit_duration:
+                raise CalibrationError(
+                    f"calibration has no single_qubit_duration entry for qubit {q}"
+                )
+            return self.single_qubit_duration[q]
+        # Multi-qubit gates are decomposed before execution; bound by the slowest link.
+        return max(self.cx_duration.values()) if self.cx_duration else 0.0
+
+    def validate_for(self, coupling_map: CouplingMap) -> None:
+        """Check this calibration can time every gate a routed circuit may contain.
+
+        Raises a :class:`~repro.exceptions.CalibrationError` listing *all* missing
+        ``cx_duration`` edges and ``single_qubit_duration`` qubits at once (instead of
+        the bare ``KeyError`` that :meth:`cx_gate_time` would raise on first use).
+        """
+        missing_edges = [
+            edge for edge in coupling_map.edges
+            if self._edge_key(*edge) not in self.cx_duration
+        ]
+        missing_qubits = [
+            q for q in range(coupling_map.num_qubits)
+            if q not in self.single_qubit_duration
+        ]
+        if not missing_edges and not missing_qubits:
+            return
+        problems = []
+        if missing_edges:
+            shown = ", ".join(str(e) for e in missing_edges[:8])
+            suffix = ", ..." if len(missing_edges) > 8 else ""
+            problems.append(
+                f"{len(missing_edges)} coupling edge(s) without cx_duration: {shown}{suffix}"
+            )
+        if missing_qubits:
+            shown = ", ".join(str(q) for q in missing_qubits[:16])
+            suffix = ", ..." if len(missing_qubits) > 16 else ""
+            problems.append(
+                f"{len(missing_qubits)} qubit(s) without single_qubit_duration: "
+                f"{shown}{suffix}"
+            )
+        raise CalibrationError(
+            "calibration cannot time this device: " + "; ".join(problems)
+        )
+
     def best_qubit(self) -> int:
         """Qubit with the lowest readout error (used by layout heuristics)."""
         return min(self.readout_error, key=self.readout_error.get)
@@ -86,6 +169,7 @@ class DeviceCalibration:
             "readout_error": _qubit_map(self.readout_error),
             "t1": _qubit_map(self.t1),
             "t2": _qubit_map(self.t2),
+            "measure_duration": _qubit_map(self.measure_duration),
         }
 
     @classmethod
@@ -100,6 +184,8 @@ class DeviceCalibration:
             readout_error={q: v for q, v in data["readout_error"]},
             t1={q: v for q, v in data["t1"]},
             t2={q: v for q, v in data["t2"]},
+            # Absent in dicts serialised before measurement timing existed.
+            measure_duration={q: v for q, v in data.get("measure_duration", [])},
         )
 
 
@@ -124,6 +210,7 @@ def synthetic_calibration(
         calib.readout_error[q] = float(rng.uniform(*readout_error_range))
         calib.t1[q] = float(rng.uniform(8e-5, 1.5e-4))
         calib.t2[q] = float(rng.uniform(5e-5, 1.2e-4))
+        calib.measure_duration[q] = DEFAULT_MEASURE_DURATION
     return calib
 
 

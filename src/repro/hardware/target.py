@@ -24,7 +24,7 @@ import numpy as np
 from ..exceptions import ReproError
 from .calibration import DeviceCalibration, synthetic_calibration
 from .coupling import CouplingMap
-from .noise_distance import noise_aware_distance_matrix
+from .noise_distance import duration_distance_matrix, noise_aware_distance_matrix
 from .topologies import get_topology
 
 
@@ -51,6 +51,9 @@ class Target:
     final_basis: str = "zsx"
     name: str = ""
     _noise_distance: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _duration_distance: Optional[np.ndarray] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -111,6 +114,20 @@ class Target:
                 self, "_noise_distance", noise_aware_distance_matrix(self.calibration)
             )
         return self._noise_distance
+
+    def duration_distance_matrix(self) -> np.ndarray:
+        """The nanosecond-cost routing distance matrix, built lazily and memoised.
+
+        Used by ``TranspileOptions(route_cost="ns")`` pipelines: SWAP candidates are
+        scored by the duration-weighted distance of the links they would cross.
+        """
+        if self.calibration is None:
+            raise ReproError(f"target {self.name!r} has no calibration data")
+        if self._duration_distance is None:
+            object.__setattr__(
+                self, "_duration_distance", duration_distance_matrix(self.calibration)
+            )
+        return self._duration_distance
 
     # -- serialization and content addressing --------------------------------
 

@@ -1,0 +1,36 @@
+"""``repro.schedule``: the timed-schedule subsystem.
+
+Lowering turns a finished (routed, basis-translated) circuit into an immutable
+:class:`Schedule` of integer-nanosecond time slots using the device calibration's gate
+durations, under either ASAP or ALAP list scheduling.  On top of the IR sit idle-window
+decoherence analysis, plain-text rendering for the CLI inspector, and the schedule-mode
+registry shared by every layer that advertises modes.
+
+The :class:`~repro.schedule.passes.ScheduleAnalysis` transpiler pass lives in
+``repro.schedule.passes`` and is intentionally *not* imported here: it depends on the
+transpiler package, which the options layer (an importer of this package) must not pull
+in.  The pipeline builder imports it lazily when a schedule mode is requested.
+"""
+
+from .analysis import DecoherenceReport, decoherence_exposure
+from .format import format_critical_path, format_idle_summary, format_timeline
+from .ir import IdleWindow, Schedule, TimedInstruction
+from .lowering import instruction_duration_ns, schedule_circuit, schedule_dag
+from .modes import SCHEDULE_MODES, available_schedule_modes, normalize_schedule_mode
+
+__all__ = [
+    "DecoherenceReport",
+    "IdleWindow",
+    "SCHEDULE_MODES",
+    "Schedule",
+    "TimedInstruction",
+    "available_schedule_modes",
+    "decoherence_exposure",
+    "format_critical_path",
+    "format_idle_summary",
+    "format_timeline",
+    "instruction_duration_ns",
+    "normalize_schedule_mode",
+    "schedule_circuit",
+    "schedule_dag",
+]

@@ -1,0 +1,56 @@
+"""Plain-text rendering of timed schedules for the ``repro schedule`` inspector."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .analysis import DecoherenceReport
+from .ir import Schedule, TimedInstruction
+
+
+def _instruction_label(inst: TimedInstruction) -> str:
+    qubits = ",".join(str(q) for q in inst.qubits)
+    return f"{inst.name}[{qubits}]"
+
+
+def format_timeline(schedule: Schedule, max_ops_per_qubit: int = 8) -> str:
+    """Per-qubit timeline view: each row lists a qubit's ops as ``name[qubits]@start+dur``."""
+    lines: List[str] = [
+        f"schedule: mode={schedule.mode} qubits={schedule.num_qubits} "
+        f"ops={len(schedule)} duration={schedule.duration}ns idle={schedule.total_idle}ns"
+    ]
+    for qubit, timeline in schedule.qubit_timelines().items():
+        if not timeline:
+            continue
+        shown = timeline[:max_ops_per_qubit]
+        cells = [f"{_instruction_label(i)}@{i.start}+{i.duration}" for i in shown]
+        suffix = f" ... (+{len(timeline) - len(shown)} more)" if len(timeline) > len(shown) else ""
+        lines.append(f"  q{qubit:<3} {'  '.join(cells)}{suffix}")
+    return "\n".join(lines)
+
+
+def format_critical_path(schedule: Schedule, max_ops: int = 20) -> str:
+    """The longest dependency chain, one op per line with its time slot."""
+    chain = schedule.critical_path()
+    lines = [f"critical path: {len(chain)} ops, {schedule.duration}ns"]
+    shown = chain[:max_ops]
+    for inst in shown:
+        lines.append(f"  t={inst.start:>8}ns  {_instruction_label(inst)}  ({inst.duration}ns)")
+    if len(chain) > len(shown):
+        lines.append(f"  ... (+{len(chain) - len(shown)} more)")
+    return "\n".join(lines)
+
+
+def format_idle_summary(
+    schedule: Schedule, report: Optional[DecoherenceReport] = None
+) -> str:
+    """Idle-window totals, with decoherence exposure when a report is supplied."""
+    windows = schedule.idle_windows()
+    lines = [f"idle windows: {len(windows)}, total {schedule.total_idle}ns"]
+    if report is not None and report.per_qubit:
+        lines.append(f"decoherence exposure: {report.total:.3e}")
+        for qubit, exposure in report.worst_qubits(5):
+            lines.append(
+                f"  q{qubit:<3} idle={report.idle_ns.get(qubit, 0)}ns exposure={exposure:.3e}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""The schedule-mode registry: the single source of the supported scheduling modes.
+
+Every layer that advertises or validates a schedule mode — ``TranspileOptions``, the
+``repro methods`` CLI subcommand, the server's ``GET /v1/methods`` — derives its list
+from :data:`SCHEDULE_MODES`, so adding a mode (or a third-party spelling) never requires
+hunting down duplicated string literals.
+
+This module is deliberately import-light (no numpy, no circuit types): the options layer
+imports it at validation time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..exceptions import ScheduleError
+
+#: Supported scheduling modes, name -> one-line description.
+SCHEDULE_MODES: Dict[str, str] = {
+    "asap": "as-soon-as-possible list scheduling: every gate starts the moment "
+            "its operands are free",
+    "alap": "as-late-as-possible list scheduling: every gate starts as late as the "
+            "critical path allows (same total duration as asap)",
+}
+
+
+def available_schedule_modes() -> Tuple[str, ...]:
+    """The registered schedule-mode names, in declaration order."""
+    return tuple(SCHEDULE_MODES)
+
+
+def normalize_schedule_mode(mode: str) -> str:
+    """Canonicalise a mode spelling (case-insensitive), raising on unknown modes."""
+    candidate = str(mode).strip().lower()
+    if candidate not in SCHEDULE_MODES:
+        raise ScheduleError(
+            f"unknown schedule mode {mode!r}; expected one of {available_schedule_modes()}"
+        )
+    return candidate

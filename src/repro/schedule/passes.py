@@ -1,0 +1,48 @@
+"""The :class:`ScheduleAnalysis` transpiler pass: lowering as a pipeline stage.
+
+Runs after ``finalize`` (a dedicated ``schedule`` stage in the pipeline builder), when
+every gate is a physical basis gate, and writes the resulting :class:`Schedule` to
+``property_set["schedule"]``.  Being an :class:`AnalysisPass` it never touches the DAG,
+so enabling scheduling cannot perturb compiled output — the golden-hash guarantee for
+``schedule=None`` extends to "the circuit bytes are identical either way".
+"""
+
+from __future__ import annotations
+
+from ..circuit.dag import DAGCircuit
+from ..hardware.calibration import DeviceCalibration
+from ..obs.counters import COUNTERS
+from ..obs.tracer import current_tracer
+from ..transpiler.passmanager import AnalysisPass, PropertySet
+from .analysis import decoherence_exposure
+from .lowering import schedule_dag
+from .modes import normalize_schedule_mode
+
+
+class ScheduleAnalysis(AnalysisPass):
+    """Lower the final DAG to a timed schedule and publish it in the property set."""
+
+    def __init__(self, calibration: DeviceCalibration, mode: str = "asap") -> None:
+        super().__init__()
+        self.calibration = calibration
+        self.mode = normalize_schedule_mode(mode)
+        self.name = f"ScheduleAnalysis[{self.mode}]"
+
+    def run(self, dag: DAGCircuit, property_set: PropertySet) -> None:
+        schedule = schedule_dag(dag, self.calibration, self.mode)
+        report = decoherence_exposure(schedule, self.calibration)
+        property_set["schedule"] = schedule
+
+        COUNTERS.inc("schedule.lowering.runs")
+        COUNTERS.inc("schedule.instructions", len(schedule))
+        COUNTERS.inc("schedule.idle_windows", len(schedule.idle_windows()))
+        COUNTERS.inc("schedule.idle_ns_total", schedule.total_idle)
+
+        tracer = current_tracer()
+        if tracer is not None:
+            with tracer.span(f"schedule:{self.mode}") as span:
+                span.set("duration_ns", schedule.duration)
+                span.set("instructions", len(schedule))
+                span.set("idle_windows", len(schedule.idle_windows()))
+                span.set("idle_ns", schedule.total_idle)
+                span.set("decoherence_exposure", report.total)

@@ -40,6 +40,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
 from ..core.options import LEVEL_DESCRIPTIONS, OPTIMIZATION_LEVELS, TranspileOptions
+from ..schedule.modes import SCHEDULE_MODES
 from ..exceptions import ReproError
 from ..hardware.target import Target
 from ..hardware.topologies import TOPOLOGY_CATALOG
@@ -652,6 +653,10 @@ class ReproServer:
                     "supports_best_of": method.supports_best_of,
                 }
                 for method in registered_methods()
+            ],
+            "schedule_modes": [
+                {"name": mode, "description": description}
+                for mode, description in SCHEDULE_MODES.items()
             ],
             "optimization_levels": [
                 {"name": level, "description": LEVEL_DESCRIPTIONS[level]}

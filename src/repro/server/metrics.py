@@ -225,6 +225,13 @@ class ServerMetrics:
             "repro_ensemble_trials_total",
             "Ensemble routing trials executed on behalf of best-of-N jobs",
         )
+        self.schedule_duration = Histogram(
+            "repro_schedule_duration_seconds",
+            "Critical-path duration of schedules produced by schedule-enabled jobs",
+            # Schedule makespans are microseconds-to-milliseconds, far below the
+            # default wall-clock buckets.
+            buckets=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0),
+        )
 
     def observe_pass_timings(self, timing_log: Iterable[Tuple[str, float]]) -> None:
         """Feed one job's per-pass timing log into the per-pass latency histograms."""
@@ -270,6 +277,7 @@ class ServerMetrics:
             self.server_queue_wait,
             self.run_seconds,
             self.total_seconds,
+            self.schedule_duration,
         ):
             lines += histogram.render()
         lines += self.pass_seconds.render()

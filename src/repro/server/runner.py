@@ -277,3 +277,7 @@ class JobRunner:
             # Per-pass latency histograms come from the worker's timing log; cache-served
             # completions are skipped (their timings belong to the job that computed them).
             metrics.observe_pass_timings(record.result_payload.get("pass_timing_log", []))
+            schedule = record.result_payload.get("schedule")
+            if schedule and "duration" in schedule:
+                # Schedule durations are integer nanoseconds; the histogram is in seconds.
+                metrics.schedule_duration.observe(float(schedule["duration"]) * 1e-9)

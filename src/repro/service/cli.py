@@ -8,7 +8,10 @@ Subcommands
   batch executor (text, CSV and JSON outputs).
 * ``ablation`` — regenerate a Figure 9 style optimization-combination panel.
 * ``noise`` — regenerate the Figure 11 noise/success-rate experiment.
-* ``methods`` — list the registered routing methods and preset optimization levels.
+* ``schedule`` — lower a compiled circuit to a timed schedule and inspect the per-qubit
+  timeline, critical path and idle windows.
+* ``methods`` — list the registered routing methods, schedule modes and preset
+  optimization levels.
 * ``cache`` — inspect or clear an on-disk result cache directory (``stats`` emits JSON).
 * ``serve`` — run the online transpilation server (:mod:`repro.server`).
 * ``submit`` — compile a circuit remotely through a running server (:mod:`repro.client`).
@@ -35,9 +38,10 @@ from typing import List, Optional, Sequence
 from .. import __version__
 from ..benchlib.suite import benchmark_names, table_benchmarks
 from ..circuit import qasm
-from ..core.options import LEVEL_DESCRIPTIONS, OPTIMIZATION_LEVELS, TranspileOptions
+from ..core.options import LEVEL_DESCRIPTIONS, OPTIMIZATION_LEVELS, ROUTE_COSTS, TranspileOptions
 from ..exceptions import ReproError
 from ..hardware.target import Target
+from ..schedule.modes import SCHEDULE_MODES, available_schedule_modes
 from ..transpiler.registry import available_routings, registered_methods
 from .cache import ResultCache
 from .executor import BatchTranspiler
@@ -76,6 +80,14 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--num-qubits", type=int, default=25,
                        help="device size for linear/grid/full topologies (default: 25)")
 
+    def add_schedule_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--schedule", choices=available_schedule_modes(), default=None,
+                       help="also lower the result to a timed schedule "
+                            "(asap or alap; implies a calibrated device)")
+        p.add_argument("--route-cost", choices=ROUTE_COSTS, default="hops",
+                       help="SWAP cost model for routing: unit hops, or nanoseconds of "
+                            "inserted SWAP time (default: hops)")
+
     routings = available_routings()
     routed = tuple(name for name in routings if name != "none")
 
@@ -92,10 +104,30 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(default: 1, or 4 at -O O3)")
     p.add_argument("--noise-aware", action="store_true",
                    help="use the HA distance matrix built from a synthetic calibration")
+    add_schedule_opts(p)
     p.add_argument("--out", "-o", default="-", help="routed QASM output path (default: stdout)")
     p.add_argument("--metrics", help="write a metrics JSON to this path ('-' for stdout)")
     p.add_argument("--trace", metavar="PATH",
                    help="trace the compile and write a Chrome trace-event JSON here")
+    add_common(p, workers=False)
+
+    p = sub.add_parser(
+        "schedule",
+        help="lower a compiled circuit to a timed schedule and inspect it",
+    )
+    p.add_argument("input", help="input OpenQASM 2.0 file ('-' for stdin)")
+    add_device(p)
+    p.add_argument("--routing", "-r", default="nassc", choices=routed,
+                   help="routing method used to compile first (default: nassc)")
+    p.add_argument("--level", "-O", default="O1", choices=OPTIMIZATION_LEVELS,
+                   help="preset optimization level (default: O1)")
+    p.add_argument("--seed", type=int, default=0, help="routing seed (default: 0)")
+    p.add_argument("--mode", choices=available_schedule_modes(), default="asap",
+                   help="scheduling discipline (default: asap)")
+    p.add_argument("--route-cost", choices=ROUTE_COSTS, default="hops",
+                   help="SWAP cost model for the compile (default: hops)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the schedule as JSON instead of the text views")
     add_common(p, workers=False)
 
     p = sub.add_parser("table", help="regenerate a Tables I-IV style report")
@@ -111,6 +143,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true",
                    help="run the paper's complete benchmark list (slow)")
     p.add_argument("--depth", action="store_true", help="also print the depth (Table II) report")
+    p.add_argument("--schedule", choices=available_schedule_modes(), default=None,
+                   help="schedule every compile and add a critical-path duration report")
     p.add_argument("--csv", metavar="PATH", help="write the CNOT table as CSV")
     p.add_argument("--json", metavar="PATH", help="write the full result as JSON")
     add_common(p)
@@ -176,6 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(default: 1, or 4 at -O O3; large K fans across server workers)")
     p.add_argument("--noise-aware", action="store_true",
                    help="use the HA distance matrix built from a synthetic calibration")
+    add_schedule_opts(p)
     p.add_argument("--priority", type=int, default=0,
                    help="scheduling priority, higher runs first (default: 0)")
     p.add_argument("--timeout", type=float, default=300.0,
@@ -259,16 +294,24 @@ def _load_input_circuit(args: argparse.Namespace):
 
 def _target_and_options(args: argparse.Namespace):
     """Build the Target/Options pair shared by the local and remote compile commands."""
+    schedule = getattr(args, "schedule", None) or getattr(args, "mode", None)
+    route_cost = getattr(args, "route_cost", "hops")
+    noise_aware = getattr(args, "noise_aware", False)
+    # Scheduling and nanosecond routing both need gate durations, so they imply the
+    # same synthetic calibration the noise-aware path attaches.
+    calibrated = noise_aware or schedule is not None or route_cost == "ns"
     if args.routing == "none":
         target = Target()
     else:
-        target = Target.from_topology(args.device, args.num_qubits, calibrated=args.noise_aware)
+        target = Target.from_topology(args.device, args.num_qubits, calibrated=calibrated)
     options = TranspileOptions(
         routing=args.routing,
         level=args.level,
         seed=args.seed,
-        noise_aware=args.noise_aware,
+        noise_aware=noise_aware,
         best_of=getattr(args, "best_of", None),
+        schedule=schedule,
+        route_cost=route_cost,
     )
     return target, options
 
@@ -294,6 +337,10 @@ def _emit_metrics_json(args: argparse.Namespace, result, extra: dict) -> None:
         "transpile_time": result.transpile_time,
         "count_ops": result.count_ops(),
     })
+    if result.schedule is not None:
+        payload["schedule_mode"] = result.schedule.mode
+        payload["schedule_duration_ns"] = result.schedule.duration
+        payload["schedule_idle_ns"] = result.schedule.total_idle
     text = json.dumps(payload, indent=2)
     if args.metrics == "-":
         print(text)
@@ -347,11 +394,37 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from ..schedule import decoherence_exposure, format_critical_path, format_idle_summary, format_timeline
+
+    circuit = _load_input_circuit(args)
+    target, options = _target_and_options(args)
+    job = TranspileJob.from_circuit(circuit, target, options)
+    executor = _make_executor(args)
+    outcome = executor.run([job], progress=_progress_callback(args))[0]
+    if not outcome.ok:
+        print(f"error: {outcome.error}", file=sys.stderr)
+        return 1
+    schedule = outcome.result.schedule
+    assert schedule is not None  # options.schedule was set, so the stage ran
+    if args.json:
+        print(json.dumps(schedule.to_dict(), indent=2))
+        return 0
+    print(format_timeline(schedule))
+    print()
+    print(format_critical_path(schedule))
+    print()
+    report = decoherence_exposure(schedule, target.calibration) if target.calibration else None
+    print(format_idle_summary(schedule, report))
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     from ..evaluation import (
         cnot_table_to_csv,
         format_cnot_table,
         format_depth_table,
+        format_duration_table,
         run_table_experiment,
         table_result_to_json,
     )
@@ -366,11 +439,15 @@ def _cmd_table(args: argparse.Namespace) -> int:
         routing=args.routing,
         executor=executor,
         progress=_progress_callback(args),
+        schedule=args.schedule,
     )
     print(format_cnot_table(result))
     if args.depth:
         print()
         print(format_depth_table(result))
+    if args.schedule:
+        print()
+        print(format_duration_table(result))
     if args.csv:
         _write_text(args.csv, cnot_table_to_csv(result))
     if args.json:
@@ -434,6 +511,10 @@ def _cmd_methods(args: argparse.Namespace) -> int:
         origin = "builtin" if method.builtin else "plugin"
         best_of = "best-of-N" if method.supports_best_of else "single"
         print(f"  {method.name:12s} [{origin}] [{best_of}]  {method.description}")
+    print()
+    print("schedule modes:")
+    for mode, description in SCHEDULE_MODES.items():
+        print(f"  {mode:12s} {description}")
     print()
     print("optimization levels:")
     for level in OPTIMIZATION_LEVELS:
@@ -576,6 +657,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "transpile": _cmd_transpile,
+    "schedule": _cmd_schedule,
     "trace": _cmd_trace,
     "table": _cmd_table,
     "ablation": _cmd_ablation,

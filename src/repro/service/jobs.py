@@ -34,10 +34,11 @@ from ..hardware.target import Target
 from ..transpiler.registry import get_routing
 
 #: Bump when the job *schema* changes in a way that invalidates cached results.  Version 3
-#: switched the canonical content to the Target/TranspileOptions ``content_dict()`` forms.
+#: switched the canonical content to the Target/TranspileOptions ``content_dict()`` forms;
+#: version 4 added the schedule mode and routing cost model to the options content.
 #: The fingerprint additionally folds in :data:`repro.core.pipeline.PIPELINE_VERSION`, so
 #: pipeline refactors invalidate the cache without touching the service layer.
-FINGERPRINT_VERSION = 3
+FINGERPRINT_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,10 @@ class TranspileJob:
     final_basis: str = "zsx"
     #: Best-of-N ensemble trial count (None = preset default; see TranspileOptions).
     best_of: Optional[int] = None
+    #: Schedule mode ("asap"/"alap") or None for no schedule stage.
+    schedule: Optional[str] = None
+    #: Routing cost model ("hops" or "ns").
+    route_cost: str = "hops"
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -121,7 +126,7 @@ class TranspileJob:
             if value is not None
         }
         for knob in ("extended_set_size", "extended_set_weight", "layout_iterations",
-                     "best_of"):
+                     "best_of", "schedule", "route_cost"):
             if knob in kwargs:
                 overrides[knob] = kwargs.pop(knob)
         if overrides:
@@ -174,6 +179,8 @@ class TranspileJob:
             layout_iterations=opts.layout_iterations,
             final_basis=target.final_basis,
             best_of=opts.best_of,
+            schedule=opts.schedule,
+            route_cost=opts.route_cost,
             name=name,
         )
 
@@ -201,6 +208,8 @@ class TranspileJob:
             extended_set_weight=self.extended_set_weight,
             layout_iterations=self.layout_iterations,
             best_of=self.best_of,
+            schedule=self.schedule,
+            route_cost=self.route_cost,
         )
 
     # -- content addressing -------------------------------------------------
@@ -249,6 +258,8 @@ class TranspileJob:
             "layout_iterations": self.layout_iterations,
             "final_basis": self.final_basis,
             "best_of": self.best_of,
+            "schedule": self.schedule,
+            "route_cost": self.route_cost,
             "name": self.name,
         }
 
@@ -269,6 +280,8 @@ class TranspileJob:
             layout_iterations=data.get("layout_iterations", 2),
             final_basis=data.get("final_basis", "zsx"),
             best_of=data.get("best_of"),
+            schedule=data.get("schedule"),
+            route_cost=data.get("route_cost", "hops"),
             name=data.get("name", ""),
         )
 

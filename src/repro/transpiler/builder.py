@@ -1,13 +1,14 @@
 """Staged pipeline builder: named stages + preset optimization levels.
 
 ``PipelineBuilder`` composes the :class:`~repro.transpiler.passmanager.PassManager` a
-compile runs from five named, individually overridable stages::
+compile runs from six named, individually overridable stages::
 
     init          logical-circuit decomposition and pre-routing cleanup
     layout        initial qubit placement
     routing       SWAP insertion (from the routing-method registry) + router follow-ups
     post_routing  SWAP lowering and the post-routing optimization loop
     finalize      output verification (coupling-map check)
+    schedule      optional lowering to a timed schedule (``options.schedule``)
 
 The stage contents are chosen by the preset optimization level of the options (``O0``
 decomposes and routes only; ``O1`` is the paper's Fig. 2 pipeline; ``O2`` deepens the
@@ -40,7 +41,7 @@ from .registry import RoutingPlan, get_routing
 #: loop to keep iterating while it still changes the circuit.
 LEVEL_FIXED_POINT_ITERATIONS: Dict[str, int] = {"O1": 2, "O2": 4, "O3": 4}
 
-STAGES = ("init", "layout", "routing", "post_routing", "finalize")
+STAGES = ("init", "layout", "routing", "post_routing", "finalize", "schedule")
 
 
 class PipelineBuilder:
@@ -131,9 +132,23 @@ class PipelineBuilder:
             )
         if options.noise_aware and not target.has_calibration:
             raise TranspilerError("noise_aware routing requires a target with calibration data")
+        if options.route_cost == "ns" and not target.has_calibration:
+            raise TranspilerError(
+                "route_cost='ns' requires a target with calibration data "
+                "(gate durations set the SWAP costs)"
+            )
+        if options.schedule is not None and not target.has_calibration:
+            raise TranspilerError(
+                f"schedule={options.schedule!r} requires a target with calibration data "
+                "(gate durations set the time slots)"
+            )
 
         distance_matrix: Optional[np.ndarray] = None
-        if self.noise_aware and target.has_calibration:
+        if options.route_cost == "ns":
+            # Nanosecond-cost routing replaces the distance matrix outright; when O3
+            # auto-enables noise awareness, the explicit duration request wins.
+            distance_matrix = target.duration_distance_matrix()
+        elif self.noise_aware and target.has_calibration:
             distance_matrix = target.noise_distance_matrix()
 
         plan = method.factory(target, options, distance_matrix=distance_matrix)
@@ -188,6 +203,17 @@ class PipelineBuilder:
         # finalize: verify the routed circuit respects the device.
         if plan is not None and options.check:
             self.stages["finalize"] = [CheckMap(target.coupling_map)]
+
+        # schedule: optional lowering to a timed schedule (analysis only — the DAG,
+        # and therefore every golden hash, is identical whether or not this runs).
+        if options.schedule is not None:
+            # Imported lazily: the schedule pass depends on the transpiler package,
+            # which would cycle if pulled in at module import time.
+            from ..schedule.passes import ScheduleAnalysis
+
+            self.stages["schedule"] = [
+                ScheduleAnalysis(target.calibration, options.schedule)
+            ]
 
     def _apply_routing_plan(self, plan: RoutingPlan) -> None:
         options = self.options

@@ -48,6 +48,7 @@ ANALYSIS_KEYS = frozenset(
         "block_pairs",
         "block_id",
         "is_mapped",
+        "schedule",
     }
 )
 

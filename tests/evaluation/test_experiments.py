@@ -132,3 +132,43 @@ class TestNoiseExperiment:
     def test_formatting(self, rows):
         text = format_noise_experiment(rows)
         assert "sr_nassc" in text and rows[0].name in text
+
+
+class TestScheduledTable:
+    @pytest.fixture(scope="class")
+    def timed_table(self):
+        return run_table_experiment(
+            "linear", cases=SMALL_CASES, seeds=(0,), num_device_qubits=6, schedule="asap",
+        )
+
+    def test_rows_carry_durations(self, timed_table):
+        assert timed_table.has_durations
+        for row in timed_table.rows:
+            assert row.has_durations
+            assert row.sabre_duration_ns > 0 and row.nassc_duration_ns > 0
+            assert np.isfinite(row.delta_duration)
+
+    def test_duration_table_formatting(self, timed_table):
+        from repro.evaluation import format_duration_table
+
+        text = format_duration_table(timed_table)
+        assert "sabre_ns" in text and "nassc_ns" in text
+        for row in timed_table.rows:
+            assert row.name in text
+
+    def test_json_export_includes_durations(self, timed_table):
+        from repro.evaluation import table_result_to_dict
+
+        payload = table_result_to_dict(timed_table)
+        for row in payload["rows"]:
+            assert row["sabre_duration_ns"] > 0
+            assert row["nassc_duration_ns"] > 0
+            assert "delta_duration_pct" in row
+        assert "delta_duration_pct" in payload["geomean"]
+
+    def test_unscheduled_table_has_no_durations(self, small_table):
+        assert not small_table.has_durations
+        from repro.evaluation import table_result_to_dict
+
+        payload = table_result_to_dict(small_table)
+        assert "sabre_duration_ns" not in payload["rows"][0]

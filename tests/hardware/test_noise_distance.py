@@ -1,0 +1,125 @@
+"""Edge cases for the distance-matrix builders and calibration completeness checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CalibrationError
+from repro.hardware import (
+    CouplingMap,
+    hop_distance_matrix,
+    linear_coupling_map,
+    noise_aware_distance_matrix,
+    swap_duration_on_edge,
+    synthetic_calibration,
+)
+from repro.hardware.calibration import DEFAULT_MEASURE_DURATION, DeviceCalibration
+from repro.hardware.noise_distance import duration_distance_matrix
+
+
+class TestEdgeCases:
+    def test_empty_calibration_no_edges(self):
+        """A device with qubits but no links: only the diagonal is reachable."""
+        coupling = CouplingMap([], num_qubits=3)
+        calibration = DeviceCalibration(coupling_map=coupling)
+        matrix = noise_aware_distance_matrix(calibration)
+        assert matrix.shape == (3, 3)
+        assert np.all(np.diag(matrix) == 0.0)
+        off_diagonal = matrix[~np.eye(3, dtype=bool)]
+        assert np.all(np.isinf(off_diagonal))
+
+    def test_single_edge_coupling(self):
+        coupling = CouplingMap([(0, 1)])
+        calibration = synthetic_calibration(coupling, seed=5)
+        matrix = noise_aware_distance_matrix(calibration)
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 0] == matrix[1, 1] == 0.0
+        # With a single edge both normalised terms are 1, so the weight is alpha1+alpha3.
+        assert matrix[0, 1] == pytest.approx(1.0)
+        assert matrix[0, 1] == matrix[1, 0]
+
+    def test_disconnected_coupling_map(self):
+        """Two components: cross-component distances stay infinite, not garbage."""
+        coupling = CouplingMap([(0, 1), (2, 3)], num_qubits=4)
+        calibration = synthetic_calibration(coupling, seed=5)
+        matrix = noise_aware_distance_matrix(calibration)
+        assert np.isfinite(matrix[0, 1]) and np.isfinite(matrix[2, 3])
+        for a in (0, 1):
+            for b in (2, 3):
+                assert np.isinf(matrix[a, b])
+                assert np.isinf(matrix[b, a])
+
+    def test_hop_matrix_copy_is_private(self):
+        coupling = linear_coupling_map(4)
+        matrix = hop_distance_matrix(coupling)
+        matrix[0, 1] = 99.0
+        assert hop_distance_matrix(coupling)[0, 1] == 1.0
+
+
+class TestDurationDistance:
+    def test_reduces_to_hops_when_alpha_zero(self):
+        coupling = linear_coupling_map(6)
+        calibration = synthetic_calibration(coupling, seed=2)
+        matrix = duration_distance_matrix(calibration, alpha_duration=0.0)
+        np.testing.assert_allclose(matrix, hop_distance_matrix(coupling))
+
+    def test_slow_link_costs_more(self):
+        coupling = linear_coupling_map(3)
+        calibration = synthetic_calibration(coupling, seed=2)
+        calibration.cx_duration[(0, 1)] = 1.0e-6
+        calibration.cx_duration[(1, 2)] = 2.0e-7
+        matrix = duration_distance_matrix(calibration, alpha_duration=0.5)
+        assert matrix[0, 1] > matrix[1, 2]
+
+    def test_symmetric_and_metric(self):
+        coupling = linear_coupling_map(8)
+        calibration = synthetic_calibration(coupling, seed=9)
+        matrix = duration_distance_matrix(calibration)
+        np.testing.assert_allclose(matrix, matrix.T)
+        num = coupling.num_qubits
+        for i in range(num):
+            for j in range(num):
+                for k in range(num):
+                    assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-12
+
+    def test_swap_duration_is_three_cx(self):
+        coupling = linear_coupling_map(3)
+        calibration = synthetic_calibration(coupling, seed=1)
+        assert swap_duration_on_edge(calibration, 1, 0) == pytest.approx(
+            3.0 * calibration.cx_gate_time(0, 1)
+        )
+
+
+class TestValidateFor:
+    def test_complete_calibration_passes(self):
+        coupling = linear_coupling_map(5)
+        synthetic_calibration(coupling, seed=0).validate_for(coupling)
+
+    def test_missing_edge_listed(self):
+        coupling = linear_coupling_map(5)
+        calibration = synthetic_calibration(coupling, seed=0)
+        del calibration.cx_duration[(2, 3)]
+        with pytest.raises(CalibrationError, match=r"\(2, 3\)"):
+            calibration.validate_for(coupling)
+
+    def test_missing_qubit_listed(self):
+        coupling = linear_coupling_map(5)
+        calibration = synthetic_calibration(coupling, seed=0)
+        del calibration.single_qubit_duration[4]
+        with pytest.raises(CalibrationError, match="single_qubit_duration"):
+            calibration.validate_for(coupling)
+
+    def test_all_problems_reported_at_once(self):
+        coupling = linear_coupling_map(4)
+        calibration = DeviceCalibration(coupling_map=coupling)
+        with pytest.raises(CalibrationError) as excinfo:
+            calibration.validate_for(coupling)
+        message = str(excinfo.value)
+        assert "cx_duration" in message and "single_qubit_duration" in message
+
+    def test_measure_duration_defaults(self):
+        coupling = linear_coupling_map(3)
+        calibration = DeviceCalibration(coupling_map=coupling)
+        assert calibration.measure_duration_for(0) == DEFAULT_MEASURE_DURATION
+        calibration.measure_duration[0] = 1.5e-6
+        assert calibration.measure_duration_for(0) == 1.5e-6
+        assert calibration.measure_duration_for(1) == DEFAULT_MEASURE_DURATION

@@ -1,0 +1,152 @@
+"""Property tests of ASAP/ALAP lowering over the benchmark grid."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import QuantumCircuit, transpile
+from repro.benchlib.suite import table_benchmarks
+from repro.exceptions import CalibrationError, ScheduleError
+from repro.hardware.calibration import synthetic_calibration
+from repro.hardware.target import Target
+from repro.hardware.topologies import get_topology
+from repro.schedule import (
+    Schedule,
+    decoherence_exposure,
+    instruction_duration_ns,
+    schedule_circuit,
+)
+
+BENCH_NAMES = ["grover_n4", "vqe_n8", "adder_n10"]
+TOPOLOGIES = [("linear", 25), ("montreal", 25)]
+
+
+def bench_cases():
+    return table_benchmarks(names=BENCH_NAMES)
+
+
+@pytest.fixture(scope="module")
+def compiled_grid():
+    """Compiled circuit + calibration for every (benchmark, topology) pair."""
+    grid = []
+    for topology, qubits in TOPOLOGIES:
+        target = Target.from_topology(topology, qubits, calibrated=True)
+        for case in bench_cases():
+            result = transpile(case.build(), target, routing="sabre", seed=0)
+            grid.append((case.name, topology, result.circuit, target.calibration))
+    return grid
+
+
+class TestProperties:
+    def test_asap_and_alap_share_total_duration(self, compiled_grid):
+        for name, topology, circuit, calibration in compiled_grid:
+            asap = schedule_circuit(circuit, calibration, "asap")
+            alap = schedule_circuit(circuit, calibration, "alap")
+            assert asap.duration == alap.duration, (name, topology)
+
+    def test_no_overlap_and_topological_order(self, compiled_grid):
+        for name, topology, circuit, calibration in compiled_grid:
+            for mode in ("asap", "alap"):
+                schedule = schedule_circuit(circuit, calibration, mode)
+                schedule.validate()  # raises on per-qubit overlap / order violations
+                assert len(schedule) == len(circuit.data), (name, topology, mode)
+
+    def test_alap_never_starts_earlier_than_asap(self, compiled_grid):
+        for name, topology, circuit, calibration in compiled_grid:
+            asap = schedule_circuit(circuit, calibration, "asap")
+            alap = schedule_circuit(circuit, calibration, "alap")
+            for a, l in zip(asap.instructions, alap.instructions):
+                assert (a.name, a.qubits) == (l.name, l.qubits)
+                assert l.start >= a.start, (name, topology, a)
+
+    def test_json_round_trip_bit_identical(self, compiled_grid):
+        for name, topology, circuit, calibration in compiled_grid:
+            schedule = schedule_circuit(circuit, calibration, "asap")
+            text = json.dumps(schedule.to_dict(), sort_keys=True)
+            rebuilt = Schedule.from_dict(json.loads(text))
+            assert json.dumps(rebuilt.to_dict(), sort_keys=True) == text, (name, topology)
+
+    def test_critical_path_sums_to_duration(self, compiled_grid):
+        for name, topology, circuit, calibration in compiled_grid:
+            schedule = schedule_circuit(circuit, calibration, "asap")
+            chain = schedule.critical_path()
+            assert sum(i.duration for i in chain) == schedule.duration, (name, topology)
+
+    def test_decoherence_exposure_nonnegative(self, compiled_grid):
+        for _, _, circuit, calibration in compiled_grid:
+            schedule = schedule_circuit(circuit, calibration, "asap")
+            report = decoherence_exposure(schedule, calibration)
+            assert report.total >= 0.0
+            assert report.total_idle_ns == schedule.total_idle
+
+
+class TestLoweringEdges:
+    def test_unknown_mode_rejected(self):
+        coupling = get_topology("linear", 4)
+        calibration = synthetic_calibration(coupling)
+        with pytest.raises(ScheduleError):
+            schedule_circuit(QuantumCircuit(2), calibration, "soon")
+
+    def test_circuit_larger_than_device_rejected(self):
+        coupling = get_topology("linear", 3)
+        calibration = synthetic_calibration(coupling)
+        with pytest.raises(ScheduleError, match="has only 3"):
+            schedule_circuit(QuantumCircuit(5), calibration, "asap")
+
+    def test_incomplete_calibration_rejected(self):
+        coupling = get_topology("linear", 4)
+        calibration = synthetic_calibration(coupling)
+        del calibration.cx_duration[(0, 1)]
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        with pytest.raises(CalibrationError):
+            schedule_circuit(qc, calibration, "asap")
+
+    def test_barrier_takes_zero_time(self):
+        coupling = get_topology("linear", 3)
+        calibration = synthetic_calibration(coupling)
+        assert instruction_duration_ns(calibration, "barrier", (0, 1, 2)) == 0
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.barrier()
+        qc.x(1)
+        schedule = schedule_circuit(qc, calibration, "asap")
+        barrier = next(i for i in schedule.instructions if i.name == "barrier")
+        assert barrier.duration == 0
+        # The barrier still synchronises: x(1) cannot start before x(0) ends.
+        assert schedule.instructions[-1].start >= schedule.instructions[0].end
+
+    def test_empty_circuit(self):
+        coupling = get_topology("linear", 3)
+        calibration = synthetic_calibration(coupling)
+        schedule = schedule_circuit(QuantumCircuit(3), calibration, "alap")
+        assert schedule.duration == 0 and len(schedule) == 0
+        assert schedule.idle_windows() == ()
+
+
+DETERMINISM_SNIPPET = """
+from repro import transpile
+from repro.benchlib import grover_n4
+from repro.hardware.target import Target
+result = transpile(grover_n4(), Target.from_topology("linear", 10, calibrated=True),
+                   routing="sabre", seed=0, schedule="asap")
+print(result.schedule.fingerprint())
+"""
+
+
+class TestDeterminism:
+    def test_fingerprint_stable_across_processes(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        runs = [
+            subprocess.run(
+                [sys.executable, "-c", DETERMINISM_SNIPPET],
+                capture_output=True, text=True, env=env, check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        ]
+        assert runs[0] and runs[0] == runs[1]

@@ -462,3 +462,53 @@ class TestGracefulShutdown:
             assert excinfo.value.status == 503
         finally:
             frozen.server.draining = False
+
+
+class TestScheduleSurface:
+    def test_methods_advertise_schedule_modes(self, live):
+        methods = live.client().methods()
+        modes = [mode["name"] for mode in methods["schedule_modes"]]
+        assert modes == ["asap", "alap"]
+        assert all(mode["description"] for mode in methods["schedule_modes"])
+
+    def test_scheduled_job_returns_schedule_and_metric(self, live):
+        target = Target.from_topology("linear", 5, calibrated=True)
+        options = TranspileOptions(routing="sabre", seed=33, schedule="asap")
+        client = live.client()
+        handle = client.submit(small_circuit("timed"), target, options, name="timed")
+        remote = handle.result(timeout=120)
+        assert remote.schedule is not None
+        assert remote.schedule.mode == "asap"
+        assert remote.schedule.duration > 0
+        remote.schedule.validate()
+        status = handle.status()
+        assert status["result"]["schedule"]["unit"] == "ns"
+        text = client.metrics_text()
+        assert parse_metric(
+            text, "repro_schedule_duration_seconds_count"
+        ) >= 1
+
+    def test_schedule_via_raw_json_spec(self, live):
+        payload = {
+            "qasm": qasm.dumps(small_circuit("raw-timed")),
+            "target": {"topology": "linear", "num_qubits": 5, "calibrated": True},
+            "options": {"routing": "sabre", "seed": 7, "schedule": "alap", "route_cost": "ns"},
+            "name": "raw-timed",
+        }
+        status, body, _ = raw_request(
+            live, "POST", "/v1/jobs", body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status in (200, 202)
+        job_id = json.loads(body)["id"]
+        final = live.client().job(job_id, wait=60)
+        assert final["state"] == "done"
+        schedule = final["result"]["schedule"]
+        assert schedule["mode"] == "alap" and schedule["duration"] > 0
+
+    def test_unscheduled_job_has_no_schedule_key(self, live):
+        handle = live.client().submit(
+            small_circuit("untimed"), linear_target(), TranspileOptions(routing="sabre", seed=3)
+        )
+        handle.result(timeout=120)
+        assert "schedule" not in handle.status()["result"]

@@ -305,3 +305,65 @@ class TestExperimentsThroughExecutor:
         # Zero new transpile calls on the warm rerun, identical table.
         assert executor.stats.misses == cold_misses
         assert second.rows[0].nassc_cx == first.rows[0].nassc_cx
+
+
+class TestScheduleCLI:
+    @pytest.fixture()
+    def qasm_file(self, tmp_path):
+        circuit = QuantumCircuit(3, name="timed")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(0, 2)
+        circuit.cx(1, 2)
+        path = tmp_path / "timed.qasm"
+        path.write_text(qasm.dumps(circuit))
+        return str(path)
+
+    def test_transpile_schedule_flag_emits_duration_metrics(self, qasm_file, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "transpile", qasm_file, "--device", "linear", "--num-qubits", "3",
+            "--routing", "sabre", "--seed", "0", "--schedule", "asap",
+            "--metrics", str(metrics),
+        ])
+        assert code == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["schedule_mode"] == "asap"
+        assert payload["schedule_duration_ns"] > 0
+        assert payload["schedule_idle_ns"] >= 0
+
+    def test_schedule_subcommand_prints_timeline(self, qasm_file, capsys):
+        code = main([
+            "schedule", qasm_file, "--device", "linear", "--num-qubits", "3",
+            "--routing", "sabre", "--seed", "0", "--mode", "alap",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "q0" in out and "critical path" in out.lower()
+        assert "idle" in out.lower()
+
+    def test_schedule_subcommand_json(self, qasm_file, capsys):
+        code = main([
+            "schedule", qasm_file, "--device", "linear", "--num-qubits", "3",
+            "--routing", "sabre", "--seed", "0", "--mode", "asap", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "asap" and payload["unit"] == "ns"
+        assert payload["duration"] > 0 and payload["instructions"]
+
+    def test_ns_route_cost_flag(self, qasm_file, tmp_path, capsys):
+        out = tmp_path / "routed.qasm"
+        code = main([
+            "transpile", qasm_file, "--device", "linear", "--num-qubits", "3",
+            "--routing", "sabre", "--seed", "0", "--route-cost", "ns",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert qasm.loads(out.read_text()).num_qubits == 3
+
+    def test_methods_lists_schedule_modes(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule modes:" in out
+        assert "asap" in out and "alap" in out
