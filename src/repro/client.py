@@ -23,6 +23,7 @@ breakdown) as they happen.
 from __future__ import annotations
 
 import json
+import random
 import time
 from http.client import HTTPConnection
 from typing import Dict, Iterator, List, Optional, Sequence, Union
@@ -59,6 +60,22 @@ class ServerError(ReproError):
         self.traceback = traceback
 
 
+class RetriesExhausted(ServerError):
+    """The retry budget ran out on 429s / transient connection errors.
+
+    ``status`` and ``last_body`` preserve the final response (status ``0`` and an
+    empty body when the last attempt never reached the server), so callers can still
+    inspect what the server last said — e.g. the queue depth in a 429 error document.
+    """
+
+    def __init__(
+        self, message: str, *, status: int = 0, last_body: bytes = b"", attempts: int = 0
+    ) -> None:
+        super().__init__(message, status=status)
+        self.last_body = last_body
+        self.attempts = attempts
+
+
 class JobFailed(ServerError):
     """A job reached the ``failed`` state; carries the worker's traceback."""
 
@@ -68,7 +85,20 @@ class JobCancelled(ServerError):
 
 
 class ReproClient:
-    """Synchronous HTTP client for the online transpilation service."""
+    """Synchronous HTTP client for the online transpilation service.
+
+    Works against a solo server (``python -m repro serve``) and a fleet coordinator
+    (``python -m repro fleet coordinator``) alike — the wire API is identical.
+
+    Transient failures retry automatically with exponential backoff and full jitter:
+    HTTP 429 (backpressure — the server's ``Retry-After`` is honoured as a floor on
+    the delay) and connection-level errors (refused, reset, timed out).  Retrying a
+    submission is safe because jobs are content-fingerprinted and admission is
+    idempotent: a duplicate that did reach the server coalesces server-side.  The
+    budget is ``max_retries`` extra attempts; exhausting it raises
+    :class:`RetriesExhausted` with the last response preserved.  ``max_retries=0``
+    disables retrying entirely.
+    """
 
     def __init__(
         self,
@@ -76,6 +106,9 @@ class ReproClient:
         *,
         timeout: float = 60.0,
         client_id: str = "",
+        max_retries: int = 2,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 4.0,
     ) -> None:
         parts = urlsplit(url if "//" in url else f"http://{url}")
         if parts.scheme not in ("", "http"):
@@ -84,6 +117,12 @@ class ReproClient:
         self.port = parts.port or 8000
         self.timeout = timeout
         self.client_id = client_id
+        self.max_retries = max(0, max_retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        # Injection points for tests (no wall-clock sleeps in the retry unit tests).
+        self._sleep = time.sleep
+        self._random = random.random
 
     # -- low-level transport --------------------------------------------------
 
@@ -96,7 +135,7 @@ class ReproClient:
         timeout: Optional[float] = None,
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict:
-        status, body = self._raw_request(
+        status, body, _headers = self._raw_request_with_retries(
             method, path, payload, timeout=timeout, extra_headers=extra_headers
         )
         try:
@@ -120,7 +159,8 @@ class ReproClient:
         *,
         timeout: Optional[float] = None,
         extra_headers: Optional[Dict[str, str]] = None,
-    ) -> "tuple[int, bytes]":
+    ) -> "tuple[int, bytes, Dict[str, str]]":
+        """One attempt; returns ``(status, body, lower-cased response headers)``."""
         connection = HTTPConnection(
             self.host, self.port, timeout=self.timeout if timeout is None else timeout
         )
@@ -134,13 +174,70 @@ class ReproClient:
                 headers["Content-Type"] = "application/json"
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
-            return response.status, response.read()
+            response_headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, response.read(), response_headers
         except (ConnectionError, OSError) as exc:
             raise ServerError(
                 f"cannot reach transpilation server at http://{self.host}:{self.port}: {exc}"
             ) from exc
         finally:
             connection.close()
+
+    def _retry_delay(self, attempt: int, retry_after: Optional[str]) -> float:
+        """Full-jitter exponential backoff; the server's ``Retry-After`` is a floor."""
+        backoff = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        delay = self._random() * backoff
+        if retry_after:
+            try:
+                delay = max(delay, float(retry_after))
+            except ValueError:
+                pass
+        return delay
+
+    def _raw_request_with_retries(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        *,
+        timeout: Optional[float] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> "tuple[int, bytes, Dict[str, str]]":
+        attempts = self.max_retries + 1
+        last_error: Optional[ServerError] = None
+        last_status, last_body = 0, b""
+        for attempt in range(attempts):
+            try:
+                status, body, headers = self._raw_request(
+                    method, path, payload, timeout=timeout, extra_headers=extra_headers
+                )
+            except ServerError as exc:  # connection-level: nothing reached the server
+                last_error, last_status, last_body = exc, 0, b""
+                if attempt + 1 >= attempts:
+                    break
+                self._sleep(self._retry_delay(attempt, None))
+                continue
+            if status != 429:
+                return status, body, headers
+            last_error, last_status, last_body = None, status, body
+            if attempt + 1 >= attempts:
+                break
+            self._sleep(self._retry_delay(attempt, headers.get("retry-after")))
+        if attempts == 1 and last_error is not None:
+            raise last_error  # retries disabled — surface the plain connection error
+        detail = (
+            str(last_error)
+            if last_error is not None
+            else "server kept answering HTTP 429 (backpressure)"
+        )
+        raise RetriesExhausted(
+            f"{attempts} attempts for {method} {path} failed; last error: {detail}",
+            status=last_status,
+            last_body=last_body,
+            attempts=attempts,
+        )
 
     # -- submission -----------------------------------------------------------
 
@@ -325,7 +422,7 @@ class ReproClient:
 
     def metrics_text(self) -> str:
         """The raw Prometheus text page (parse with ``repro.server.parse_metric``)."""
-        status, body = self._raw_request("GET", "/metrics")
+        status, body, _headers = self._raw_request_with_retries("GET", "/metrics")
         if status != 200:
             raise ServerError(f"GET /metrics returned HTTP {status}", status=status)
         return body.decode("utf-8")

@@ -1,0 +1,37 @@
+"""Sharded multi-node transpile fleet (coordinator + workers + peer cache tier).
+
+One :class:`~repro.fleet.coordinator.FleetCoordinator` fronts N worker nodes, each an
+ordinary :class:`~repro.server.app.ReproServer` extended with fleet membership
+(:class:`~repro.fleet.worker.FleetWorkerServer`).  The pieces:
+
+* :class:`~repro.fleet.ring.HashRing` — consistent hashing with virtual nodes.  Job
+  placement is keyed on the :class:`~repro.service.jobs.TranspileJob` sha256 content
+  fingerprint, so a re-submitted job routes to the node whose
+  :class:`~repro.service.cache.ResultCache` already holds its result, and membership
+  changes remap only ~K/N keys.
+* :class:`~repro.fleet.peercache.PeerCacheTier` — wraps a node's local result cache; on
+  a local miss it asks the fingerprint's ring owners over HTTP before recomputing.
+* :class:`~repro.fleet.coordinator.FleetCoordinator` — nodes register and heartbeat
+  (carrying their ``/healthz`` readiness document as capacity gossip); clients speak
+  the ordinary ``/v1`` job API and the coordinator places, forwards, sheds (429 +
+  ``Retry-After`` when the fleet is saturated), and reroutes around dead nodes.
+* :class:`~repro.fleet.worker.FleetWorkerServer` — a ``ReproServer`` that registers
+  with a coordinator, heartbeats its health, learns the ring topology for peer cache
+  fetches, and deregisters + drains on graceful shutdown.
+
+``repro fleet coordinator`` / ``repro fleet worker`` are the CLI entry points;
+:class:`repro.client.ReproClient` talks to a coordinator exactly as it talks to a solo
+server (the ``/v1`` wire API is identical).
+"""
+
+from .coordinator import FleetCoordinator
+from .peercache import PeerCacheTier
+from .ring import HashRing
+from .worker import FleetWorkerServer
+
+__all__ = [
+    "FleetCoordinator",
+    "FleetWorkerServer",
+    "HashRing",
+    "PeerCacheTier",
+]

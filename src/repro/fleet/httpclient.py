@@ -1,0 +1,193 @@
+"""Minimal asyncio HTTP/1.1 client used inside the fleet's event loops.
+
+The coordinator proxies client requests to worker nodes from *inside* its own request
+handlers, and workers heartbeat the coordinator from a background task — both on a
+running event loop, where ``http.client`` would block.  The container ships no aiohttp,
+so this is a small hand-rolled client speaking exactly the dialect our own
+:class:`~repro.server.http.AsyncHTTPServer` emits (``Connection: close``, either
+``Content-Length`` bodies or ``chunked`` streams).
+
+:func:`fetch` returns the parsed response; :func:`pipe` shuttles a response verbatim
+into another stream writer (how the coordinator proxies the chunked NDJSON event
+stream without buffering or re-framing it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+
+class FetchError(Exception):
+    """The peer could not be reached or violated the protocol (distinct from an HTTP
+    error *status*, which :func:`fetch` returns normally)."""
+
+
+def _endpoint(url: str) -> Tuple[str, int]:
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    return parts.hostname or "127.0.0.1", parts.port or 80
+
+
+def _request_bytes(
+    method: str, host: str, path: str, headers: Dict[str, str], body: bytes
+) -> bytes:
+    lines = [f"{method} {path} HTTP/1.1", f"Host: {host}", "Connection: close"]
+    if body:
+        lines.append(f"Content-Length: {len(body)}")
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def _read_head(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str]]:
+    status_line = await reader.readline()
+    if not status_line:
+        raise FetchError("peer closed the connection before responding")
+    try:
+        _version, status_text = status_line.decode("latin-1").split(None, 2)[:2]
+        status = int(status_text)
+    except (ValueError, IndexError) as exc:
+        raise FetchError(f"malformed status line {status_line!r}") from exc
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def _read_body(reader: asyncio.StreamReader, headers: Dict[str, str]) -> bytes:
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        chunks = []
+        while True:
+            size_line = await reader.readline()
+            try:
+                size = int(size_line.strip().split(b";")[0], 16)
+            except ValueError as exc:
+                raise FetchError(f"malformed chunk size {size_line!r}") from exc
+            if size == 0:
+                await reader.readline()  # trailing CRLF after the last chunk
+                break
+            chunks.append(await reader.readexactly(size))
+            await reader.readexactly(2)  # CRLF after each chunk
+        return b"".join(chunks)
+    length = headers.get("content-length")
+    if length is not None:
+        return await reader.readexactly(int(length))
+    return await reader.read()  # Connection: close — body runs to EOF
+
+
+async def fetch(
+    base_url: str,
+    method: str,
+    path: str,
+    *,
+    payload: Optional[Dict] = None,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 10.0,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One request against ``base_url``; returns ``(status, headers, body)``.
+
+    Connection failures, timeouts and protocol violations raise :class:`FetchError`;
+    HTTP error statuses are returned, not raised — the caller decides whether a 429 or
+    a 404 from a peer is exceptional.
+    """
+    host, port = _endpoint(base_url)
+    body = b""
+    send_headers = dict(headers or {})
+    if payload is not None:
+        body = json.dumps(payload).encode("utf-8")
+        send_headers["Content-Type"] = "application/json"
+
+    async def _go() -> Tuple[int, Dict[str, str], bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(_request_bytes(method, host, path, send_headers, body))
+            await writer.drain()
+            status, response_headers = await _read_head(reader)
+            data = await _read_body(reader, response_headers)
+            return status, response_headers, data
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    try:
+        return await asyncio.wait_for(_go(), timeout=timeout)
+    except FetchError:
+        raise
+    except asyncio.TimeoutError as exc:
+        raise FetchError(f"{method} {base_url}{path} timed out after {timeout:.1f}s") from exc
+    except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+        raise FetchError(f"{method} {base_url}{path} failed: {exc}") from exc
+
+
+async def fetch_json(
+    base_url: str,
+    method: str,
+    path: str,
+    *,
+    payload: Optional[Dict] = None,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 10.0,
+) -> Tuple[int, Dict[str, str], Dict]:
+    """:func:`fetch` + JSON decode (empty/non-JSON bodies decode to ``{}``)."""
+    status, response_headers, body = await fetch(
+        base_url, method, path, payload=payload, headers=headers, timeout=timeout
+    )
+    try:
+        data = json.loads(body.decode("utf-8")) if body else {}
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        data = {}
+    if not isinstance(data, dict):
+        data = {"value": data}
+    return status, response_headers, data
+
+
+async def pipe(
+    base_url: str,
+    method: str,
+    path: str,
+    writer: asyncio.StreamWriter,
+    *,
+    headers: Optional[Dict[str, str]] = None,
+    connect_timeout: float = 10.0,
+) -> None:
+    """Forward the peer's complete response (head + body) verbatim into ``writer``.
+
+    Used for proxying the chunked event stream: the peer's own status line, headers and
+    chunk framing pass through untouched, so the proxy adds no buffering delay and the
+    stream stays live for its whole (unbounded) duration.
+    """
+    host, port = _endpoint(base_url)
+    try:
+        reader, peer_writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=connect_timeout
+        )
+    except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+        raise FetchError(f"{method} {base_url}{path} failed: {exc}") from exc
+    try:
+        peer_writer.write(_request_bytes(method, host, path, dict(headers or {}), b""))
+        await peer_writer.drain()
+        while True:
+            block = await reader.read(65536)
+            if not block:
+                break
+            writer.write(block)
+            await writer.drain()
+    except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+        raise FetchError(f"stream from {base_url}{path} broke: {exc}") from exc
+    finally:
+        peer_writer.close()
+        try:
+            await peer_writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

@@ -1,0 +1,158 @@
+"""The fleet's shared cache tier: local result cache + HTTP peer fetch on miss.
+
+A :class:`PeerCacheTier` wraps a node's :class:`~repro.service.cache.ResultCache` and
+presents the same ``get``/``put`` interface, so :class:`~repro.server.runner.JobRunner`
+and the admission path use it unchanged.  On a local miss it asks the fingerprint's
+hash-ring owners (never itself) over ``GET /v1/cache/{fingerprint}`` before giving up —
+so when placement lands a job off its affinity node (spillover under load, a just-grown
+ring), the result is still fetched rather than recomputed.  Peer hits are promoted into
+the local cache, spreading hot fingerprints to wherever they are asked for.
+
+Topology arrives via the worker's heartbeat exchange (:meth:`update_topology`): the
+coordinator gossips the full membership map, and every node builds the *same*
+:class:`~repro.fleet.ring.HashRing` the coordinator places with — peer lookup and job
+placement agree by construction, with no extra coordination traffic.
+
+All lookups here run on worker-pool / executor threads (the runner wraps ``cache.get``
+in ``run_in_executor``), so the blocking HTTP fetch never stalls the node's event
+loop.  Outcomes surface through the obs counters (``cache.peer.hits`` / ``.misses`` /
+``.errors``), which the node's ``/metrics`` page renders automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection
+from typing import Callable, Dict, List, Optional
+from urllib.parse import urlsplit
+
+from ..obs.counters import COUNTERS
+from ..service.cache import CacheStats, ResultCache
+from .ring import HashRing
+
+#: Peer fetches race recomputation, so they must stay cheap: a peer that cannot answer
+#: within this budget is treated as a miss and the node just recomputes.
+DEFAULT_PEER_TIMEOUT = 2.0
+
+
+def _http_fetch(base_url: str, fingerprint: str, timeout: float) -> Optional[Dict]:
+    """Blocking peer lookup: 200 → payload, 404 → None, anything else → raise."""
+    parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+    connection = HTTPConnection(
+        parts.hostname or "127.0.0.1", parts.port or 80, timeout=timeout
+    )
+    try:
+        connection.request("GET", f"/v1/cache/{fingerprint}")
+        response = connection.getresponse()
+        body = response.read()
+        if response.status == 404:
+            return None
+        if response.status != 200:
+            raise RuntimeError(
+                f"peer {base_url} answered HTTP {response.status} for {fingerprint[:12]}"
+            )
+        return json.loads(body.decode("utf-8"))["result"]
+    finally:
+        connection.close()
+
+
+class PeerCacheTier:
+    """A :class:`ResultCache` facade with an HTTP peer-fetch tier behind local misses."""
+
+    def __init__(
+        self,
+        local: Optional[ResultCache] = None,
+        *,
+        directory: Optional[str] = None,
+        replicas: int = 2,
+        timeout: float = DEFAULT_PEER_TIMEOUT,
+        fetcher: Optional[Callable[[str, str, float], Optional[Dict]]] = None,
+    ) -> None:
+        self.local = local if local is not None else ResultCache(directory=directory)
+        self.replicas = max(1, replicas)
+        self.timeout = timeout
+        self._fetch = fetcher if fetcher is not None else _http_fetch
+        self._lock = threading.Lock()
+        self._ring = HashRing()
+        self._peer_urls: Dict[str, str] = {}
+        self._self_node: str = ""
+
+    # -- topology -------------------------------------------------------------
+
+    def update_topology(
+        self,
+        nodes: Dict[str, str],
+        *,
+        self_node: str,
+        replicas: Optional[int] = None,
+    ) -> None:
+        """Replace the membership map (``node_id -> base URL``), including ourselves.
+
+        Rebuilt wholesale from each heartbeat response — the heartbeat cadence bounds
+        how stale a node's view can get, and a stale view only costs wasted fetches
+        (a peer that lacks the entry answers 404), never wrong results.
+        """
+        ring = HashRing(nodes)
+        with self._lock:
+            self._ring = ring
+            self._peer_urls = dict(nodes)
+            self._self_node = self_node
+            if replicas is not None:
+                self.replicas = max(1, replicas)
+
+    def peers_for(self, fingerprint: str) -> List[str]:
+        """Base URLs of the ring owners to ask for ``fingerprint`` (excluding self)."""
+        with self._lock:
+            # +1 owner: when this node is itself in the preference list, excluding it
+            # must not shrink the number of actual peers consulted.
+            owners = self._ring.owners(fingerprint, count=self.replicas + 1)
+            return [
+                self._peer_urls[node_id]
+                for node_id in owners
+                if node_id != self._self_node and node_id in self._peer_urls
+            ][: self.replicas]
+
+    # -- the ResultCache interface --------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.local.stats
+
+    def get_local(self, fingerprint: str) -> Optional[Dict]:
+        """Local-tier lookup only — what ``GET /v1/cache`` serves, so answering a
+        peer's lookup can never recurse into another peer fetch."""
+        return self.local.get(fingerprint)
+
+    def get(self, fingerprint: str) -> Optional[Dict]:
+        payload = self.local.get(fingerprint)
+        if payload is not None:
+            return payload
+        peers = self.peers_for(fingerprint)
+        for base_url in peers:
+            try:
+                payload = self._fetch(base_url, fingerprint, self.timeout)
+            except Exception:  # noqa: BLE001 - any peer failure degrades to recompute
+                COUNTERS.inc("cache.peer.errors")
+                continue
+            if payload is not None:
+                COUNTERS.inc("cache.peer.hits")
+                # Promote: affinity means the *next* lookup for this fingerprint on
+                # this node is a local hit.
+                self.local.put(fingerprint, payload)
+                return payload
+        if peers:
+            COUNTERS.inc("cache.peer.misses")
+        return None
+
+    def put(self, fingerprint: str, payload: Dict) -> None:
+        self.local.put(fingerprint, payload)
+
+    def contains(self, fingerprint: str) -> bool:
+        return self.local.contains(fingerprint)
+
+    def clear(self) -> None:
+        self.local.clear()
+
+    def disk_entries(self) -> int:
+        return self.local.disk_entries()

@@ -1,25 +1,29 @@
 """The online transpilation server: asyncio HTTP front end over queue + runner.
 
-A deliberately dependency-free HTTP/1.1 implementation on ``asyncio.start_server``
-(the container ships no web framework), exposing the JSON API:
+A deliberately dependency-free HTTP/1.1 implementation (shared plumbing in
+:mod:`repro.server.http`), exposing the JSON API:
 
-===========================  ==========================================================
-``POST /v1/jobs``            submit one job (``{"job": {...}}`` flat dict, or
-                             ``{"qasm": ..., "target": ..., "options": ...}``); returns
-                             202 with the job id — or 200 immediately when the result
-                             cache already holds the fingerprint
-``POST /v1/batch``           submit many jobs atomically (all admitted or all 429)
-``GET /v1/jobs``             summary list of known jobs
-``GET /v1/jobs/{id}``        status/result; ``?wait=SECONDS`` long-polls for a terminal
-                             state
-``GET /v1/jobs/{id}/events`` chunked stream of state transitions (NDJSON), ending with
-                             the terminal event and its pass-timing breakdown
-``POST /v1/jobs/{id}/cancel`` cancel a queued job (``DELETE /v1/jobs/{id}`` is an alias)
-``GET /v1/targets``          named device topologies the server can build
-``GET /v1/methods``          routing methods (registry-derived) and optimization levels
-``GET /healthz``             liveness + queue/pool summary
-``GET /metrics``             Prometheus text format
-===========================  ==========================================================
+=============================  ==========================================================
+``POST /v1/jobs``              submit one job (``{"job": {...}}`` flat dict, or
+                               ``{"qasm": ..., "target": ..., "options": ...}``); returns
+                               202 with the job id — or 200 immediately when the result
+                               cache already holds the fingerprint
+``POST /v1/batch``             submit many jobs atomically (all admitted or all 429)
+``GET /v1/jobs``               summary list of known jobs
+``GET /v1/jobs/{id}``          status/result; ``?wait=SECONDS`` long-polls for a terminal
+                               state
+``GET /v1/jobs/{id}/events``   chunked stream of state transitions (NDJSON), ending with
+                               the terminal event and its pass-timing breakdown
+``POST /v1/jobs/{id}/cancel``  cancel a queued job (``DELETE /v1/jobs/{id}`` is an alias)
+``GET /v1/cache/{fingerprint}`` the locally cached result payload for a fingerprint, or
+                               404 — the fleet's peer-fetch tier reads this
+``GET /v1/targets``            named device topologies the server can build
+``GET /v1/methods``            routing methods (registry-derived) and optimization levels
+``GET /healthz``               readiness signal: queue depth, in-flight jobs, worker-pool
+                               size, and shed state (what the fleet coordinator and
+                               external load balancers probe)
+``GET /metrics``               Prometheus text format
+=============================  ==========================================================
 
 Admission control returns ``429 Too Many Requests`` with a ``Retry-After`` header once
 ``queue_bound`` jobs are admitted and unfinished.  Failed jobs carry the worker's full
@@ -32,11 +36,8 @@ from __future__ import annotations
 
 import asyncio
 import json
-import socket
-import threading
 import time
-from typing import Awaitable, Callable, Dict, List, Optional, Tuple
-from urllib.parse import parse_qs, urlsplit
+from typing import Dict, Optional, Tuple
 
 from .. import __version__
 from ..core.options import LEVEL_DESCRIPTIONS, OPTIMIZATION_LEVELS, TranspileOptions
@@ -49,6 +50,15 @@ from ..obs.tracer import parse_traceparent
 from ..service.cache import ResultCache
 from ..service.jobs import TranspileJob
 from ..transpiler.registry import registered_methods
+from .http import (  # noqa: F401 - HTTPError/Request/ThreadedServer are re-exported API
+    MAX_BODY_BYTES,
+    AsyncHTTPServer,
+    HTTPError,
+    Request,
+    ThreadedServer,
+    _int_field,
+    _match_pattern,
+)
 from .metrics import ServerMetrics
 from .queue import (
     CANCELLED,
@@ -61,60 +71,14 @@ from .queue import (
 )
 from .runner import JobRunner
 
-#: Upper bound on request bodies (a batch of large QASM circuits fits comfortably).
-MAX_BODY_BYTES = 16 * 1024 * 1024
 #: Cap on ``?wait=`` long-poll duration.
 MAX_WAIT_SECONDS = 120.0
 #: Blank-line keepalive cadence of the event stream — a transpile can sit silently
 #: between ``running`` and ``done`` for minutes, and idle clients time out otherwise.
 EVENTS_KEEPALIVE_SECONDS = 15.0
 
-_STATUS_REASONS = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
-}
 
-
-class HTTPError(Exception):
-    """Terminates request handling with a structured JSON error response."""
-
-    def __init__(self, status: int, message: str, **extra) -> None:
-        super().__init__(message)
-        self.status = status
-        self.payload = {"error": {"status": status, "message": message, **extra}}
-        self.headers: Dict[str, str] = {}
-
-
-class Request:
-    """One parsed HTTP request (method, path, query, JSON body on demand)."""
-
-    def __init__(self, method: str, target: str, headers: Dict[str, str], body: bytes) -> None:
-        self.method = method
-        parts = urlsplit(target)
-        self.path = parts.path
-        self.query = {key: values[-1] for key, values in parse_qs(parts.query).items()}
-        self.headers = headers
-        self.body = body
-
-    def json(self) -> Dict:
-        if not self.body:
-            raise HTTPError(400, "request body must be a JSON object")
-        try:
-            data = json.loads(self.body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise HTTPError(400, f"malformed JSON body: {exc}") from exc
-        if not isinstance(data, dict):
-            raise HTTPError(400, "request body must be a JSON object")
-        return data
-
-    @property
-    def client_id(self) -> str:
-        return self.headers.get("x-repro-client", "anonymous")
-
-
-class ReproServer:
+class ReproServer(AsyncHTTPServer):
     """The HTTP job service: owns the queue, the runner, the cache, and the listener."""
 
     def __init__(
@@ -131,8 +95,7 @@ class ReproServer:
         use_processes: bool = True,
         ensemble_fanout_threshold: int = 8,
     ) -> None:
-        self.host = host
-        self.port = port
+        super().__init__(host, port)
         self.cache = cache if cache is not None else ResultCache(directory=cache_dir)
         self.queue = JobQueue(max_pending=queue_bound, history_limit=history_limit)
         self.metrics = ServerMetrics()
@@ -146,12 +109,7 @@ class ReproServer:
             ensemble_fanout_threshold=ensemble_fanout_threshold,
         )
         self.started_at = time.time()
-        self.draining = False
-        self._server: Optional[asyncio.AbstractServer] = None
-        # Created inside start(): on Python 3.9 an asyncio.Event built outside a
-        # running loop binds to the wrong loop.
-        self._stopped: Optional[asyncio.Event] = None
-        self._routes: List[Tuple[str, str, Callable[..., Awaitable[None]]]] = [
+        self._routes += [
             ("GET", "/healthz", self._handle_healthz),
             ("GET", "/metrics", self._handle_metrics),
             ("GET", "/v1/methods", self._handle_methods),
@@ -164,202 +122,24 @@ class ReproServer:
             ("GET", "/v1/jobs/{id}/events", self._handle_events),
             ("POST", "/v1/jobs/{id}/cancel", self._handle_cancel),
             ("DELETE", "/v1/jobs/{id}", self._handle_cancel),
+            ("GET", "/v1/cache/{fingerprint}", self._handle_cache_lookup),
         ]
 
     # -- lifecycle ------------------------------------------------------------
 
-    async def start(self) -> Tuple[str, int]:
-        """Bind the listener and start the runner; returns the bound (host, port)."""
-        if self._stopped is None:
-            self._stopped = asyncio.Event()
+    async def _on_start(self) -> None:
         self.runner.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port,
-            family=socket.AF_INET, reuse_address=True,
-        )
-        bound = self._server.sockets[0].getsockname()
-        self.port = bound[1]
-        return bound[0], bound[1]
 
-    async def serve_forever(self) -> None:
-        """Run until :meth:`stop` is called (used by ``python -m repro serve``)."""
-        if self._server is None:
-            await self.start()
-        await self._stopped.wait()
-
-    async def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
-        """Graceful shutdown: stop accepting, drain in-flight jobs, stop the runner."""
-        self.draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+    async def _on_stop(self, *, drain: bool, timeout: float) -> None:
         await self.runner.stop(drain=drain, timeout=timeout)
-        if self._stopped is not None:
-            self._stopped.set()
 
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
-
-    def run_in_thread(self) -> "ThreadedServer":
-        """Start this server in a dedicated background event-loop thread.
-
-        The one embedded-server harness shared by the test suite, the throughput
-        benchmark, and ``examples/remote_transpile.py`` — callers in a synchronous
-        world get a running server without owning an event loop::
-
-            with ReproServer(port=0, use_processes=False).run_in_thread() as handle:
-                result = handle.client().submit(circuit, target).result()
-        """
-        return ThreadedServer(self).start()
-
-    # -- connection handling --------------------------------------------------
-
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            request = await self._read_request(reader)
-            if request is not None:
-                await self._dispatch(request, writer)
-        except HTTPError as exc:
-            await self._write_json(writer, exc.status, exc.payload, headers=exc.headers)
-        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
-            pass
-        except Exception as exc:  # noqa: BLE001 - a broken handler must not kill the loop
-            try:
-                await self._write_json(
-                    writer, 500,
-                    {"error": {"status": 500, "message": f"{type(exc).__name__}: {exc}"}},
-                )
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                pass
-        finally:
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                pass
-
-    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[Request]:
-        try:
-            request_line = await reader.readline()
-        except (ValueError, asyncio.LimitOverrunError) as exc:
-            raise HTTPError(400, f"request line too long: {exc}") from exc
-        if not request_line:
-            return None
-        try:
-            method, target, _version = request_line.decode("latin-1").split()
-        except ValueError as exc:
-            raise HTTPError(400, "malformed request line") from exc
-        headers: Dict[str, str] = {}
-        while True:
-            try:
-                line = await reader.readline()
-            except (ValueError, asyncio.LimitOverrunError) as exc:
-                raise HTTPError(400, f"header line too long: {exc}") from exc
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        raw_length = headers.get("content-length", "0") or "0"
-        try:
-            length = int(raw_length)
-        except ValueError as exc:
-            raise HTTPError(400, f"invalid Content-Length {raw_length!r}") from exc
-        if length < 0:
-            raise HTTPError(400, f"invalid Content-Length {raw_length!r}")
-        if length > MAX_BODY_BYTES:
-            raise HTTPError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
-        body = await reader.readexactly(length) if length else b""
-        return Request(method.upper(), target, headers, body)
-
-    def _match(self, request: Request) -> Tuple[Callable, Dict[str, str], str]:
-        path_allowed: List[str] = []
-        for method, pattern, handler in self._routes:
-            params = _match_pattern(pattern, request.path)
-            if params is None:
-                continue
-            if method == request.method:
-                return handler, params, pattern
-            path_allowed.append(method)
-        if path_allowed:
-            error = HTTPError(405, f"method {request.method} not allowed for {request.path}")
-            error.headers["Allow"] = ", ".join(sorted(set(path_allowed)))
-            raise error
-        raise HTTPError(404, f"no route for {request.path}")
-
-    async def _dispatch(self, request: Request, writer: asyncio.StreamWriter) -> None:
-        handler, params, pattern = self._match(request)
-        try:
-            await handler(request, writer, **params)
-            self.metrics.requests.inc(route=pattern, code="2xx")
-        except HTTPError as exc:
-            self.metrics.requests.inc(route=pattern, code=str(exc.status))
-            raise
-
-    # -- response writing -----------------------------------------------------
-
-    async def _write_response(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        body: bytes,
-        *,
-        content_type: str = "application/json",
-        headers: Optional[Dict[str, str]] = None,
-    ) -> None:
-        reason = _STATUS_REASONS.get(status, "Unknown")
-        lines = [
-            f"HTTP/1.1 {status} {reason}",
-            f"Content-Type: {content_type}; charset=utf-8",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-            f"Server: repro/{__version__}",
-        ]
-        for name, value in (headers or {}).items():
-            lines.append(f"{name}: {value}")
-        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
-        await writer.drain()
-
-    async def _write_json(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        payload: Dict,
-        *,
-        headers: Optional[Dict[str, str]] = None,
-    ) -> None:
-        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
-        await self._write_response(writer, status, body, headers=headers)
+    def _observe_request(self, pattern: str, code: str) -> None:
+        self.metrics.requests.inc(route=pattern, code=code)
 
     # -- job construction -----------------------------------------------------
 
     async def _job_from_payload(self, data: Dict) -> TranspileJob:
-        try:
-            if "job" in data:
-                if not isinstance(data["job"], dict):
-                    raise HTTPError(400, '"job" must be a flat TranspileJob dict')
-                return TranspileJob.from_dict(data["job"])
-            if "qasm" not in data:
-                raise HTTPError(400, 'submission needs either "job" or "qasm"')
-            qasm_text = data["qasm"]
-            if not isinstance(qasm_text, str) or "OPENQASM" not in qasm_text:
-                raise HTTPError(400, '"qasm" must be OpenQASM 2.0 source text')
-            target = _target_from_payload(data.get("target"))
-            options = (
-                TranspileOptions.from_dict(data["options"])
-                if isinstance(data.get("options"), dict)
-                else TranspileOptions()
-            )
-            return TranspileJob.from_spec(
-                qasm_text, target, options, name=str(data.get("name") or "")
-            )
-        except HTTPError:
-            raise
-        except (ReproError, KeyError, TypeError, ValueError) as exc:
-            raise HTTPError(400, f"invalid job specification: {exc}") from exc
+        return job_from_payload(data)
 
     async def _admit(
         self,
@@ -614,19 +394,54 @@ class ReproServer:
         payload["cancelled"] = True
         await self._write_json(writer, 200, payload)
 
-    async def _handle_healthz(self, request: Request, writer: asyncio.StreamWriter) -> None:
-        payload = {
+    async def _handle_cache_lookup(
+        self, request: Request, writer: asyncio.StreamWriter, fingerprint: str
+    ) -> None:
+        """Serve the *locally* cached payload for a fingerprint (the peer-fetch API).
+
+        Deliberately local-only: when the cache is a fleet peer tier, answering a
+        peer's lookup must never trigger a recursive peer fetch, so the tier's
+        ``get_local`` is used when present.
+        """
+        getter = getattr(self.cache, "get_local", self.cache.get)
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(None, getter, fingerprint)
+        if payload is None:
+            self.metrics.peer_cache_requests.inc(outcome="miss")
+            raise HTTPError(404, f"fingerprint {fingerprint[:16]}... is not cached here")
+        self.metrics.peer_cache_requests.inc(outcome="hit")
+        await self._write_json(
+            writer, 200, {"fingerprint": fingerprint, "result": payload}
+        )
+
+    def health_payload(self) -> Dict:
+        """The ``/healthz`` readiness document (also reused by the fleet heartbeat).
+
+        ``ready`` means "this node can accept a new job right now": not draining and
+        admission control has headroom.  ``shedding`` flags a saturated queue — the
+        coordinator and external load balancers use it to steer traffic away before
+        submissions start bouncing with 429s.
+        """
+        admitted = self.queue.admitted_depth()
+        shedding = admitted >= self.queue.max_pending
+        return {
             "status": "draining" if self.draining else "ok",
+            "ready": not self.draining and not shedding,
             "version": __version__,
             "uptime_seconds": time.time() - self.started_at,
             "queue_depth": self.queue.pending_count(),
             "in_flight": self.queue.in_flight,
+            "admitted_depth": admitted,
             "queue_bound": self.queue.max_pending,
+            "shedding": shedding,
+            "workers": self.runner.max_workers,
             "concurrency": self.runner.concurrency,
             "pool": self.runner.pool_kind,
             "cache": self.cache.stats.to_dict(),
         }
-        await self._write_json(writer, 200, payload)
+
+    async def _handle_healthz(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        await self._write_json(writer, 200, self.health_payload())
 
     async def _handle_metrics(self, request: Request, writer: asyncio.StreamWriter) -> None:
         # Obs counters are per-process: with a process pool the workers' transpiler-side
@@ -643,30 +458,10 @@ class ReproServer:
         )
 
     async def _handle_methods(self, request: Request, writer: asyncio.StreamWriter) -> None:
-        payload = {
-            "routing_methods": [
-                {
-                    "name": method.name,
-                    "description": method.description,
-                    "builtin": method.builtin,
-                    "requires_coupling": method.requires_coupling,
-                    "supports_best_of": method.supports_best_of,
-                }
-                for method in registered_methods()
-            ],
-            "schedule_modes": [
-                {"name": mode, "description": description}
-                for mode, description in SCHEDULE_MODES.items()
-            ],
-            "optimization_levels": [
-                {"name": level, "description": LEVEL_DESCRIPTIONS[level]}
-                for level in OPTIMIZATION_LEVELS
-            ],
-        }
-        await self._write_json(writer, 200, payload)
+        await self._write_json(writer, 200, methods_payload())
 
     async def _handle_targets(self, request: Request, writer: asyncio.StreamWriter) -> None:
-        await self._write_json(writer, 200, {"targets": list(TOPOLOGY_CATALOG)})
+        await self._write_json(writer, 200, targets_payload())
 
     # -- helpers --------------------------------------------------------------
 
@@ -677,77 +472,61 @@ class ReproServer:
         return record
 
 
-class ThreadedServer:
-    """A :class:`ReproServer` running in its own thread + event loop (see
-    :meth:`ReproServer.run_in_thread`).  ``stop()`` performs the full graceful
-    shutdown, stops the loop, and joins the thread; usable as a context manager."""
-
-    def __init__(self, server: ReproServer) -> None:
-        self.server = server
-        self.loop = asyncio.new_event_loop()
-        self._ready = threading.Event()
-        self._thread = threading.Thread(target=self._run, daemon=True, name="repro-server")
-
-    def _run(self) -> None:
-        asyncio.set_event_loop(self.loop)
-        self.loop.run_until_complete(self.server.start())
-        self._ready.set()
-        self.loop.run_forever()
-
-    def start(self) -> "ThreadedServer":
-        self._thread.start()
-        if not self._ready.wait(timeout=15):
-            raise RuntimeError("server thread failed to start within 15s")
-        return self
-
-    def stop(self, *, drain: bool = True, timeout: float = 30.0) -> None:
-        asyncio.run_coroutine_threadsafe(
-            self.server.stop(drain=drain, timeout=timeout), self.loop
-        ).result(timeout=timeout + 15)
-        self.loop.call_soon_threadsafe(self.loop.stop)
-        self._thread.join(timeout=15)
-        self.loop.close()
-
-    @property
-    def url(self) -> str:
-        return f"http://127.0.0.1:{self.server.port}"
-
-    def client(self, **kwargs):
-        """A :class:`repro.client.ReproClient` pointed at this server."""
-        from ..client import ReproClient  # lazy: keeps server importable without client
-
-        return ReproClient(self.url, **kwargs)
-
-    def __enter__(self) -> "ThreadedServer":
-        return self if self._ready.is_set() else self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
-
-
-def _match_pattern(pattern: str, path: str) -> Optional[Dict[str, str]]:
-    """Match ``/v1/jobs/{id}/events``-style patterns; returns captured params."""
-    pattern_parts = pattern.strip("/").split("/")
-    path_parts = path.strip("/").split("/")
-    if len(pattern_parts) != len(path_parts):
-        return None
-    params: Dict[str, str] = {}
-    for expected, actual in zip(pattern_parts, path_parts):
-        if expected.startswith("{") and expected.endswith("}"):
-            if not actual:
-                return None
-            params[expected[1:-1]] = actual
-        elif expected != actual:
-            return None
-    return params
-
-
-def _int_field(data: Dict, key: str, *, default: int) -> int:
-    value = data.get(key, default)
+def job_from_payload(data: Dict) -> TranspileJob:
+    """Build a :class:`TranspileJob` from a submission body (shared with the fleet
+    coordinator, which must compute the same fingerprint the node will)."""
     try:
-        return int(value)
-    except (TypeError, ValueError) as exc:
-        raise HTTPError(400, f'"{key}" must be an integer, got {value!r}') from exc
+        if "job" in data:
+            if not isinstance(data["job"], dict):
+                raise HTTPError(400, '"job" must be a flat TranspileJob dict')
+            return TranspileJob.from_dict(data["job"])
+        if "qasm" not in data:
+            raise HTTPError(400, 'submission needs either "job" or "qasm"')
+        qasm_text = data["qasm"]
+        if not isinstance(qasm_text, str) or "OPENQASM" not in qasm_text:
+            raise HTTPError(400, '"qasm" must be OpenQASM 2.0 source text')
+        target = _target_from_payload(data.get("target"))
+        options = (
+            TranspileOptions.from_dict(data["options"])
+            if isinstance(data.get("options"), dict)
+            else TranspileOptions()
+        )
+        return TranspileJob.from_spec(
+            qasm_text, target, options, name=str(data.get("name") or "")
+        )
+    except HTTPError:
+        raise
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        raise HTTPError(400, f"invalid job specification: {exc}") from exc
+
+
+def methods_payload() -> Dict:
+    """The ``GET /v1/methods`` document (shared by node and coordinator)."""
+    return {
+        "routing_methods": [
+            {
+                "name": method.name,
+                "description": method.description,
+                "builtin": method.builtin,
+                "requires_coupling": method.requires_coupling,
+                "supports_best_of": method.supports_best_of,
+            }
+            for method in registered_methods()
+        ],
+        "schedule_modes": [
+            {"name": mode, "description": description}
+            for mode, description in SCHEDULE_MODES.items()
+        ],
+        "optimization_levels": [
+            {"name": level, "description": LEVEL_DESCRIPTIONS[level]}
+            for level in OPTIMIZATION_LEVELS
+        ],
+    }
+
+
+def targets_payload() -> Dict:
+    """The ``GET /v1/targets`` document (shared by node and coordinator)."""
+    return {"targets": list(TOPOLOGY_CATALOG)}
 
 
 def _target_from_payload(spec) -> Target:

@@ -225,6 +225,10 @@ class ServerMetrics:
             "repro_ensemble_trials_total",
             "Ensemble routing trials executed on behalf of best-of-N jobs",
         )
+        self.peer_cache_requests = Counter(
+            "repro_peer_cache_requests_total",
+            "Peer cache lookups served over GET /v1/cache, by outcome",
+        )
         self.schedule_duration = Histogram(
             "repro_schedule_duration_seconds",
             "Critical-path duration of schedules produced by schedule-enabled jobs",
@@ -259,6 +263,7 @@ class ServerMetrics:
             self.requests,
             self.ensemble_fanout,
             self.ensemble_trials,
+            self.peer_cache_requests,
         ):
             lines += collector.render()
         lines += gauge_lines(

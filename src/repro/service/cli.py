@@ -14,6 +14,8 @@ Subcommands
   optimization levels.
 * ``cache`` — inspect or clear an on-disk result cache directory (``stats`` emits JSON).
 * ``serve`` — run the online transpilation server (:mod:`repro.server`).
+* ``fleet`` — run a multi-node transpile fleet role (:mod:`repro.fleet`):
+  ``coordinator`` (placement + proxy front door) or ``worker`` (one node).
 * ``submit`` — compile a circuit remotely through a running server (:mod:`repro.client`).
 * ``trace`` — pretty-print a trace file written by ``--trace`` / ``REPRO_TRACE``
   (span tree plus a self-time ranking).
@@ -194,6 +196,46 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="shared on-disk result cache directory (env: REPRO_CACHE_DIR)")
     p.add_argument("--threads", action="store_true",
                    help="execute jobs on threads instead of a process pool")
+
+    p = sub.add_parser("fleet", help="run a multi-node transpile fleet role")
+    fleet_sub = p.add_subparsers(dest="fleet_role", required=True, metavar="ROLE")
+
+    fc = fleet_sub.add_parser(
+        "coordinator", help="run the fleet coordinator (placement + proxy front door)"
+    )
+    fc.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    fc.add_argument("--port", type=int, default=8100,
+                    help="bind port, 0 picks an ephemeral one (default: 8100)")
+    fc.add_argument("--replicas", type=int, default=2,
+                    help="ring owners per fingerprint for placement/peer fetch (default: 2)")
+    fc.add_argument("--heartbeat-interval", type=float, default=2.0,
+                    help="heartbeat cadence asked of worker nodes, seconds (default: 2.0)")
+    fc.add_argument("--heartbeat-ttl", type=float, default=None,
+                    help="heartbeat staleness before a node is dead "
+                         "(default: 4x the interval)")
+
+    fw = fleet_sub.add_parser(
+        "worker", help="run one fleet worker node (a repro server with membership)"
+    )
+    fw.add_argument("--coordinator", required=True, metavar="URL",
+                    help="coordinator base URL, e.g. http://127.0.0.1:8100")
+    fw.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    fw.add_argument("--port", type=int, default=0,
+                    help="bind port (default: 0 = ephemeral)")
+    fw.add_argument("--node-id", default=None,
+                    help="stable node identity on the hash ring (default: random)")
+    fw.add_argument("--workers", "-w", type=int, default=None,
+                    help="worker pool size (default: all cores, capped at 8)")
+    fw.add_argument("--concurrency", type=int, default=None,
+                    help="jobs in flight at once (default: the worker count)")
+    fw.add_argument("--queue-bound", type=int, default=256,
+                    help="admission-control bound on queued+running jobs (default: 256)")
+    fw.add_argument("--cache-dir", default=os.environ.get(CACHE_DIR_ENV),
+                    help="on-disk result cache directory (env: REPRO_CACHE_DIR)")
+    fw.add_argument("--threads", action="store_true",
+                    help="execute jobs on threads instead of a process pool")
+    fw.add_argument("--peer-replicas", type=int, default=2,
+                    help="ring owners consulted on a local cache miss (default: 2)")
 
     p = sub.add_parser("submit", help="compile a circuit through a running server")
     p.add_argument("input", help="input OpenQASM 2.0 file ('-' for stdin)")
@@ -583,6 +625,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_until_signalled(server, banner: str) -> int:
+    """Run any AsyncHTTPServer until SIGINT/SIGTERM, with a bound-address banner."""
+    import asyncio
+    import signal
+
+    async def _main() -> None:
+        host, port = await server.start()
+        print(banner.format(host=host, port=port), file=sys.stderr)
+        loop = asyncio.get_running_loop()
+
+        def _shutdown() -> None:
+            print("shutting down...", file=sys.stderr)
+            loop.create_task(server.stop())
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - non-Unix
+                pass
+        await server.serve_forever()
+
+    asyncio.run(_main())
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_role == "coordinator":
+        from ..fleet import FleetCoordinator
+
+        coordinator = FleetCoordinator(
+            host=args.host,
+            port=args.port,
+            replicas=args.replicas,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_ttl=args.heartbeat_ttl,
+        )
+        return _serve_until_signalled(
+            coordinator,
+            "repro fleet coordinator listening on http://{host}:{port} "
+            f"(replicas={args.replicas}, heartbeat={args.heartbeat_interval}s)",
+        )
+
+    from ..fleet import FleetWorkerServer
+
+    worker = FleetWorkerServer(
+        args.coordinator,
+        host=args.host,
+        port=args.port,
+        node_id=args.node_id,
+        peer_replicas=args.peer_replicas,
+        cache_dir=args.cache_dir,
+        queue_bound=args.queue_bound,
+        concurrency=args.concurrency,
+        max_workers=args.workers,
+        use_processes=not args.threads,
+    )
+    return _serve_until_signalled(
+        worker,
+        f"repro fleet worker {worker.node_id} listening on http://{{host}}:{{port}} "
+        f"(coordinator={worker.coordinator_url})",
+    )
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     import threading
     from contextlib import ExitStack
@@ -665,6 +770,7 @@ _COMMANDS = {
     "methods": _cmd_methods,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "submit": _cmd_submit,
 }
 

@@ -1,0 +1,142 @@
+"""Client retry policy: backoff + jitter on 429 and transient connection errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.client import ReproClient, RetriesExhausted, ServerError
+
+
+class ScriptedTransport:
+    """Replaces ``ReproClient._raw_request`` with a canned response sequence."""
+
+    def __init__(self, client: ReproClient, responses):
+        self.responses = list(responses)
+        self.calls = 0
+        self.sleeps = []
+        client._raw_request = self._raw_request
+        client._sleep = self.sleeps.append
+        client._random = lambda: 1.0  # deterministic "jitter": the full backoff
+
+    def _raw_request(self, method, path, payload=None, *, timeout=None, extra_headers=None):
+        self.calls += 1
+        outcome = self.responses.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def ok(payload):
+    return (200, json.dumps(payload).encode(), {})
+
+
+def too_many(retry_after=None, body=None):
+    headers = {} if retry_after is None else {"retry-after": retry_after}
+    doc = body if body is not None else {"error": {"status": 429, "message": "full"}}
+    return (429, json.dumps(doc).encode(), headers)
+
+
+def unreachable():
+    return ServerError("cannot reach transpilation server at http://x:1: refused")
+
+
+class TestBackoffOn429:
+    def test_retries_until_success(self):
+        client = ReproClient(max_retries=3)
+        transport = ScriptedTransport(client, [too_many(), too_many(), ok({"a": 1})])
+        assert client._request("GET", "/v1/jobs") == {"a": 1}
+        assert transport.calls == 3
+        assert len(transport.sleeps) == 2
+
+    def test_backoff_grows_exponentially(self):
+        client = ReproClient(max_retries=3, backoff_base=0.25)
+        transport = ScriptedTransport(client, [too_many()] * 3 + [ok({})])
+        client._request("GET", "/v1/jobs")
+        assert transport.sleeps == [0.25, 0.5, 1.0]
+
+    def test_retry_after_is_a_floor_on_the_delay(self):
+        client = ReproClient(max_retries=1, backoff_base=0.25)
+        transport = ScriptedTransport(client, [too_many(retry_after="3"), ok({})])
+        client._request("GET", "/v1/jobs")
+        assert transport.sleeps == [3.0]
+
+    def test_backoff_cap(self):
+        client = ReproClient(max_retries=5, backoff_base=1.0, backoff_cap=2.0)
+        transport = ScriptedTransport(client, [too_many()] * 5 + [ok({})])
+        client._request("GET", "/v1/jobs")
+        assert max(transport.sleeps) == 2.0
+
+    def test_exhaustion_preserves_the_last_response(self):
+        client = ReproClient(max_retries=2)
+        last = {"error": {"status": 429, "message": "full", "queue_depth": 7}}
+        ScriptedTransport(client, [too_many(), too_many(), too_many(body=last)])
+        with pytest.raises(RetriesExhausted) as excinfo:
+            client._request("POST", "/v1/jobs", {"qasm": "x"})
+        error = excinfo.value
+        assert error.status == 429
+        assert error.attempts == 3
+        assert json.loads(error.last_body) == last
+        assert isinstance(error, ServerError)  # existing handlers keep working
+
+
+class TestTransientConnectionErrors:
+    def test_connection_error_then_success(self):
+        client = ReproClient(max_retries=2)
+        transport = ScriptedTransport(client, [unreachable(), ok({"b": 2})])
+        assert client._request("GET", "/healthz") == {"b": 2}
+        assert transport.calls == 2
+
+    def test_exhaustion_keeps_the_cannot_reach_diagnostic(self):
+        client = ReproClient(max_retries=1)
+        ScriptedTransport(client, [unreachable(), unreachable()])
+        with pytest.raises(RetriesExhausted) as excinfo:
+            client._request("GET", "/healthz")
+        assert "cannot reach" in str(excinfo.value)
+        assert excinfo.value.status == 0
+        assert excinfo.value.last_body == b""
+
+    def test_mixed_429_and_connection_errors_share_one_budget(self):
+        client = ReproClient(max_retries=2)
+        transport = ScriptedTransport(client, [too_many(), unreachable(), too_many()])
+        with pytest.raises(RetriesExhausted) as excinfo:
+            client._request("GET", "/v1/jobs")
+        assert transport.calls == 3
+        assert excinfo.value.status == 429  # the last outcome wins
+
+
+class TestNoRetry:
+    def test_max_retries_zero_surfaces_the_plain_error(self):
+        client = ReproClient(max_retries=0)
+        transport = ScriptedTransport(client, [unreachable()])
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/healthz")
+        assert not isinstance(excinfo.value, RetriesExhausted)
+        assert "cannot reach" in str(excinfo.value)
+        assert transport.calls == 1
+        assert transport.sleeps == []
+
+    def test_max_retries_zero_on_429_raises_retries_exhausted_immediately(self):
+        client = ReproClient(max_retries=0)
+        transport = ScriptedTransport(client, [too_many()])
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/v1/jobs", {})
+        assert excinfo.value.status == 429
+        assert transport.calls == 1
+
+    def test_http_errors_other_than_429_never_retry(self):
+        client = ReproClient(max_retries=3)
+        body = json.dumps({"error": {"status": 404, "message": "unknown job"}}).encode()
+        transport = ScriptedTransport(client, [(404, body, {})])
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/v1/jobs/nope")
+        assert excinfo.value.status == 404
+        assert transport.calls == 1
+        assert transport.sleeps == []
+
+    def test_successful_requests_make_exactly_one_attempt(self):
+        client = ReproClient(max_retries=3)
+        transport = ScriptedTransport(client, [ok({"ok": True})])
+        assert client._request("GET", "/healthz") == {"ok": True}
+        assert transport.calls == 1

@@ -1,0 +1,155 @@
+"""PeerCacheTier unit tests with an injected fetcher (no sockets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.peercache import PeerCacheTier
+from repro.fleet.ring import HashRing
+from repro.obs.counters import COUNTERS
+from repro.service.cache import ResultCache
+
+PAYLOAD = {"qasm": "OPENQASM 2.0;", "cx_count": 3}
+
+
+class RecordingFetcher:
+    """Scripted peer: remembers who was asked, answers from a canned store."""
+
+    def __init__(self, store=None, error=None):
+        self.store = store or {}
+        self.error = error
+        self.calls = []
+
+    def __call__(self, base_url, fingerprint, timeout):
+        self.calls.append((base_url, fingerprint, timeout))
+        if self.error is not None:
+            raise self.error
+        return self.store.get((base_url, fingerprint))
+
+
+def make_tier(fetcher, *, self_node="self", replicas=2, nodes=None):
+    tier = PeerCacheTier(ResultCache(), replicas=replicas, fetcher=fetcher)
+    topology = nodes or {
+        "self": "http://127.0.0.1:1",
+        "peer-a": "http://127.0.0.1:2",
+        "peer-b": "http://127.0.0.1:3",
+    }
+    tier.update_topology(topology, self_node=self_node)
+    return tier
+
+
+def counter(name: str) -> int:
+    return COUNTERS.snapshot().get(name, 0)
+
+
+class TestLocalTier:
+    def test_local_hit_never_fetches(self):
+        fetcher = RecordingFetcher()
+        tier = make_tier(fetcher)
+        tier.put("fp1", PAYLOAD)
+        assert tier.get("fp1") == PAYLOAD
+        assert fetcher.calls == []
+
+    def test_get_local_never_fetches_even_on_miss(self):
+        """The /v1/cache endpoint uses get_local — peer recursion is impossible."""
+        fetcher = RecordingFetcher()
+        tier = make_tier(fetcher)
+        assert tier.get_local("fp-missing") is None
+        assert fetcher.calls == []
+
+    def test_delegation(self):
+        tier = make_tier(RecordingFetcher())
+        tier.put("fp1", PAYLOAD)
+        assert tier.contains("fp1")
+        assert tier.stats.hits >= 0
+        tier.clear()
+        assert not tier.contains("fp1")
+        assert tier.disk_entries() == 0
+
+
+class TestPeerFetch:
+    def test_peer_hit_is_promoted_locally(self):
+        ring = HashRing({"self": "", "peer-a": "", "peer-b": ""})
+        fingerprint = "fp-peer-hit"
+        owners = [n for n in ring.owners(fingerprint, count=3) if n != "self"]
+        urls = {"peer-a": "http://127.0.0.1:2", "peer-b": "http://127.0.0.1:3"}
+        fetcher = RecordingFetcher(store={(urls[owners[0]], fingerprint): PAYLOAD})
+        tier = make_tier(fetcher)
+        hits_before = counter("cache.peer.hits")
+
+        assert tier.get(fingerprint) == PAYLOAD
+        assert counter("cache.peer.hits") == hits_before + 1
+        # Promotion: the next lookup is local, no second fetch.
+        calls = len(fetcher.calls)
+        assert tier.get(fingerprint) == PAYLOAD
+        assert len(fetcher.calls) == calls
+
+    def test_miss_everywhere_counts_one_peer_miss(self):
+        fetcher = RecordingFetcher()
+        tier = make_tier(fetcher)
+        misses_before = counter("cache.peer.misses")
+        assert tier.get("fp-nowhere") is None
+        assert counter("cache.peer.misses") == misses_before + 1
+        assert 1 <= len(fetcher.calls) <= 2  # replicas=2 peers at most
+
+    def test_peer_error_degrades_to_recompute(self):
+        fetcher = RecordingFetcher(error=ConnectionError("peer down"))
+        tier = make_tier(fetcher)
+        errors_before = counter("cache.peer.errors")
+        assert tier.get("fp-x") is None  # caller recomputes; no exception escapes
+        assert counter("cache.peer.errors") > errors_before
+
+    def test_self_is_never_consulted(self):
+        fetcher = RecordingFetcher()
+        tier = make_tier(fetcher)
+        for i in range(50):
+            tier.get(f"fp-{i}")
+        own_url = "http://127.0.0.1:1"
+        assert all(base_url != own_url for base_url, _, _ in fetcher.calls)
+
+    def test_no_topology_means_no_fetches(self):
+        fetcher = RecordingFetcher()
+        tier = PeerCacheTier(ResultCache(), fetcher=fetcher)
+        misses_before = counter("cache.peer.misses")
+        assert tier.get("fp") is None
+        assert fetcher.calls == []
+        # No peers were even candidates — this is not a peer-tier miss.
+        assert counter("cache.peer.misses") == misses_before
+
+
+class TestTopology:
+    def test_peers_follow_ring_owners(self):
+        tier = make_tier(RecordingFetcher(), replicas=2)
+        reference = HashRing({"self": "", "peer-a": "", "peer-b": ""})
+        for i in range(30):
+            fingerprint = f"fp-{i}"
+            expected = [
+                {"peer-a": "http://127.0.0.1:2", "peer-b": "http://127.0.0.1:3"}[n]
+                for n in reference.owners(fingerprint, count=3)
+                if n != "self"
+            ][:2]
+            assert tier.peers_for(fingerprint) == expected
+
+    def test_update_topology_replaces_membership(self):
+        fetcher = RecordingFetcher()
+        tier = make_tier(fetcher)
+        tier.update_topology({"self": "http://127.0.0.1:1"}, self_node="self")
+        assert tier.peers_for("anything") == []
+
+    def test_replicas_can_shrink_via_gossip(self):
+        tier = make_tier(RecordingFetcher(), replicas=2)
+        tier.update_topology(
+            {
+                "self": "http://127.0.0.1:1",
+                "peer-a": "http://127.0.0.1:2",
+                "peer-b": "http://127.0.0.1:3",
+            },
+            self_node="self",
+            replicas=1,
+        )
+        assert all(len(tier.peers_for(f"fp-{i}")) <= 1 for i in range(20))
+
+    @pytest.mark.parametrize("replicas", [0, -3])
+    def test_replicas_floor_at_one(self, replicas):
+        tier = PeerCacheTier(ResultCache(), replicas=replicas, fetcher=RecordingFetcher())
+        assert tier.replicas == 1
