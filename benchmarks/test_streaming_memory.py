@@ -1,0 +1,333 @@
+"""Streaming-transpilation benchmarks: peak-memory scaling and wall-time parity.
+
+Two tracked properties of :func:`repro.transpile_stream`:
+
+* **Peak memory is O(window), not O(gates).**  Each measured size runs in its own
+  subprocess (``python benchmarks/test_streaming_memory.py --measure GATES QUBITS
+  WINDOW``) so the OS-level high-water mark (``ru_maxrss``) is an honest per-run
+  number, alongside the allocator-level ``tracemalloc`` peak.  The gate: a 10x
+  increase in gate count may grow peak memory by at most 3x — the sublinear-growth
+  criterion from the streaming acceptance list.  The full configuration
+  (``REPRO_BENCH_FULL=1``) measures the headline 100k- vs 1M-gate pair; the default
+  sizes keep the same 10x-gates/3x-memory shape but finish in seconds so the check
+  runs inside tier-1 and CI smoke.
+
+* **Whole-window streaming does not regress wall time.**  Every evaluation-grid
+  device x benchmark case is routed both ways at the streamable configuration
+  (level O0, ``layout_iterations=0``, seed 0) — in-memory ``transpile()`` +
+  ``qasm.dumps`` versus ``transpile_stream`` with a window covering the circuit —
+  and the aggregate streaming/in-memory ratio must stay <= 1.05.  ``routing="none"``
+  has no per-run router and cannot stream, so the grid covers the routed methods.
+
+Full runs record both trajectories into the ``streaming`` block of the repo-root
+``BENCH_transpile.json``; smoke/default runs write to
+``benchmarks/results/bench_streaming_smoke.json`` so a quick run never clobbers the
+committed numbers.
+"""
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+if __name__ == "__main__":  # --measure subprocess: no pytest, no conftest sys.path help
+    sys.path.insert(0, SRC_DIR)
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro import Target, TranspileOptions, stream_to, transpile, transpile_stream
+from repro.benchlib import table_benchmarks
+from repro.circuit import qasm
+from repro.core.stream import DEFAULT_WINDOW_GATES
+from repro.hardware import evaluation_devices
+
+from bench_config import QUICK_TABLE_NAMES, RESULTS_DIR, save_report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("0", "", "false")
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+#: Gate-count pair for the memory trajectory: the second size is 10x the first, and
+#: the sublinear gate requires peak memory to grow at most 3x between them.
+MEM_GATE_SIZES = (100_000, 1_000_000) if FULL else (2_000, 20_000)
+#: Window for the memory runs.  The reduced sizes shrink the window too, so both
+#: measured sizes are well past saturation (live gates pinned at the window spill
+#: allowance) and the comparison probes the steady state, not the fill phase.
+MEM_WINDOW = DEFAULT_WINDOW_GATES if FULL else 256
+MEM_QUBITS = 20
+MEM_SEED = 0
+
+#: Memory growth gate: 10x the gates may cost at most this factor in peak memory.
+SUBLINEAR_LIMIT = 3.0
+#: Wall-time gate: whole-window streaming within 5% of the in-memory path.
+WALL_RATIO_LIMIT = 1.05
+
+RATIO_NAMES = [QUICK_TABLE_NAMES[0]] if SMOKE else QUICK_TABLE_NAMES
+RATIO_METHODS = ("sabre", "nassc")
+RATIO_SEED = 0
+RATIO_REPEATS = max(2, int(os.environ.get("REPRO_BENCH_REPEATS", "2")))
+
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_transpile.json")
+SMOKE_REPORT_PATH = os.path.join(RESULTS_DIR, "bench_streaming_smoke.json")
+
+
+class _CountingSink:
+    """Discards routed chunks while keeping the line/byte totals for the report."""
+
+    def __init__(self):
+        self.lines = 0
+        self.bytes = 0
+
+    def write(self, chunk: str) -> None:
+        self.lines += chunk.count("\n")
+        self.bytes += len(chunk)
+
+
+def measure_streaming_memory(gates: int, qubits: int, window: int) -> dict:
+    """One memory data point: stream ``gates`` random gates, report the peaks.
+
+    Run inside a fresh subprocess per size so ``ru_maxrss`` (the process-lifetime
+    RSS high-water mark) reflects this run alone.
+    """
+    import resource
+    import tracemalloc
+
+    from repro.circuit.random import random_circuit_stream
+
+    target = Target.from_topology("grid", 25)
+    sink = _CountingSink()
+    source = random_circuit_stream(qubits, gates, seed=MEM_SEED)
+    tracemalloc.start()
+    start = time.perf_counter()
+    summary = stream_to(
+        transpile_stream(
+            source, target, num_qubits=qubits,
+            routing="sabre", seed=MEM_SEED, window_gates=window,
+        ),
+        sink,
+    )
+    wall = time.perf_counter() - start
+    _, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "gates": gates,
+        "qubits": qubits,
+        "window_gates": window,
+        "emitted_gates": summary["emitted_gates"],
+        "num_swaps": summary["num_swaps"],
+        "emitted_lines": sink.lines,
+        "emitted_bytes": sink.bytes,
+        "wall_seconds": wall,
+        "gates_per_second": gates / wall if wall > 0 else 0.0,
+        "peak_traced_bytes": traced_peak,
+        "peak_rss_kb": rss_kb,
+    }
+
+
+@pytest.fixture(scope="module")
+def memory_trajectory():
+    """Per-size subprocess measurements, smallest first."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    rows = []
+    for gates in MEM_GATE_SIZES:
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--measure",
+             str(gates), str(MEM_QUBITS), str(MEM_WINDOW)],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, (
+            f"--measure {gates} subprocess failed:\n{proc.stdout}\n{proc.stderr}"
+        )
+        rows.append(json.loads(proc.stdout))
+    return rows
+
+
+def _memory_summary(rows):
+    small, large = rows[0], rows[-1]
+    return {
+        "rows": rows,
+        "gate_ratio": large["gates"] / small["gates"],
+        "peak_traced_ratio": large["peak_traced_bytes"] / max(small["peak_traced_bytes"], 1),
+        "peak_rss_ratio": large["peak_rss_kb"] / max(small["peak_rss_kb"], 1),
+        "sublinear_limit": SUBLINEAR_LIMIT,
+    }
+
+
+@pytest.fixture(scope="module")
+def wall_ratio_summary():
+    """Streaming-vs-in-memory wall time over the evaluation grid at whole window.
+
+    Both paths produce routed OpenQASM text end to end; per-case times are the best
+    of ``RATIO_REPEATS`` alternated runs so allocator warm-up hits both sides.
+    """
+    cases = table_benchmarks(names=RATIO_NAMES)
+    comparisons = []
+    for device_name, coupling in evaluation_devices().items():
+        target = Target(coupling_map=coupling, name=device_name)
+        for case in cases:
+            circuit = case.build()
+            whole = max(10 * len(circuit.data), 1024)
+            for routing in RATIO_METHODS:
+                options = TranspileOptions(
+                    routing=routing, level="O0", layout_iterations=0, seed=RATIO_SEED,
+                )
+                in_memory, streaming = [], []
+                result = summary = None
+                for _ in range(RATIO_REPEATS):
+                    start = time.perf_counter()
+                    result = transpile(circuit, target, options)
+                    qasm.dumps(result.circuit)
+                    in_memory.append(time.perf_counter() - start)
+                    sink = _CountingSink()
+                    start = time.perf_counter()
+                    summary = stream_to(
+                        transpile_stream(circuit, target, options=options,
+                                         window_gates=whole),
+                        sink,
+                    )
+                    streaming.append(time.perf_counter() - start)
+                # Whole-window streaming makes the same routing decisions, so the
+                # headline counts must agree (nassc's post-routing cleanup only
+                # moves single-qubit gates; it changes neither).
+                assert summary["num_swaps"] == result.num_swaps
+                assert summary["cx_count"] == result.cx_count
+                comparisons.append({
+                    "device": device_name,
+                    "benchmark": case.name,
+                    "routing": routing,
+                    "wall_in_memory": min(in_memory),
+                    "wall_streaming": min(streaming),
+                    "wall_ratio": min(streaming) / max(min(in_memory), 1e-12),
+                    "num_swaps": result.num_swaps,
+                })
+    ratios = [c["wall_ratio"] for c in comparisons]
+    return {
+        "methods": list(RATIO_METHODS),
+        "seed": RATIO_SEED,
+        "repeats": RATIO_REPEATS,
+        "cases": len(comparisons),
+        # Like the best-of budget, the gate applies to the aggregate: sub-10ms cases
+        # turn per-case ratios into a noise amplifier, while the aggregate weights
+        # every case by the compute it actually consumed.
+        "aggregate_wall_ratio": (
+            sum(c["wall_streaming"] for c in comparisons)
+            / max(sum(c["wall_in_memory"] for c in comparisons), 1e-12)
+        ),
+        "mean_wall_ratio": statistics.mean(ratios),
+        "median_wall_ratio": statistics.median(ratios),
+        "max_wall_ratio": max(ratios),
+        "limit": WALL_RATIO_LIMIT,
+        "comparisons": comparisons,
+    }
+
+
+@pytest.fixture(scope="module")
+def streaming_report(memory_trajectory, wall_ratio_summary):
+    """Assemble the streaming block, persist it, and update the tracked trajectory."""
+    summary = {
+        "suite": "streaming",
+        "smoke": SMOKE,
+        "full": FULL,
+        "memory": _memory_summary(memory_trajectory),
+        "wall_ratio": wall_ratio_summary,
+    }
+    if FULL:
+        trajectory = {}
+        if os.path.exists(TRAJECTORY_PATH):
+            with open(TRAJECTORY_PATH, encoding="utf-8") as handle:
+                trajectory = json.load(handle)
+        trajectory["streaming"] = summary
+        with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+            json.dump(trajectory, handle, indent=2)
+            handle.write("\n")
+    else:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(SMOKE_REPORT_PATH, "w", encoding="utf-8") as handle:
+            json.dump({"streaming": summary}, handle, indent=2)
+
+    memory = summary["memory"]
+    lines = [f"Streaming transpile (window {MEM_WINDOW}, {MEM_QUBITS} qubits)"]
+    for row in memory["rows"]:
+        lines.append(
+            f"  {row['gates']:>9,} gates: traced peak "
+            f"{row['peak_traced_bytes'] / 1e6:8.1f} MB, RSS peak "
+            f"{row['peak_rss_kb'] / 1024:8.1f} MB, {row['wall_seconds']:7.1f}s "
+            f"({row['gates_per_second']:,.0f} gates/s)"
+        )
+    lines.append(
+        f"  {memory['gate_ratio']:.0f}x gates -> traced peak x"
+        f"{memory['peak_traced_ratio']:.2f}, RSS x{memory['peak_rss_ratio']:.2f} "
+        f"(limit x{memory['sublinear_limit']:.1f})"
+    )
+    ratio = summary["wall_ratio"]
+    lines.append(
+        f"whole-window streaming vs in-memory over {ratio['cases']} cases: aggregate "
+        f"{ratio['aggregate_wall_ratio']:.2f}x, median {ratio['median_wall_ratio']:.2f}x, "
+        f"max {ratio['max_wall_ratio']:.2f}x (limit {ratio['limit']:.2f}x)"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_report("streaming_memory.txt", text)
+    return summary
+
+
+def test_memory_rows_are_real_routed_runs(memory_trajectory):
+    """Each data point streamed the requested gate count through the router."""
+    for row in memory_trajectory:
+        assert row["emitted_gates"] >= row["gates"]
+        assert row["emitted_lines"] > row["gates"]
+        assert row["num_swaps"] > 0
+        assert row["peak_traced_bytes"] > 0
+        assert row["peak_rss_kb"] > 0
+
+
+def test_peak_memory_growth_is_sublinear(streaming_report):
+    """The streaming acceptance gate: 10x the gates costs at most 3x the peak memory.
+
+    Applied to both the allocator-level tracemalloc peak (tight: the live window
+    dominates it) and the OS-level RSS high-water mark of each measuring subprocess.
+    """
+    memory = streaming_report["memory"]
+    assert memory["gate_ratio"] >= 10.0
+    assert memory["peak_traced_ratio"] <= SUBLINEAR_LIMIT, (
+        f"traced peak grew x{memory['peak_traced_ratio']:.2f} for "
+        f"x{memory['gate_ratio']:.0f} gates (limit x{SUBLINEAR_LIMIT})"
+    )
+    assert memory["peak_rss_ratio"] <= SUBLINEAR_LIMIT, (
+        f"peak RSS grew x{memory['peak_rss_ratio']:.2f} for "
+        f"x{memory['gate_ratio']:.0f} gates (limit x{SUBLINEAR_LIMIT})"
+    )
+
+
+def test_whole_window_streaming_is_not_slower(streaming_report):
+    """Satellite gate: whole-window streaming within 5% of in-memory wall time."""
+    ratio = streaming_report["wall_ratio"]
+    assert ratio["cases"] == len(list(evaluation_devices())) * len(RATIO_NAMES) * len(RATIO_METHODS)
+    assert ratio["aggregate_wall_ratio"] <= WALL_RATIO_LIMIT, (
+        f"whole-window streaming costs x{ratio['aggregate_wall_ratio']:.3f} of the "
+        f"in-memory path (limit x{WALL_RATIO_LIMIT})"
+    )
+
+
+def test_streaming_report_written(streaming_report):
+    path = TRAJECTORY_PATH if FULL else SMOKE_REPORT_PATH
+    with open(path, encoding="utf-8") as handle:
+        recorded = json.load(handle)["streaming"]
+    assert recorded["memory"]["rows"]
+    assert recorded["wall_ratio"]["cases"] > 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 5 and sys.argv[1] == "--measure":
+        print(json.dumps(
+            measure_streaming_memory(int(sys.argv[2]), int(sys.argv[3]), int(sys.argv[4]))
+        ))
+    else:
+        print(f"usage: {sys.argv[0]} --measure GATES QUBITS WINDOW", file=sys.stderr)
+        sys.exit(2)

@@ -17,7 +17,16 @@ Public API highlights
   idle-window decoherence analysis, and nanosecond-cost routing support.
 """
 
-from .circuit import DAGCircuit, Gate, Instruction, QuantumCircuit, qasm, random_circuit
+from .circuit import (
+    DAGCircuit,
+    Gate,
+    Instruction,
+    QuantumCircuit,
+    StreamingDAG,
+    qasm,
+    random_circuit,
+    random_circuit_stream,
+)
 from .core import (
     NASSCConfig,
     OPTIMIZATION_LEVELS,
@@ -25,7 +34,9 @@ from .core import (
     TranspileResult,
     compare_routings,
     optimize_logical,
+    stream_to,
     transpile,
+    transpile_stream,
 )
 from .hardware import (
     CouplingMap,
@@ -59,9 +70,10 @@ from .transpiler import (
 __version__ = "1.2.0"
 
 __all__ = [
-    "DAGCircuit", "Gate", "Instruction", "QuantumCircuit", "qasm", "random_circuit",
+    "DAGCircuit", "Gate", "Instruction", "QuantumCircuit", "StreamingDAG", "qasm",
+    "random_circuit", "random_circuit_stream",
     "NASSCConfig", "OPTIMIZATION_LEVELS", "TranspileOptions", "TranspileResult",
-    "compare_routings", "optimize_logical", "transpile",
+    "compare_routings", "optimize_logical", "transpile", "transpile_stream", "stream_to",
     "CouplingMap", "Target", "fake_montreal_calibration", "grid_coupling_map",
     "linear_coupling_map", "montreal_coupling_map", "synthetic_calibration",
     "BatchTranspiler", "ReproClient", "ResultCache", "TranspileJob", "transpile_remote",

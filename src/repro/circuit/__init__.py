@@ -2,8 +2,8 @@
 
 from .gates import Gate, GateSpec, GATE_SPECS, HARDWARE_BASIS, SELF_INVERSE_GATES, gate, unitary_gate
 from .circuit import Instruction, QuantumCircuit, expand_gate_matrix
-from .dag import DAGCircuit, DAGNode, ExecutionFrontier
-from .random import random_circuit, random_cx_circuit, random_unitary
+from .dag import DAGCircuit, DAGNode, ExecutionFrontier, StreamingDAG
+from .random import random_circuit, random_circuit_stream, random_cx_circuit, random_unitary
 from . import qasm
 
 __all__ = [
@@ -20,7 +20,9 @@ __all__ = [
     "DAGCircuit",
     "DAGNode",
     "ExecutionFrontier",
+    "StreamingDAG",
     "random_circuit",
+    "random_circuit_stream",
     "random_cx_circuit",
     "random_unitary",
     "qasm",

@@ -486,3 +486,218 @@ class ExecutionFrontier:
                 result.append(node)
             queue.extend(self._successors_sorted(nid))
         return result
+
+
+class StreamingDAG:
+    """Windowed dependency frontier over an instruction *stream*.
+
+    Presents the :class:`ExecutionFrontier` protocol (``front`` / ``is_done`` /
+    ``resolve`` / ``lookahead`` / ``version``) that the routers walk, but never holds the
+    whole circuit: at most ``window_gates`` unresolved operations are admitted from the
+    source iterator at a time, and :meth:`resolve` deletes the retired node's
+    node/edge/wire bookkeeping before admitting replacements, so peak memory is
+    O(window + wires), not O(gates).
+
+    Dependency edges are the same wire edges :meth:`DAGCircuit.add_node` builds: each
+    admitted operation depends on the *live* tail of every wire it touches (tails whose
+    node has already been resolved impose no constraint).  Predecessors are deduplicated
+    exactly like ``DAGCircuit``'s predecessor *sets*, so a two-qubit gate sharing both
+    wires with one predecessor counts it once.  Successor lists are naturally sorted and
+    unique (ids increase monotonically and each edge is recorded once), matching the
+    ``sorted(...)`` traversal order of :class:`ExecutionFrontier` — when the window covers
+    the whole circuit the two walks are step-for-step identical, which is what makes
+    whole-window streaming bit-identical to in-memory routing.
+
+    :meth:`lookahead` admits extra gates on demand (up to ``lookahead_spill`` times the
+    window) when the BFS for the extended layer would otherwise run out of admitted
+    successors before collecting ``size`` gates — without this, a narrow window would
+    starve the router's lookahead and silently change routing decisions.  The spill cap
+    keeps memory bounded even for streams almost devoid of two-qubit gates.
+
+    :meth:`resolve` keeps retirement order-faithful the same way: a node is not retired
+    while it is still the live tail of one of its wires (its wire successor would later
+    be admitted with no predecessors and join the front out of order), pulling the
+    source as needed within the same spill allowance.
+
+    The walk can diverge from the full-DAG frontier only when a cap binds: a wire that
+    idles for more than ``max_live_gates`` operations (spill cap reached while its
+    successor is still unread), or an operation with no predecessors that first appears
+    beyond the initial window fill.  Layered circuits where every qubit stays active
+    within the window — the paper's benchmark class — never hit either case.
+    """
+
+    def __init__(
+        self,
+        instructions: Iterable[Instruction],
+        num_qubits: int,
+        num_clbits: int = 0,
+        *,
+        window_gates: int = 4096,
+        lookahead_spill: int = 4,
+        name: str = "stream",
+    ) -> None:
+        if window_gates < 1:
+            raise CircuitError(f"window_gates must be >= 1, got {window_gates}")
+        if lookahead_spill < 1:
+            raise CircuitError(f"lookahead_spill must be >= 1, got {lookahead_spill}")
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.name = name
+        self.window_gates = window_gates
+        self.max_live_gates = window_gates * lookahead_spill
+        self._source = iter(instructions)
+        self._source_done = False
+        self.nodes: Dict[int, DAGNode] = {}
+        self._successors: Dict[int, List[int]] = {}
+        self._remaining_pred: Dict[int, int] = {}
+        self._wire_tail: Dict[Tuple[str, int], int] = {}
+        self._front: List[DAGNode] = []
+        self._next_id = 0
+        self._version = 0
+        self.admitted = 0
+        self.retired = 0
+        self._fill()
+
+    # -- admission ---------------------------------------------------------
+
+    def _fill(self) -> None:
+        """Top the live window back up to ``window_gates`` from the source."""
+        self._fill_to(self.window_gates)
+
+    def _fill_to(self, target_live: int) -> None:
+        while not self._source_done and len(self.nodes) < target_live:
+            inst = next(self._source, None)
+            if inst is None:
+                self._source_done = True
+                return
+            self._admit(inst)
+
+    def _admit(self, inst: Instruction) -> DAGNode:
+        qubits = inst.qubits
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(f"qubit {q} out of range")
+        node = DAGNode(self._next_id, inst.gate, qubits, inst.clbits)
+        self._next_id += 1
+        pred_ids: Set[int] = set()
+        for wire in DAGCircuit._node_wires(node):
+            tail = self._wire_tail.get(wire)
+            # A stale tail (already resolved and deleted) imposes no constraint; live
+            # node ids are unique so a dead id can never alias a live node.
+            if tail is not None and tail in self.nodes:
+                pred_ids.add(tail)
+            self._wire_tail[wire] = node.node_id
+        self.nodes[node.node_id] = node
+        self._successors[node.node_id] = []
+        self._remaining_pred[node.node_id] = len(pred_ids)
+        for pid in pred_ids:
+            self._successors[pid].append(node.node_id)
+        if not pred_ids:
+            self._front.append(node)
+        self.admitted += 1
+        return node
+
+    # -- ExecutionFrontier protocol ---------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def front(self) -> List[DAGNode]:
+        return list(self._front)
+
+    def is_done(self) -> bool:
+        if self._front:
+            return False
+        # Live non-front nodes can't exist with an empty front (every live node's
+        # remaining predecessors are live), so an empty front means an empty window.
+        self._fill()
+        return not self._front
+
+    def num_remaining(self) -> int:
+        """Live (admitted, unresolved) operations; the unread tail is not counted."""
+        return len(self.nodes)
+
+    def resolve(self, node: DAGNode) -> List[DAGNode]:
+        """Retire an executed front node, reclaim its state, and refill the window.
+
+        Before the node is retired, the source is pulled (up to ``max_live_gates``)
+        until the node is no longer the live tail of any of its wires.  This keeps
+        retirement order-faithful to the full DAG: the node's wire successors get
+        admitted — and therefore unlocked *by this resolve*, in sorted-successor
+        order — rather than joining the front later at admission time, which would
+        reorder the front layer and change scoring ties downstream.
+        """
+        if node not in self._front:
+            raise CircuitError(f"node {node.node_id} is not currently executable")
+        wires = list(DAGCircuit._node_wires(node))
+        while (
+            not self._source_done
+            and len(self.nodes) < self.max_live_gates
+            and any(self._wire_tail.get(wire) == node.node_id for wire in wires)
+        ):
+            self._fill_to(min(self.max_live_gates, len(self.nodes) + self.window_gates))
+        self._front.remove(node)
+        self._version += 1
+        nid = node.node_id
+        succs = self._successors.pop(nid)
+        del self.nodes[nid]
+        del self._remaining_pred[nid]
+        self.retired += 1
+        newly: List[DAGNode] = []
+        for sid in succs:
+            self._remaining_pred[sid] -= 1
+            if self._remaining_pred[sid] == 0:
+                succ = self.nodes[sid]
+                self._front.append(succ)
+                newly.append(succ)
+        self._fill()
+        return newly
+
+    def lookahead(self, size: int, *, two_qubit_only: bool = True) -> List[DAGNode]:
+        """Extended layer over the live window (same BFS as :class:`ExecutionFrontier`).
+
+        A full-DAG BFS can reach gates *beyond* the admitted window in fewer hops than
+        many admitted gates, so matching it takes more than having ``size`` results: the
+        BFS is only complete if it never traversed a node whose successor list may still
+        grow — a live *wire tail*, whose next wire neighbour has not been admitted yet.
+        Whenever the BFS touches such a node (and the source has more gates), more gates
+        are admitted (up to ``max_live_gates``) and the BFS restarts.  Within the spill
+        allowance the result is therefore identical to the whole-circuit extended layer.
+        """
+        while True:
+            if self._source_done:
+                tails: Set[int] = set()
+            else:
+                tails = {tid for tid in self._wire_tail.values() if tid in self.nodes}
+            incomplete = False
+            result: List[DAGNode] = []
+            visited: Set[int] = {n.node_id for n in self._front}
+            queue: List[int] = []
+            for node in self._front:
+                if node.node_id in tails:
+                    incomplete = True
+                queue.extend(self._successors[node.node_id])
+            idx = 0
+            while idx < len(queue) and len(result) < size:
+                nid = queue[idx]
+                idx += 1
+                if nid in visited or nid not in self.nodes:
+                    continue
+                visited.add(nid)
+                if nid in tails:
+                    incomplete = True
+                node = self.nodes[nid]
+                if not two_qubit_only or node.is_two_qubit():
+                    result.append(node)
+                queue.extend(self._successors[nid])
+            if not incomplete or len(self.nodes) >= self.max_live_gates:
+                return result
+            self._fill_to(min(self.max_live_gates, len(self.nodes) + self.window_gates))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"StreamingDAG(window={self.window_gates}, live={len(self.nodes)}, "
+            f"retired={self.retired})"
+        )

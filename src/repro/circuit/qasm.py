@@ -10,14 +10,15 @@ from __future__ import annotations
 
 import ast
 import math
+import os
 import re
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..exceptions import QASMError
-from .circuit import QuantumCircuit
-from .gates import GATE_SPECS, Gate
+from .circuit import Instruction, QuantumCircuit
+from .gates import GATE_SPECS, Gate, gate as make_gate
 
 _KNOWN_ALIASES = {
     "cnot": "cx",
@@ -334,30 +335,207 @@ def load(path: str) -> QuantumCircuit:
 
 
 # ---------------------------------------------------------------------------
+# Streaming ingest
+# ---------------------------------------------------------------------------
+
+def _iter_statement_tokens(lines: Iterable[str]) -> Iterator[str]:
+    """Incremental version of :meth:`_QASMParser._tokenize`.
+
+    Consumes raw source lines one at a time and yields the same statement tokens the
+    batch tokenizer produces (``;``-terminated statements with the terminator stripped,
+    plus bare ``{`` / ``}`` tokens), holding only the current incomplete statement in
+    memory.
+    """
+    buffer = ""
+    for line in lines:
+        if "//" in line:
+            line = line.split("//", 1)[0]
+        buffer += line if line.endswith("\n") else line + "\n"
+        while True:
+            match = re.search(r"[;{}]", buffer)
+            if match is None:
+                break
+            char = buffer[match.start()]
+            pre = buffer[: match.start()].strip()
+            buffer = buffer[match.end():]
+            if char == ";":
+                if pre:
+                    yield pre
+            elif char == "{":
+                if pre:
+                    yield pre
+                yield "{"
+            else:
+                yield "}"
+
+
+class QASMStreamReader:
+    """Incremental OpenQASM 2.0 reader: instructions without the full AST in memory.
+
+    Wraps any iterable of source lines (an open file, a socket wrapped in
+    ``io.TextIOWrapper``, ``text.splitlines(keepends=True)``, ...) and exposes the
+    parsed operations as a lazy instruction stream.  Register declarations and ``gate``
+    definitions must precede their first use, which every QASM 2.0 emitter satisfies
+    (the spec's "declare before use" rule), so the header can be parsed from the stream
+    prefix while the gate body is still unread.
+
+    Parsing reuses the exact statement machinery of :class:`_QASMParser`, so a streamed
+    parse accepts the same dialect and produces the same operations as :func:`loads` —
+    ``tests/circuit/test_qasm.py`` pins the equivalence.
+    """
+
+    def __init__(self, lines: Iterable[str], name: str = "qasm_stream") -> None:
+        self.name = name
+        self._parser = _QASMParser("")
+        self._tokens = _iter_statement_tokens(lines)
+        self._pending: List[Tuple[str, List[float], List[int], List[int]]] = []
+        self._header_done = False
+        self._exhausted = False
+
+    # -- header --------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        self._ensure_header()
+        return self._parser.num_qubits
+
+    @property
+    def num_clbits(self) -> int:
+        self._ensure_header()
+        return self._parser.num_clbits
+
+    def _ensure_header(self) -> None:
+        """Parse declarations up to (and including buffering) the first operation."""
+        if self._header_done:
+            return
+        while not self._pending and not self._exhausted:
+            self._advance()
+        self._header_done = True
+
+    # -- statement pump ------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Consume source statements until one operation batch is pending (or EOF)."""
+        parser = self._parser
+        for stmt in self._tokens:
+            stmt = stmt.strip()
+            if not stmt or stmt.startswith("OPENQASM") or stmt.startswith("include"):
+                continue
+            if stmt.startswith("qreg") or stmt.startswith("creg"):
+                parser._declare_register(stmt)
+                continue
+            if stmt.startswith("gate ") or stmt == "gate":
+                self._collect_gate_def(stmt)
+                continue
+            if stmt in ("{", "}"):
+                continue
+            self._pending = parser._parse_operation(stmt)
+            if self._pending:
+                return
+        self._exhausted = True
+
+    def _collect_gate_def(self, header: str) -> None:
+        """Buffer one ``gate`` block's tokens and hand them to the batch parser."""
+        collected = [header]
+        depth = 0
+        opened = False
+        for token in self._tokens:
+            collected.append(token)
+            if token == "{":
+                depth += 1
+                opened = True
+            elif token == "}":
+                depth -= 1
+            if opened and depth == 0:
+                break
+        else:
+            raise QASMError(f"unterminated gate definition: {header!r}")
+        self._parser._parse_gate_def(collected, 0)
+
+    # -- instruction stream ---------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Lazily yield every operation in source order as an :class:`Instruction`."""
+        self._ensure_header()
+        while True:
+            while self._pending:
+                name, params, qubits, clbits = self._pending.pop(0)
+                if name == "barrier":
+                    yield Instruction(make_gate("barrier"), tuple(qubits))
+                elif name == "measure":
+                    yield Instruction(make_gate("measure"), tuple(qubits), tuple(clbits))
+                else:
+                    yield Instruction(Gate(name, tuple(params)), tuple(qubits), tuple(clbits))
+            if self._exhausted:
+                return
+            self._advance()
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return self.instructions()
+
+    def batches(self, batch_size: int) -> Iterator[List[Instruction]]:
+        """Yield instructions grouped into lists of at most ``batch_size``."""
+        if batch_size < 1:
+            raise QASMError(f"batch_size must be >= 1, got {batch_size}")
+        batch: List[Instruction] = []
+        for inst in self.instructions():
+            batch.append(inst)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+
+def loads_stream(text: str, name: str = "qasm_stream") -> QASMStreamReader:
+    """Streaming reader over in-memory QASM text (one parse state, lazy operations)."""
+    return QASMStreamReader(text.splitlines(keepends=True), name=name)
+
+
+def load_stream(path: Union[str, "os.PathLike"]) -> QASMStreamReader:
+    """Streaming reader over a QASM file; the file is read line by line, never whole.
+
+    The underlying handle is closed when the instruction stream is exhausted or the
+    reader is garbage-collected.
+    """
+    handle = open(os.fspath(path), "r", encoding="utf-8")
+    base = os.path.basename(os.fspath(path))
+    name = base[:-5] if base.endswith(".qasm") else base
+    return QASMStreamReader(handle, name=name or "qasm_stream")
+
+
+# ---------------------------------------------------------------------------
 # Emission
 # ---------------------------------------------------------------------------
 
+def header_lines(num_qubits: int, num_clbits: int = 0) -> List[str]:
+    """The OpenQASM 2.0 preamble emitted by :func:`dumps` for the given registers."""
+    lines = ["OPENQASM 2.0;", 'include "qelib1.inc";', f"qreg q[{num_qubits}];"]
+    if num_clbits:
+        lines.append(f"creg c[{num_clbits}];")
+    return lines
+
+
+def instruction_line(inst: Instruction) -> str:
+    """One instruction rendered exactly as :func:`dumps` renders it (no newline)."""
+    if inst.name == "barrier":
+        operands = ",".join(f"q[{q}]" for q in inst.qubits)
+        return f"barrier {operands};"
+    if inst.name == "measure":
+        return f"measure q[{inst.qubits[0]}] -> c[{inst.clbits[0]}];"
+    if inst.name == "unitary":
+        raise QASMError("explicit-matrix gates cannot be serialised to OpenQASM 2.0")
+    params = ""
+    if inst.gate.params:
+        params = "(" + ",".join(repr(p) for p in inst.gate.params) + ")"
+    operands = ",".join(f"q[{q}]" for q in inst.qubits)
+    return f"{inst.name}{params} {operands};"
+
+
 def dumps(circuit: QuantumCircuit) -> str:
     """Serialise a circuit to OpenQASM 2.0 (gates must be in the standard named set)."""
-    lines = ["OPENQASM 2.0;", 'include "qelib1.inc";']
-    lines.append(f"qreg q[{circuit.num_qubits}];")
-    if circuit.num_clbits:
-        lines.append(f"creg c[{circuit.num_clbits}];")
-    for inst in circuit.data:
-        if inst.name == "barrier":
-            operands = ",".join(f"q[{q}]" for q in inst.qubits)
-            lines.append(f"barrier {operands};")
-            continue
-        if inst.name == "measure":
-            lines.append(f"measure q[{inst.qubits[0]}] -> c[{inst.clbits[0]}];")
-            continue
-        if inst.name == "unitary":
-            raise QASMError("explicit-matrix gates cannot be serialised to OpenQASM 2.0")
-        params = ""
-        if inst.gate.params:
-            params = "(" + ",".join(repr(p) for p in inst.gate.params) + ")"
-        operands = ",".join(f"q[{q}]" for q in inst.qubits)
-        lines.append(f"{inst.name}{params} {operands};")
+    lines = header_lines(circuit.num_qubits, circuit.num_clbits)
+    lines.extend(instruction_line(inst) for inst in circuit.data)
     return "\n".join(lines) + "\n"
 
 

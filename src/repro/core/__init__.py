@@ -12,6 +12,7 @@ from .pipeline import (
     transpile,
 )
 from .single_qubit_motion import CommuteSingleQubitsThroughSwap
+from .stream import transpile_stream, stream_to
 
 __all__ = [
     "OptimizationEstimator",
@@ -29,5 +30,7 @@ __all__ = [
     "compare_routings",
     "optimize_logical",
     "transpile",
+    "transpile_stream",
+    "stream_to",
     "CommuteSingleQubitsThroughSwap",
 ]

@@ -80,12 +80,11 @@ class NASSCSwapRouter(SabreSwapRouter):
 
     # ------------------------------------------------------------------
 
-    def route_steps(
-        self, circuit, initial_layout: Optional[Layout] = None, *, build_output: bool = True
-    ):
+    def _reset_routing_memos(self) -> None:
+        # Called by the base class at the top of every routing run (in-memory and
+        # streaming alike), so stale estimates never leak across runs.
         self._estimates = {}
         self._estimate_memo = {}
-        return super().route_steps(circuit, initial_layout, build_output=build_output)
 
     def _execute_ready_gates(self, frontier, layout, out):
         # Keep a handle on the routed output so the estimators can inspect the resolved layer.

@@ -7,7 +7,11 @@ A deliberately dependency-free HTTP/1.1 implementation (shared plumbing in
 ``POST /v1/jobs``              submit one job (``{"job": {...}}`` flat dict, or
                                ``{"qasm": ..., "target": ..., "options": ...}``); returns
                                202 with the job id — or 200 immediately when the result
-                               cache already holds the fingerprint
+                               cache already holds the fingerprint.  ``"stream": true``
+                               (with optional ``window_gates``/``chunk_gates``) runs the
+                               job through the streaming O0 pipeline: routed QASM is
+                               emitted incrementally as ``routed_chunk`` events on
+                               ``/v1/jobs/{id}/events`` and the result cache is bypassed
 ``POST /v1/batch``             submit many jobs atomically (all admitted or all 429)
 ``GET /v1/jobs``               summary list of known jobs
 ``GET /v1/jobs/{id}``          status/result; ``?wait=SECONDS`` long-polls for a terminal
@@ -148,9 +152,23 @@ class ReproServer(AsyncHTTPServer):
         client: str,
         priority: int,
         trace_ctx: Optional[Dict] = None,
+        streaming: Optional[Dict] = None,
     ) -> Tuple[JobRecord, str]:
         """Admit one job; returns (record, disposition in {new, deduplicated, cached})."""
         fingerprint = job.fingerprint()
+        if streaming is not None:
+            # Streaming jobs bypass the result cache in both directions — their output
+            # is emitted incrementally as events, never stored whole.  The suffixed
+            # fingerprint keeps identical streaming submissions coalescing onto each
+            # other while never colliding with a cached whole result.
+            fingerprint = (
+                f"{fingerprint}:stream"
+                f":w{streaming['window_gates']}:c{streaming['chunk_gates']}"
+            )
+            return self._admit_atomic(
+                job, fingerprint, None,
+                client=client, priority=priority, trace_ctx=trace_ctx, streaming=streaming,
+            )
         payload = None
         if self.queue.find_fingerprint(fingerprint) is None:
             loop = asyncio.get_running_loop()
@@ -168,6 +186,7 @@ class ReproServer(AsyncHTTPServer):
         client: str,
         priority: int,
         trace_ctx: Optional[Dict] = None,
+        streaming: Optional[Dict] = None,
     ) -> Tuple[JobRecord, str]:
         """The synchronous admission step — no awaits, so queue state cannot move
         underneath it (callers may pre-check headroom for a whole batch)."""
@@ -195,6 +214,7 @@ class ReproServer(AsyncHTTPServer):
                 priority=priority,
                 fingerprint=fingerprint,
                 trace_ctx=trace_ctx,
+                streaming=streaming,
             )
         except QueueFull as exc:
             self.metrics.jobs_rejected.inc()
@@ -228,8 +248,16 @@ class ReproServer(AsyncHTTPServer):
         client = str(data.get("client") or request.client_id)
         priority = _int_field(data, "priority", default=0)
         trace_ctx = parse_traceparent(request.headers.get("traceparent"))
+        streaming = None
+        if data.get("stream"):
+            from ..core.stream import DEFAULT_CHUNK_GATES, DEFAULT_WINDOW_GATES
+
+            streaming = {
+                "window_gates": _int_field(data, "window_gates", default=DEFAULT_WINDOW_GATES),
+                "chunk_gates": _int_field(data, "chunk_gates", default=DEFAULT_CHUNK_GATES),
+            }
         record, disposition = await self._admit(
-            job, client=client, priority=priority, trace_ctx=trace_ctx
+            job, client=client, priority=priority, trace_ctx=trace_ctx, streaming=streaming
         )
         status = 200 if record.state not in (QUEUED, RUNNING) else 202
         await self._write_json(writer, status, self._submit_summary(record, disposition))
@@ -348,12 +376,31 @@ class ReproServer(AsyncHTTPServer):
             writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
             await writer.drain()
 
-        index = 0
+        # Absolute event indexing: the record keeps a capped tail, so a consumer that
+        # falls behind a streaming job's chunk events resumes at the oldest retained
+        # event after an explicit ``events_dropped`` notice (never silently skips).
+        index = record.events_base
         terminal_sent = False
         while not terminal_sent:
             changed = record.change_event()  # capture BEFORE scanning the event list
-            while index < len(record.events):
-                event = record.events[index]
+            if index < record.events_base:
+                dropped = record.events_base - index
+                index = record.events_base
+                await send_chunk(
+                    (
+                        json.dumps(
+                            {
+                                "id": record.id,
+                                "state": "events_dropped",
+                                "at": time.time(),
+                                "detail": {"dropped": dropped},
+                            }
+                        )
+                        + "\n"
+                    ).encode("utf-8")
+                )
+            while index - record.events_base < len(record.events):
+                event = record.events[index - record.events_base]
                 index += 1
                 await send_chunk(
                     (json.dumps({"id": record.id, **event}) + "\n").encode("utf-8")

@@ -45,6 +45,9 @@ CANCELLED = "cancelled"
 
 TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
 
+#: Event state of one incrementally-routed QASM chunk of a streaming job.
+STREAMING_CHUNK = "routed_chunk"
+
 #: Anonymous submissions all share one fairness bucket.
 DEFAULT_CLIENT = "anonymous"
 
@@ -59,7 +62,20 @@ class QueueFull(Exception):
 
 
 class JobRecord:
-    """One submitted job: spec, lifecycle state, event history, and its result."""
+    """One submitted job: spec, lifecycle state, event history, and its result.
+
+    The event history is a *capped tail*: at most :attr:`MAX_EVENTS` events are
+    retained, older ones are dropped from the front and counted in
+    :attr:`dropped_events` (``events_base`` is the absolute index of the first
+    retained event, so streaming consumers index by absolute position and can
+    detect the gap).  Lifecycle histories never get near the cap; it exists for
+    streaming jobs, whose ``routed_chunk`` events would otherwise buffer an
+    entire routed circuit in the record.
+    """
+
+    #: Retained event-tail length (the terminal event is always the newest, so
+    #: trimming from the front can never drop it).
+    MAX_EVENTS = 512
 
     def __init__(
         self,
@@ -69,6 +85,7 @@ class JobRecord:
         priority: int = 0,
         fingerprint: Optional[str] = None,
         trace_ctx: Optional[Dict] = None,
+        streaming: Optional[Dict] = None,
     ) -> None:
         self.id = f"job-{uuid.uuid4().hex[:16]}"
         self.job = job
@@ -93,7 +110,14 @@ class JobRecord:
         self.finished_at: Optional[float] = None
         self.result_payload: Optional[Dict] = None  # TranspileResult.to_dict() form
         self.error: Optional[JobError] = None
+        #: ``None`` for ordinary jobs; a ``{"window_gates", "chunk_gates"}`` dict for
+        #: streaming submissions (run incrementally, bypassing the result cache).
+        self.streaming = streaming
         self.events: List[Dict] = []
+        #: Absolute index of ``events[0]`` (grows as the capped tail drops events).
+        self.events_base = 0
+        #: How many events have been dropped from the front of the history.
+        self.dropped_events = 0
         self._changed = asyncio.Event()
         self._record_event(QUEUED, {"priority": self.priority, "client": self.client})
 
@@ -101,8 +125,19 @@ class JobRecord:
 
     def _record_event(self, state: str, detail: Optional[Dict] = None) -> None:
         self.events.append({"state": state, "at": time.time(), "detail": detail or {}})
+        excess = len(self.events) - self.MAX_EVENTS
+        if excess > 0:
+            del self.events[:excess]
+            self.events_base += excess
+            self.dropped_events += excess
         self._changed.set()
         self._changed = asyncio.Event()
+
+    def record_chunk(self, seq: int, text: str) -> None:
+        """Record one routed QASM chunk of a streaming job as a ``routed_chunk`` event."""
+        self._record_event(
+            STREAMING_CHUNK, {"seq": seq, "qasm": text, "lines": text.count("\n")}
+        )
 
     def mark_running(self) -> None:
         self.state = RUNNING
@@ -225,7 +260,10 @@ class JobRecord:
             "queued_seconds": self.queued_seconds,
             "running_seconds": self.running_seconds,
             "trace_id": self.trace_id,
+            "dropped_events": self.dropped_events,
         }
+        if self.streaming is not None:
+            payload["streaming"] = dict(self.streaming)
         if self.error is not None:
             payload["error"] = self.error.to_dict()
         if include_result and self.result_payload is not None:
@@ -260,12 +298,25 @@ class JobRecord:
         return True
 
     async def stream_events(self) -> AsyncIterator[Dict]:
-        """Yield every recorded event, then live transitions until a terminal one."""
-        index = 0
+        """Yield every retained event, then live transitions until a terminal one.
+
+        Indexing is by *absolute* event position: if the capped tail dropped events
+        faster than this consumer read them, a synthetic ``events_dropped`` event is
+        yielded for the gap before resuming at the oldest retained event.
+        """
+        index = self.events_base
         while True:
             changed = self._changed
-            while index < len(self.events):
-                event = self.events[index]
+            if index < self.events_base:
+                dropped = self.events_base - index
+                index = self.events_base
+                yield {
+                    "state": "events_dropped",
+                    "at": time.time(),
+                    "detail": {"dropped": dropped},
+                }
+            while index - self.events_base < len(self.events):
+                event = self.events[index - self.events_base]
                 index += 1
                 yield event
                 if event["state"] in TERMINAL_STATES:
@@ -316,6 +367,7 @@ class JobQueue:
         priority: int = 0,
         fingerprint: Optional[str] = None,
         trace_ctx: Optional[Dict] = None,
+        streaming: Optional[Dict] = None,
     ) -> "tuple[JobRecord, bool]":
         """Admit a job; returns ``(record, resubmitted)``.
 
@@ -334,7 +386,8 @@ class JobQueue:
             self.rejected += 1
             raise QueueFull(self.admitted_depth(), self.max_pending)
         record = JobRecord(
-            job, client=client, priority=priority, fingerprint=fingerprint, trace_ctx=trace_ctx
+            job, client=client, priority=priority, fingerprint=fingerprint,
+            trace_ctx=trace_ctx, streaming=streaming,
         )
         self._records[record.id] = record
         self._by_fingerprint[fingerprint] = record

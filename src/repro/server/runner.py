@@ -152,6 +152,9 @@ class JobRunner:
 
     async def _run_record(self, record: JobRecord) -> None:
         loop = asyncio.get_running_loop()
+        if record.streaming is not None:
+            await self._run_streaming(record)
+            return
         # Re-check the shared cache off-loop: a twin job may have finished (or the batch
         # CLI may have written this fingerprint) since this record was admitted.
         payload = await loop.run_in_executor(None, self.cache.get, record.fingerprint)
@@ -180,6 +183,72 @@ class JobRunner:
                 None, self.cache.put, record.fingerprint, raw["result"]
             )
         self._settle(record, raw)
+
+    async def _run_streaming(self, record: JobRecord) -> None:
+        """Run a streaming job incrementally, posting ``routed_chunk`` events.
+
+        Streaming jobs run on a server *thread* (never the process pool: the chunk
+        callback must reach this record's event history), pull the job's QASM through
+        the chunked reader, and route over a bounded window — the routed circuit is
+        never materialised server-side.  Chunks land in the record's capped event tail
+        as they are produced, so ``/v1/jobs/{id}/events`` consumers see routed prefixes
+        while the tail of the circuit is still compiling.  The result cache is bypassed
+        in both directions: there is no whole-result payload to cache.
+        """
+        import dataclasses
+
+        from ..circuit import qasm as qasm_module
+        from ..core.stream import stream_to, transpile_stream
+
+        loop = asyncio.get_running_loop()
+        spec = record.streaming
+
+        def work() -> Dict:
+            options = dataclasses.replace(
+                record.job.options(), level="O0", layout_iterations=0
+            )
+            chunks = transpile_stream(
+                qasm_module.loads_stream(record.job.qasm),
+                record.job.target(),
+                options=options,
+                window_gates=int(spec["window_gates"]),
+                chunk_gates=int(spec["chunk_gates"]),
+            )
+
+            class _Sink:
+                seq = 0
+
+                def write(self, text: str) -> None:
+                    loop.call_soon_threadsafe(record.record_chunk, self.seq, text)
+                    self.seq += 1
+
+            return stream_to(chunks, _Sink())
+
+        try:
+            summary = await loop.run_in_executor(None, work)
+        except Exception as exc:  # noqa: BLE001 - settle the record, never the loop
+            record.fail(
+                JobError(
+                    fingerprint=record.fingerprint,
+                    job_name=record.job.name,
+                    exc_type=type(exc).__name__,
+                    message=str(exc),
+                )
+            )
+            return
+        record.finish(
+            {
+                "streamed": True,
+                "summary": summary,
+                "metrics": {
+                    "cx_count": summary["cx_count"],
+                    "depth": summary["depth"],
+                    "num_swaps": summary["num_swaps"],
+                    "gate_count": summary["emitted_gates"],
+                },
+            },
+            from_cache=False,
+        )
 
     # -- ensemble fan-out ------------------------------------------------------
 

@@ -107,6 +107,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--noise-aware", action="store_true",
                    help="use the HA distance matrix built from a synthetic calibration")
     add_schedule_opts(p)
+    p.add_argument("--stream", action="store_true",
+                   help="stream the compile: chunked QASM ingest, windowed routing, "
+                        "incremental routed-QASM emission in O(window) memory "
+                        "(implies the -O O0 routing-only pipeline; bypasses the cache)")
+    p.add_argument("--window-gates", type=int, default=None, metavar="N",
+                   help="live routing window for --stream (default: 4096)")
+    p.add_argument("--chunk-gates", type=int, default=None, metavar="N",
+                   help="gates per emitted chunk for --stream (default: 1024)")
     p.add_argument("--out", "-o", default="-", help="routed QASM output path (default: stdout)")
     p.add_argument("--metrics", help="write a metrics JSON to this path ('-' for stdout)")
     p.add_argument("--trace", metavar="PATH",
@@ -401,11 +409,52 @@ def _export_cli_trace(path: str, spans: List[dict]) -> None:
     print(f"trace: {len(spans)} spans -> {path}", file=sys.stderr)
 
 
+def _cmd_transpile_stream(args: argparse.Namespace) -> int:
+    import dataclasses
+    from contextlib import ExitStack
+
+    from ..core.stream import DEFAULT_CHUNK_GATES, DEFAULT_WINDOW_GATES, stream_to, transpile_stream
+
+    if args.level not in ("O0", "O1"):
+        print("error: --stream supports only the O0 routing pipeline (got "
+              f"-O {args.level}); drop the level flag or pass -O O0", file=sys.stderr)
+        return 2
+    target, options = _target_and_options(args)
+    options = dataclasses.replace(options, level="O0", layout_iterations=0)
+    if args.input == "-":
+        reader = qasm.QASMStreamReader(sys.stdin, name="stdin")
+    else:
+        reader = qasm.load_stream(args.input)
+    chunks = transpile_stream(
+        reader,
+        target,
+        options=options,
+        window_gates=args.window_gates or DEFAULT_WINDOW_GATES,
+        chunk_gates=args.chunk_gates or DEFAULT_CHUNK_GATES,
+    )
+    with ExitStack() as stack:
+        if args.out == "-":
+            sink = sys.stdout
+        else:
+            sink = stack.enter_context(open(args.out, "w", encoding="utf-8"))
+        summary = stream_to(chunks, sink)
+        sink.flush()
+    if args.metrics:
+        text = json.dumps(summary, indent=2)
+        if args.metrics == "-":
+            print(text)
+        else:
+            _write_text(args.metrics, text)
+    return 0
+
+
 def _cmd_transpile(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
     from ..obs import Tracer, use_tracer
 
+    if args.stream:
+        return _cmd_transpile_stream(args)
     circuit = _load_input_circuit(args)
     target, options = _target_and_options(args)
     job = TranspileJob.from_circuit(circuit, target, options)

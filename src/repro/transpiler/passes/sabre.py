@@ -105,6 +105,71 @@ class DiscardOutput:
         return len(self.data)
 
 
+class _PositionalView:
+    """Dict-backed stand-in for the positional ``out.data`` list.
+
+    The NASSC estimators index ``out.data[position]`` only at positions recorded in the
+    router's bounded wire histories, so a sparse mapping over the retained tail behaves
+    exactly like the full list at a fraction of the memory.
+    """
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: Dict[int, _LiteOp]) -> None:
+        self.store = store
+
+    def __getitem__(self, position: int) -> _LiteOp:
+        return self.store[position]
+
+
+class StreamingOutput:
+    """Routed-output sink for streaming runs: emit each op, retain only the scan tail.
+
+    Every appended operation is handed to ``emit(position, op)`` immediately and stored
+    in a position-keyed dict.  Periodically (every ``_SCAN_INTERVAL`` appends) positions
+    no longer referenced by any wire-history deque are dropped — those are exactly the
+    positions the NASSC estimators can still inspect, so scoring stays bit-identical to
+    :class:`RoutedOutput` while the retained set stays bounded by
+    ``num_wires * WIRE_HISTORY_BOUND + _SCAN_INTERVAL`` entries regardless of circuit
+    length.  No output DAG is built (``dag = None``).
+    """
+
+    __slots__ = ("data", "_wire_history", "_emit", "_store", "_count")
+
+    dag = None
+
+    _SCAN_INTERVAL = 256
+
+    def __init__(self, wire_history: Dict[int, Deque[int]], emit) -> None:
+        self._wire_history = wire_history
+        self._emit = emit
+        self._store: Dict[int, _LiteOp] = {}
+        self._count = 0
+        self.data = _PositionalView(self._store)
+
+    def append(self, gate: Gate, qubits: Sequence[int], clbits: Sequence[int] = ()) -> None:
+        op = _LiteOp(gate, tuple(qubits), tuple(clbits))
+        position = self._count
+        self._store[position] = op
+        self._count += 1
+        self._emit(position, op)
+        if self._count % self._SCAN_INTERVAL == 0:
+            self._trim()
+
+    def _trim(self) -> None:
+        # The wire-history entry for the op appended just now is recorded by the router
+        # *after* append() returns, so the newest position is kept unconditionally.
+        live = {pos for history in self._wire_history.values() for pos in history}
+        newest = self._count - 1
+        self._store = {
+            pos: op for pos, op in self._store.items() if pos in live or pos >= newest
+        }
+        self.data.store = self._store
+
+    def __len__(self) -> int:
+        return self._count
+
+
 @dataclass
 class RoutingResult:
     """Output of one routing run."""
@@ -281,10 +346,59 @@ class SabreSwapRouter:
         else:
             out = DiscardOutput()
 
+        self._reset_routing_memos()
         self._wire_history: Dict[int, Deque[int]] = {
             q: deque(maxlen=WIRE_HISTORY_BOUND) for q in range(self.coupling_map.num_qubits)
         }
         self._decay = np.ones(self.coupling_map.num_qubits)
+        result = yield from self._route_loop(frontier, layout, initial, out, rng)
+        return result
+
+    def route_stream(self, frontier, initial_layout: Optional[Layout] = None, *, emit):
+        """Route a windowed instruction stream; see :meth:`route_stream_steps`."""
+        return drive_steps(self.route_stream_steps(frontier, initial_layout, emit=emit))
+
+    def route_stream_steps(
+        self, frontier, initial_layout: Optional[Layout] = None, *, emit
+    ):
+        """Generator form of streaming routing over a bounded frontier.
+
+        ``frontier`` is any object with the :class:`~repro.circuit.dag.ExecutionFrontier`
+        protocol — in practice a :class:`~repro.circuit.dag.StreamingDAG`, which admits
+        gates from its source iterator as earlier ones retire, so the router only ever
+        sees the live window.  Every routed operation is pushed to ``emit(position, op)``
+        the moment it is placed (``op`` has the ``gate``/``name``/``qubits``/``clbits``
+        shape of an :class:`~repro.circuit.circuit.Instruction`); no output DAG or full
+        instruction list is retained, keeping peak memory O(window), not O(gates).
+
+        The loop, scoring kernels, rng discipline, and decay/stall state are literally
+        shared with :meth:`route_steps` (same :meth:`_route_loop`), so when the window
+        covers the whole circuit the emitted operation sequence is bit-identical to
+        in-memory routing.  Returns a :class:`RoutingResult` with ``dag=None``.
+        """
+        if frontier.num_qubits > self.coupling_map.num_qubits:
+            raise TranspilerError(
+                f"circuit needs {frontier.num_qubits} qubits but the device has "
+                f"{self.coupling_map.num_qubits}"
+            )
+        rng = np.random.default_rng(self.seed)
+        layout = (initial_layout or Layout.trivial(frontier.num_qubits)).copy()
+        initial = layout.copy()
+
+        self._reset_routing_memos()
+        self._wire_history = {
+            q: deque(maxlen=WIRE_HISTORY_BOUND) for q in range(self.coupling_map.num_qubits)
+        }
+        out = StreamingOutput(self._wire_history, emit)
+        self._decay = np.ones(self.coupling_map.num_qubits)
+        result = yield from self._route_loop(frontier, layout, initial, out, rng)
+        return result
+
+    def _reset_routing_memos(self) -> None:
+        """Hook: clear per-run scoring caches before a routing loop starts (no-op here)."""
+
+    def _route_loop(self, frontier, layout: Layout, initial: Layout, out, rng):
+        """The shared SABRE routing loop (identical for in-memory and streaming runs)."""
         swap_labels: Dict[int, str] = {}
         num_swaps = 0
         #: Live progress gauge the ensemble driver reads to prune hopeless trials.

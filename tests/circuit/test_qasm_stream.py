@@ -1,0 +1,93 @@
+"""Tests for the chunked OpenQASM reader (:class:`repro.circuit.qasm.QASMStreamReader`).
+
+The streaming reader must parse the same dialect as :func:`qasm.loads` — same register
+handling, gate definitions, broadcasts, comments — while pulling instructions lazily
+from a line iterator instead of materialising the whole program.
+"""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, qasm
+from repro.exceptions import QASMError
+
+SAMPLE = """
+// a representative program: comments, defs, broadcasts, measures
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+gate majority a,b,c
+{
+  cx c,b;
+  cx c,a;
+  ccx a,b,c;
+}
+h q[0];          // trailing comment
+cx q[0],q[1];
+rz(0.5) q[2];
+majority q[0],q[1],q[2];
+h q;             // broadcast over the register
+barrier q;
+measure q -> c;
+"""
+
+
+def test_stream_matches_loads():
+    reference = qasm.loads(SAMPLE)
+    reader = qasm.loads_stream(SAMPLE)
+    streamed = list(reader)
+    assert len(streamed) == len(reference.data)
+    for got, want in zip(streamed, reference.data):
+        assert got.name == want.name
+        assert got.qubits == want.qubits
+        assert got.clbits == want.clbits
+        assert got.gate.params == want.gate.params
+
+
+def test_header_available_before_iteration():
+    reader = qasm.loads_stream(SAMPLE)
+    assert reader.num_qubits == 3
+    assert reader.num_clbits == 3
+    # header probing must not consume instructions
+    assert len(list(reader)) == len(qasm.loads(SAMPLE).data)
+
+
+def test_batches_partition_the_stream():
+    reference = qasm.loads(SAMPLE)
+    batches = list(qasm.loads_stream(SAMPLE).batches(4))
+    assert all(len(batch) <= 4 for batch in batches)
+    assert sum(len(batch) for batch in batches) == len(reference.data)
+    flat = [inst for batch in batches for inst in batch]
+    assert [inst.name for inst in flat] == [inst.name for inst in reference.data]
+
+
+def test_load_stream_from_file(tmp_path):
+    path = tmp_path / "sample.qasm"
+    path.write_text(SAMPLE)
+    reader = qasm.load_stream(path)
+    assert [inst.name for inst in reader] == [
+        inst.name for inst in qasm.loads(SAMPLE).data
+    ]
+
+
+def test_stream_roundtrip_through_emission_helpers():
+    circuit = qasm.loads(SAMPLE)
+    lines = qasm.header_lines(circuit.num_qubits, circuit.num_clbits)
+    lines.extend(qasm.instruction_line(inst) for inst in circuit.data)
+    assert "\n".join(lines) + "\n" == qasm.dumps(circuit)
+
+
+def test_stream_rejects_malformed_programs():
+    with pytest.raises(QASMError):
+        list(qasm.loads_stream("OPENQASM 2.0;\nqreg q[2];\nnosuchgate q[0];\n"))
+
+
+def test_instruction_line_rejects_opaque_unitary():
+    import numpy as np
+
+    from repro.circuit import unitary_gate
+
+    circuit = QuantumCircuit(1)
+    circuit.append(unitary_gate(np.eye(2)), (0,))
+    with pytest.raises(QASMError):
+        qasm.instruction_line(circuit.data[0])

@@ -1,0 +1,147 @@
+"""Server-side streaming: ``routed_chunk`` events and the bounded event history.
+
+Covers satellite behaviours of the streaming subsystem: a ``"stream": true``
+submission runs through the streaming O0 pipeline and emits routed QASM chunks on the
+NDJSON event stream; the per-job event history is a capped tail whose drops are
+counted and surfaced instead of growing without bound.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import Target, TranspileOptions, transpile
+from repro.circuit import qasm, random_circuit
+from repro.server import ReproServer
+from repro.server.queue import JobRecord
+from repro.service import TranspileJob
+
+
+def start_server(**kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("use_processes", False)
+    kwargs.setdefault("max_workers", 2)
+    return ReproServer(**kwargs).run_in_thread()
+
+
+@pytest.fixture(scope="module")
+def live():
+    handle = start_server()
+    yield handle
+    handle.stop(drain=False, timeout=5)
+
+
+def submit_stream(handle, payload):
+    req = urllib.request.Request(
+        f"{handle.url}/v1/jobs",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req) as resp:
+        return json.loads(resp.read())
+
+
+def read_events(handle, job_id):
+    events = []
+    with urllib.request.urlopen(f"{handle.url}/v1/jobs/{job_id}/events") as resp:
+        for line in resp:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def stream_payload(circuit, **extra):
+    payload = {
+        "qasm": qasm.dumps(circuit),
+        "target": {"topology": "grid", "num_qubits": 25},
+        "options": {"routing": "sabre", "level": "O0", "seed": 0},
+        "stream": True,
+    }
+    payload.update(extra)
+    return payload
+
+
+class TestStreamingJobs:
+    def test_routed_chunks_assemble_to_in_memory_result(self, live):
+        circuit = random_circuit(7, 18, seed=1)
+        circuit.measure_all()
+        sub = submit_stream(live, stream_payload(circuit, window_gates=64, chunk_gates=16))
+        events = read_events(live, sub["id"])
+        states = [event["state"] for event in events]
+        assert states[0] == "queued"
+        assert states[-1] == "done"
+        chunks = {
+            event["detail"]["seq"]: event["detail"]["qasm"]
+            for event in events
+            if event["state"] == "routed_chunk"
+        }
+        assert chunks, "streaming job produced no routed_chunk events"
+        assembled = "".join(chunks[i] for i in sorted(chunks))
+        ref = transpile(
+            circuit,
+            Target.from_topology("grid", 25),
+            options=TranspileOptions(
+                routing="sabre", level="O0", layout_iterations=0, seed=0
+            ),
+        )
+        assert assembled == qasm.dumps(ref.circuit)
+
+    def test_status_carries_streaming_summary(self, live):
+        circuit = random_circuit(5, 8, seed=2)
+        sub = submit_stream(live, stream_payload(circuit))
+        with urllib.request.urlopen(
+            f"{live.url}/v1/jobs/{sub['id']}?wait=30"
+        ) as resp:
+            status = json.loads(resp.read())
+        assert status["state"] == "done"
+        assert status["streaming"]["window_gates"] > 0
+        assert status["result"]["streamed"] is True
+        assert status["result"]["summary"]["num_swaps"] >= 0
+        assert "dropped_events" in status
+
+    def test_streaming_bypasses_result_cache(self, live):
+        circuit = random_circuit(5, 8, seed=3)
+        first = submit_stream(live, stream_payload(circuit))
+        read_events(live, first["id"])  # run to completion
+        second = submit_stream(live, stream_payload(circuit))
+        # a cached completion would come back state=done without re-running
+        assert second["from_cache"] is False
+        events = read_events(live, second["id"])
+        assert any(event["state"] == "routed_chunk" for event in events)
+
+
+class TestBoundedEventHistory:
+    def make_record(self):
+        circuit = random_circuit(3, 3, seed=0)
+        job = TranspileJob.from_circuit(circuit, Target(), TranspileOptions())
+        return JobRecord(job)
+
+    def test_history_is_a_capped_tail(self):
+        record = self.make_record()
+        for seq in range(JobRecord.MAX_EVENTS + 100):
+            record.record_chunk(seq, f"chunk-{seq}\n")
+        assert len(record.events) == JobRecord.MAX_EVENTS
+        # the queued lifecycle event plus the oldest 100 chunks were dropped
+        assert record.dropped_events == 101
+        assert record.events_base == 101
+        # the newest events survive; the oldest were dropped from the front
+        assert record.events[-1]["detail"]["seq"] == JobRecord.MAX_EVENTS + 99
+        assert record.to_dict()["dropped_events"] == 101
+
+    def test_overflowed_stream_surfaces_drop_notice(self, live, monkeypatch):
+        monkeypatch.setattr(JobRecord, "MAX_EVENTS", 16)
+        circuit = random_circuit(7, 20, seed=4)
+        circuit.measure_all()
+        sub = submit_stream(live, stream_payload(circuit, chunk_gates=4))
+        with urllib.request.urlopen(
+            f"{live.url}/v1/jobs/{sub['id']}?wait=30"
+        ) as resp:
+            status = json.loads(resp.read())
+        assert status["state"] == "done"
+        assert status["dropped_events"] > 0
+        # a late reader sees only the retained tail, terminal event included
+        events = read_events(live, sub["id"])
+        assert len(events) <= 16
+        assert events[-1]["state"] == "done"
